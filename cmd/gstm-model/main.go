@@ -1,0 +1,175 @@
+// Command gstm-model builds and inspects Thread State Automaton model
+// files (the artifact's state_data). It can profile a STAMP benchmark into
+// a model (the artifact's mcmc_data mode), print a model's states and
+// transition structure, and run the Section IV analyzer on it.
+//
+//	gstm-model -profile kmeans -threads 8 -o kmeans.state_data
+//	gstm-model -inspect kmeans.state_data
+//	gstm-model -inspect kmeans.state_data -top 20 -tfactor 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"gstm"
+	"gstm/internal/model"
+	"gstm/internal/stamp"
+	"gstm/internal/trace"
+)
+
+func main() {
+	var (
+		profile    = flag.String("profile", "", "STAMP benchmark to profile into a model")
+		inspect    = flag.String("inspect", "", "model file to inspect")
+		out        = flag.String("o", "state_data", "output path for -profile")
+		threads    = flag.Int("threads", 8, "worker thread count")
+		trainRuns  = flag.Int("trainruns", 12, "profiling runs")
+		size       = flag.String("size", "medium", "training input size")
+		interleave = flag.Int("interleave", 6, "yield 1-in-N transactional operations")
+		seed       = flag.Uint64("seed", 0xC0FFEE, "profiling seed")
+		top        = flag.Int("top", 10, "states to print during -inspect (by visit frequency)")
+		asJSON     = flag.Bool("json", false, "emit the inspected model as JSON instead of text")
+		traceDir   = flag.String("savetraces", "", "directory to also save each profiling run's transaction sequence into")
+		tfactor    = flag.Float64("tfactor", 4, "Tfactor used for the analyzer and destination sets")
+		procs      = flag.Int("gomaxprocs", 1, "GOMAXPROCS while profiling")
+	)
+	flag.Parse()
+	runtime.GOMAXPROCS(*procs)
+
+	switch {
+	case *profile != "":
+		exitOn(buildModel(*profile, *out, *threads, *trainRuns, *size, *interleave, *seed, *traceDir))
+	case *inspect != "":
+		exitOn(inspectModel(*inspect, *top, *tfactor, *asJSON))
+	default:
+		fmt.Fprintln(os.Stderr, "gstm-model: need -profile <bench> or -inspect <file>")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func buildModel(bench, out string, threads, trainRuns int, sizeName string, interleave int, seed uint64, traceDir string) error {
+	w, err := stamp.ByName(bench)
+	if err != nil {
+		return err
+	}
+	var size stamp.Size
+	switch sizeName {
+	case "small":
+		size = stamp.Small
+	case "medium":
+		size = stamp.Medium
+	case "large":
+		size = stamp.Large
+	default:
+		return fmt.Errorf("unknown size %q", sizeName)
+	}
+	sys := gstm.NewSystem(gstm.Config{Threads: threads, Interleave: interleave})
+	var traces []*gstm.Trace
+	for run := 0; run < trainRuns; run++ {
+		inst, err := w.NewInstance(stamp.Params{Threads: threads, Size: size, Seed: seed + uint64(run)*7919})
+		if err != nil {
+			return err
+		}
+		sys.StartProfiling()
+		if _, err := inst.Run(sys); err != nil {
+			sys.StopProfiling()
+			return err
+		}
+		tr := sys.StopProfiling()
+		if err := inst.Validate(sys); err != nil {
+			return err
+		}
+		traces = append(traces, tr)
+		if traceDir != "" {
+			path := fmt.Sprintf("%s/%s_run%02d.tseq", traceDir, bench, run)
+			if err := trace.SaveTrace(tr, path); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "run %d: %d commits, %d aborts, %d distinct states\n",
+			run, tr.Commits, tr.Aborts, tr.DistinctStates())
+	}
+	m := gstm.BuildModel(threads, traces)
+	if err := gstm.SaveModel(m, out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d states from %d runs of %s (%d threads, %s input)\n",
+		out, m.NumStates(), trainRuns, bench, threads, sizeName)
+	return nil
+}
+
+func inspectModel(path string, top int, tfactor float64, asJSON bool) error {
+	m, err := model.Load(path)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return m.ExportJSON(os.Stdout)
+	}
+	an := model.DefaultAnalyzer()
+	an.Tfactor = tfactor
+	rep := an.Analyze(m)
+	ms := m.ComputeStats()
+	fmt.Printf("model: %d states, %d edges, %d transitions, ~%.1fKB serialized, mean transition entropy %.2f, trained for %d threads\n",
+		ms.States, ms.Edges, ms.Transitions, float64(ms.SerializedBytes)/1024, ms.MeanEntropy, m.Threads)
+	fmt.Printf("analyzer: guidance metric %.0f%%, guidable=%v", rep.Metric, rep.Guidable)
+	if !rep.Guidable {
+		fmt.Printf(" (%s)", rep.Reason)
+	}
+	fmt.Println()
+
+	// Rank states by total outbound frequency (visit count).
+	type ranked struct {
+		key   trace.Key
+		total int64
+	}
+	var rs []ranked
+	for _, k := range m.Keys() {
+		rs = append(rs, ranked{key: k, total: m.Node(k).Total})
+	}
+	for i := 0; i < len(rs); i++ {
+		for j := i + 1; j < len(rs); j++ {
+			if rs[j].total > rs[i].total {
+				rs[i], rs[j] = rs[j], rs[i]
+			}
+		}
+	}
+	if top > len(rs) {
+		top = len(rs)
+	}
+	fmt.Printf("top %d states by visits:\n", top)
+	for _, r := range rs[:top] {
+		st, err := trace.ParseKey(r.key)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-40s visits=%-6d destinations(Tfactor=%g): ", st, r.total, tfactor)
+		for i, e := range m.Destinations(r.key, tfactor) {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			to, err := trace.ParseKey(e.To)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s(%.2f)", to, e.Prob)
+			if i == 4 {
+				fmt.Print(", ...")
+				break
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gstm-model:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,57 @@
+// Command gstm-policies compares scheduling policies on a STAMP workload:
+// unmanaged execution, the contention managers the paper's Related Work
+// discusses (Polite, Karma, Greedy), a DeSTM-style deterministic
+// round-robin, and model-driven guided execution. It quantifies the
+// paper's argument that contention managers cannot reduce variance and
+// non-determinism the way guidance does without sacrificing speculation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"gstm/internal/harness"
+	"gstm/internal/stamp"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "kmeans", "STAMP benchmark to compare policies on")
+		threads    = flag.Int("threads", 8, "worker thread count")
+		trainRuns  = flag.Int("trainruns", 12, "profiling runs for the guided row")
+		runs       = flag.Int("runs", 20, "measured runs per policy")
+		interleave = flag.Int("interleave", 6, "yield 1-in-N transactional operations")
+		tfactor    = flag.Float64("tfactor", 2, "guided row's Tfactor")
+		gateK      = flag.Int("k", 16, "guided row's gate re-check bound")
+		seed       = flag.Uint64("seed", 11, "experiment seed")
+		procs      = flag.Int("gomaxprocs", 1, "GOMAXPROCS for the experiment")
+	)
+	flag.Parse()
+	runtime.GOMAXPROCS(*procs)
+
+	w, err := stamp.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gstm-policies:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "comparing 6 policies on %s (%d threads, %d runs each)...\n",
+		*bench, *threads, *runs)
+	pc, err := harness.ComparePolicies(w, harness.Config{
+		Threads:     *threads,
+		TrainRuns:   *trainRuns,
+		Runs:        *runs,
+		TrainSize:   stamp.Medium,
+		TestSize:    stamp.Small,
+		Interleave:  *interleave,
+		Tfactor:     *tfactor,
+		GateRetries: *gateK,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gstm-policies:", err)
+		os.Exit(1)
+	}
+	pc.Write(os.Stdout)
+}

@@ -1,0 +1,74 @@
+// Command gstm-synquake runs the paper's Section VIII experiment: it
+// trains the Thread State Automaton on the 4worst_case and 4moving quests
+// of the SynQuake game server, then measures default versus guided
+// execution on the 4quadrants and 4center_spread6 quests, printing Table V
+// and the three panels of Figures 11 and 12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"gstm/internal/harness"
+)
+
+func main() {
+	var (
+		threads     = flag.Int("threads", 8, "server thread count (paper: 8 or 16)")
+		players     = flag.Int("players", 256, "player count (paper: 1000; scaled default for one core)")
+		trainFrames = flag.Int("trainframes", 100, "frames per training-quest run (paper: 1000)")
+		testFrames  = flag.Int("testframes", 400, "frames per measured quest (paper: 10000)")
+		trainRuns   = flag.Int("trainruns", 3, "runs per training quest")
+		measureRuns = flag.Int("runs", 5, "measured runs per side per quest (averaged)")
+		interleave  = flag.Int("interleave", 6, "yield 1-in-N transactional operations (0 disables)")
+		tfactor     = flag.Float64("tfactor", 2, "destination-set threshold divisor")
+		gateK       = flag.Int("k", 16, "gate re-check bound (the paper's k)")
+		seed        = flag.Uint64("seed", 0xBADA55, "experiment seed")
+		table       = flag.Int("table", 0, "print only Table 5 when set to 5")
+		fig         = flag.Int("fig", 0, "print only Figure 11 or 12 when set")
+		procs       = flag.Int("gomaxprocs", 1, "GOMAXPROCS for the experiment")
+	)
+	flag.Parse()
+	runtime.GOMAXPROCS(*procs)
+
+	fmt.Fprintf(os.Stderr, "training on 4worst_case+4moving (%d runs x %d frames), measuring 4quadrants and 4center_spread6 (%d frames)...\n",
+		*trainRuns, *trainFrames, *testFrames)
+	res, err := harness.RunSynQuake(harness.SynQuakeConfig{
+		Threads:     *threads,
+		Players:     *players,
+		TrainFrames: *trainFrames,
+		TestFrames:  *testFrames,
+		TrainRuns:   *trainRuns,
+		MeasureRuns: *measureRuns,
+		Interleave:  *interleave,
+		Tfactor:     *tfactor,
+		GateRetries: *gateK,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gstm-synquake:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *table == 5:
+		res.WriteTableV(os.Stdout)
+	case *fig == 11 || *fig == 12:
+		want := "4quadrants"
+		if *fig == 12 {
+			want = "4center_spread6"
+		}
+		for _, q := range res.Quests {
+			if q.Quest == want {
+				one := *res
+				one.Quests = []harness.SynQuakeQuestResult{q}
+				one.WriteFigures(os.Stdout)
+			}
+		}
+	default:
+		res.WriteTableV(os.Stdout)
+		res.WriteFigures(os.Stdout)
+	}
+}

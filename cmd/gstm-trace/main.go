@@ -1,0 +1,77 @@
+// Command gstm-trace inspects and compares on-disk transaction-sequence
+// logs (.tseq files written by gstm-model -savetraces). It replaces the
+// artifact's post-processing scripts: dumping a run's states in the
+// paper's notation, and diffing a default group against a guided group for
+// non-determinism and abort-tail changes.
+//
+//	gstm-trace -dump run00.tseq
+//	gstm-trace -diff "default_*.tseq=guided_*.tseq"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gstm/internal/trace"
+)
+
+func main() {
+	var (
+		dump      = flag.String("dump", "", "trace file to dump")
+		diff      = flag.String("diff", "", "two glob patterns separated by '=': groupA=groupB")
+		maxStates = flag.Int("n", 40, "states to print during -dump (0 = all)")
+	)
+	flag.Parse()
+
+	switch {
+	case *dump != "":
+		t, err := trace.LoadTrace(*dump)
+		exitOn(err)
+		trace.Dump(os.Stdout, t, *maxStates)
+	case *diff != "":
+		parts := strings.SplitN(*diff, "=", 2)
+		if len(parts) != 2 {
+			exitOn(fmt.Errorf("-diff wants groupA=groupB glob patterns, got %q", *diff))
+		}
+		groupA, err := loadGroup(parts[0])
+		exitOn(err)
+		groupB, err := loadGroup(parts[1])
+		exitOn(err)
+		fmt.Printf("A: %d traces (%s)\nB: %d traces (%s)\n",
+			len(groupA), parts[0], len(groupB), parts[1])
+		trace.Compare(groupA, groupB).Write(os.Stdout)
+	default:
+		fmt.Fprintln(os.Stderr, "gstm-trace: need -dump <file> or -diff 'a*=b*'")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func loadGroup(pattern string) ([]*trace.Trace, error) {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no traces match %q", pattern)
+	}
+	out := make([]*trace.Trace, 0, len(paths))
+	for _, p := range paths {
+		t, err := trace.LoadTrace(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gstm-trace:", err)
+		os.Exit(1)
+	}
+}

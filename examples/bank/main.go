@@ -1,0 +1,149 @@
+// Bank: the paper's full four-phase workflow on a custom application —
+// profile a contended banking workload, build the Thread State Automaton,
+// check it with the analyzer, and compare default vs guided execution.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"gstm"
+)
+
+const (
+	threads     = 8
+	accounts    = 16
+	transfersBy = 1500
+)
+
+// workload runs the banking day: every thread does transfers (site 0) and
+// occasionally an all-accounts audit (site 1), a long read-only
+// transaction that conflicts with everything.
+func workload(sys *gstm.System, bank *gstm.Array[int]) time.Duration {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(id gstm.ThreadID) {
+			defer wg.Done()
+			rng := uint64(id)*0x9e3779b97f4a7c15 + 1
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			for i := 0; i < transfersBy; i++ {
+				if i%100 == 99 { // audit
+					err := sys.Atomic(id, 1, func(tx *gstm.Tx) error {
+						total := 0
+						for a := 0; a < accounts; a++ {
+							total += gstm.ReadAt(tx, bank, a)
+						}
+						if total != accounts*1000 {
+							return fmt.Errorf("audit: total %d", total)
+						}
+						return nil
+					})
+					if err != nil {
+						log.Fatal(err)
+					}
+					continue
+				}
+				from, to := next(accounts), next(accounts)
+				if from == to {
+					continue
+				}
+				err := sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+					amt := 1 + next(5)
+					gstm.WriteAt(tx, bank, from, gstm.ReadAt(tx, bank, from)-amt)
+					gstm.WriteAt(tx, bank, to, gstm.ReadAt(tx, bank, to)+amt)
+					return nil
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(gstm.ThreadID(w))
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+func freshBank() *gstm.Array[int] {
+	bank := gstm.NewArray[int](accounts)
+	for i := 0; i < accounts; i++ {
+		bank.Reset(i, 1000)
+	}
+	return bank
+}
+
+func main() {
+	runtime.GOMAXPROCS(1)
+	sys := gstm.NewSystem(gstm.Config{Threads: threads, Interleave: 6})
+
+	// Phase 1: profile.
+	var traces []*gstm.Trace
+	for run := 0; run < 8; run++ {
+		sys.StartProfiling()
+		workload(sys, freshBank())
+		traces = append(traces, sys.StopProfiling())
+	}
+	fmt.Printf("profiled %d runs, %d commits in the last one\n",
+		len(traces), traces[len(traces)-1].Commits)
+
+	// Phase 2: model generation (Algorithm 1).
+	m := gstm.BuildModel(threads, traces)
+	fmt.Printf("thread state automaton: %d states\n", m.NumStates())
+
+	// Phase 3: model analysis.
+	rep := gstm.Analyze(m)
+	fmt.Printf("analyzer: guidance metric %.0f%% — guidable: %v\n", rep.Metric, rep.Guidable)
+
+	// Phase 4: guided vs default execution.
+	measure := func(label string) {
+		var times []time.Duration
+		var aborts uint64
+		for run := 0; run < 5; run++ {
+			sys.ResetStats()
+			times = append(times, workload(sys, freshBank()))
+			_, a := sys.Stats()
+			aborts += a
+		}
+		mean, sd := meanStd(times)
+		fmt.Printf("%-8s mean=%8.2fms  stddev=%6.2fms  aborts/run=%d\n",
+			label, mean*1e3, sd*1e3, aborts/uint64(len(times)))
+	}
+
+	sys.DisableGuidance()
+	measure("default")
+
+	if err := sys.EnableGuidance(m, gstm.GuidanceOptions{Tfactor: 2}); err != nil {
+		fmt.Printf("guidance rejected: %v — forcing for demonstration\n", err)
+		sys.ForceGuidance(m, gstm.GuidanceOptions{Tfactor: 2})
+	}
+	measure("guided")
+	passed, held, escaped := sys.GateStats()
+	fmt.Printf("gate: %d passed, %d held, %d escaped after k retries\n", passed, held, escaped)
+}
+
+func meanStd(ds []time.Duration) (mean, sd float64) {
+	for _, d := range ds {
+		mean += d.Seconds()
+	}
+	mean /= float64(len(ds))
+	for _, d := range ds {
+		diff := d.Seconds() - mean
+		sd += diff * diff
+	}
+	if len(ds) > 1 {
+		sd /= float64(len(ds) - 1)
+	}
+	return mean, math.Sqrt(sd)
+}

@@ -1,0 +1,158 @@
+// Game: a miniature frame-based game server — the paper's motivating use
+// case. Players crowd one hotspot; each frame every player moves and
+// fights inside transactions; the server reports the frame-time
+// distribution before and after enabling model-driven guidance. Guidance
+// trades mean throughput for predictability: relative jitter
+// (stddev/mean) and the worst frame relative to the mean both tighten.
+//
+//	go run ./examples/game
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"gstm"
+)
+
+const (
+	threads  = 8
+	players  = 384
+	world    = 64 // world side; one cell per coordinate
+	frames   = 100
+	hotspotX = 32
+	hotspotY = 32
+)
+
+type player struct {
+	X, Y int
+	HP   int
+}
+
+type gameState struct {
+	players *gstm.Array[player]
+	cells   *gstm.Array[int32] // occupancy count per world cell
+}
+
+func newGame() *gameState {
+	g := &gameState{
+		players: gstm.NewArray[player](players),
+		cells:   gstm.NewArray[int32](world * world),
+	}
+	for i := 0; i < players; i++ {
+		p := player{X: (i * 7) % world, Y: (i * 13) % world, HP: 100}
+		g.players.Reset(i, p)
+		g.cells.Reset(p.Y*world+p.X, g.cells.Peek(p.Y*world+p.X)+1)
+	}
+	return g
+}
+
+// playFrames runs the frame loop and returns each frame's processing time.
+func playFrames(sys *gstm.System, g *gameState) []float64 {
+	frameTimes := make([]float64, 0, frames)
+	for f := 0; f < frames; f++ {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				lo, hi := id*players/threads, (id+1)*players/threads
+				for i := lo; i < hi; i++ {
+					err := sys.Atomic(gstm.ThreadID(id), 0, func(tx *gstm.Tx) error {
+						p := gstm.ReadAt(tx, g.players, i)
+						old := p.Y*world + p.X
+						p.X += sign(hotspotX - p.X)
+						p.Y += sign(hotspotY - p.Y)
+						next := p.Y*world + p.X
+						if next != old {
+							gstm.WriteAt(tx, g.cells, old, gstm.ReadAt(tx, g.cells, old)-1)
+							gstm.WriteAt(tx, g.cells, next, gstm.ReadAt(tx, g.cells, next)+1)
+						}
+						gstm.WriteAt(tx, g.players, i, p)
+						return nil
+					})
+					if err != nil {
+						log.Fatal(err)
+					}
+					// Fight whoever shares the crowded hotspot cell.
+					err = sys.Atomic(gstm.ThreadID(id), 1, func(tx *gstm.Tx) error {
+						p := gstm.ReadAt(tx, g.players, i)
+						if gstm.ReadAt(tx, g.cells, p.Y*world+p.X) > 1 {
+							victim := (i + 1) % players
+							v := gstm.ReadAt(tx, g.players, victim)
+							v.HP--
+							if v.HP <= 0 {
+								v.HP = 100
+							}
+							gstm.WriteAt(tx, g.players, victim, v)
+						}
+						return nil
+					})
+					if err != nil {
+						log.Fatal(err)
+					}
+				}
+			}(t)
+		}
+		wg.Wait()
+		frameTimes = append(frameTimes, time.Since(start).Seconds())
+	}
+	return frameTimes
+}
+
+func main() {
+	runtime.GOMAXPROCS(1)
+	sys := gstm.NewSystem(gstm.Config{Threads: threads, Interleave: 6})
+
+	// Train the automaton on a few profiled sessions.
+	var traces []*gstm.Trace
+	for run := 0; run < 4; run++ {
+		sys.StartProfiling()
+		playFrames(sys, newGame())
+		traces = append(traces, sys.StopProfiling())
+	}
+	m := gstm.BuildModel(threads, traces)
+	rep := gstm.Analyze(m)
+	fmt.Printf("model: %d states, guidance metric %.0f%%, guidable=%v\n",
+		m.NumStates(), rep.Metric, rep.Guidable)
+
+	report := func(label string, ft []float64) {
+		mean, sd, worst := 0.0, 0.0, 0.0
+		for _, t := range ft {
+			mean += t
+			if t > worst {
+				worst = t
+			}
+		}
+		mean /= float64(len(ft))
+		for _, t := range ft {
+			sd += (t - mean) * (t - mean)
+		}
+		sd = math.Sqrt(sd / float64(len(ft)-1))
+		fmt.Printf("%-8s frame mean=%6.3fms  stddev=%6.3fms  worst=%6.3fms  jitter=%5.1f%%\n",
+			label, mean*1e3, sd*1e3, worst*1e3, sd/mean*100)
+	}
+
+	report("default", playFrames(sys, newGame()))
+
+	sys.ForceGuidance(m, gstm.GuidanceOptions{Tfactor: 2})
+	report("guided", playFrames(sys, newGame()))
+	passed, held, escaped := sys.GateStats()
+	fmt.Printf("gate decisions: %d passed, %d held, %d escaped\n", passed, held, escaped)
+}
+
+func sign(d int) int {
+	switch {
+	case d > 0:
+		return 1
+	case d < 0:
+		return -1
+	default:
+		return 0
+	}
+}

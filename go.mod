@@ -1,0 +1,3 @@
+module gstm
+
+go 1.24

@@ -1,0 +1,136 @@
+package gstm_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"gstm"
+)
+
+// runCounterWorkload drives a contended counter with `threads` workers and
+// two transaction sites, returning the final counter value.
+func runCounterWorkload(sys *gstm.System, threads, perThread int, v *gstm.Var[int]) {
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(id gstm.ThreadID) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				_ = sys.Atomic(id, gstm.TxnID(int(id)%2), func(tx *gstm.Tx) error {
+					gstm.Write(tx, v, gstm.Read(tx, v)+1)
+					return nil
+				})
+			}
+		}(gstm.ThreadID(w))
+	}
+	wg.Wait()
+}
+
+func TestFourPhaseWorkflow(t *testing.T) {
+	const threads, per = 4, 100
+	sys := gstm.NewSystem(gstm.Config{Threads: threads, Interleave: 4})
+
+	// Phase 1: profile several runs.
+	var traces []*gstm.Trace
+	for run := 0; run < 5; run++ {
+		v := gstm.NewVar(0)
+		sys.StartProfiling()
+		runCounterWorkload(sys, threads, per, v)
+		tr := sys.StopProfiling()
+		if tr == nil {
+			t.Fatal("StopProfiling returned nil during active profiling")
+		}
+		if tr.Commits != threads*per {
+			t.Fatalf("run %d commits = %d, want %d", run, tr.Commits, threads*per)
+		}
+		traces = append(traces, tr)
+	}
+
+	// Phase 2+3: model and analysis.
+	m := gstm.BuildModel(threads, traces)
+	if m.NumStates() == 0 {
+		t.Fatal("empty model")
+	}
+	rep := gstm.Analyze(m)
+	t.Logf("model: %d states, guidance metric %.1f%%, guidable=%v",
+		rep.States, rep.Metric, rep.Guidable)
+
+	// Phase 4: guided execution stays correct.
+	sys.ForceGuidance(m, gstm.GuidanceOptions{})
+	if !sys.Guided() {
+		t.Fatal("Guided() = false after ForceGuidance")
+	}
+	v := gstm.NewVar(0)
+	sys.StartProfiling()
+	runCounterWorkload(sys, threads, per, v)
+	guidedTrace := sys.StopProfiling()
+	if got := v.Peek(); got != threads*per {
+		t.Fatalf("guided counter = %d, want %d", got, threads*per)
+	}
+	if guidedTrace.Commits != threads*per {
+		t.Fatalf("guided trace commits = %d", guidedTrace.Commits)
+	}
+	passed, held, escaped := sys.GateStats()
+	if passed+held+escaped == 0 {
+		t.Fatal("gate made no decisions during guided run")
+	}
+	sys.DisableGuidance()
+	if sys.Guided() {
+		t.Fatal("Guided() = true after DisableGuidance")
+	}
+}
+
+func TestStopProfilingWithoutStart(t *testing.T) {
+	sys := gstm.NewSystem(gstm.Config{Threads: 2})
+	if tr := sys.StopProfiling(); tr != nil {
+		t.Fatalf("StopProfiling without start = %+v, want nil", tr)
+	}
+}
+
+func TestEnableGuidanceRejectsTinyModel(t *testing.T) {
+	sys := gstm.NewSystem(gstm.Config{Threads: 2})
+	m := gstm.BuildModel(2, nil)
+	err := sys.EnableGuidance(m, gstm.GuidanceOptions{})
+	if !errors.Is(err, gstm.ErrUnguidable) {
+		t.Fatalf("err = %v, want ErrUnguidable", err)
+	}
+	if sys.Guided() {
+		t.Fatal("guidance installed despite rejection")
+	}
+}
+
+func TestModelSaveLoadThroughPublicAPI(t *testing.T) {
+	const threads = 2
+	sys := gstm.NewSystem(gstm.Config{Threads: threads, Interleave: 4})
+	v := gstm.NewVar(0)
+	sys.StartProfiling()
+	runCounterWorkload(sys, threads, 50, v)
+	m := gstm.BuildModel(threads, []*gstm.Trace{sys.StopProfiling()})
+
+	path := t.TempDir() + "/state_data"
+	if err := gstm.SaveModel(m, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gstm.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumStates() != m.NumStates() {
+		t.Fatalf("loaded states = %d, want %d", got.NumStates(), m.NumStates())
+	}
+}
+
+func TestStatsAccumulateAndReset(t *testing.T) {
+	sys := gstm.NewSystem(gstm.Config{Threads: 2})
+	v := gstm.NewVar(0)
+	runCounterWorkload(sys, 2, 20, v)
+	commits, _ := sys.Stats()
+	if commits != 40 {
+		t.Fatalf("commits = %d, want 40", commits)
+	}
+	sys.ResetStats()
+	if c, a := sys.Stats(); c != 0 || a != 0 {
+		t.Fatalf("after reset: %d/%d", c, a)
+	}
+}

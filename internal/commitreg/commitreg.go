@@ -1,0 +1,67 @@
+// Package commitreg provides the commit-attribution registry shared by the
+// STM runtimes (internal/tl2, internal/libtm): a lock-free ring mapping a
+// commit's global sequence number to the (thread, txn) pair that committed
+// it. An aborting transaction that knows which commit invalidated it (by
+// sequence number) resolves the committer's identity here, which is how the
+// tracer pairs each commit with "its" aborts into a thread transactional
+// state without any global serialization.
+package commitreg
+
+import (
+	"sync/atomic"
+
+	"gstm/internal/txid"
+)
+
+// Registry is a power-of-two ring of (sequence, pair) slots. Entries are
+// published with a sequence check so a reader racing far behind detects
+// that its slot was recycled and reports attribution failure instead of a
+// wrong pair.
+type Registry struct {
+	mask  uint64
+	slots []slot
+}
+
+type slot struct {
+	wv   atomic.Uint64
+	pair atomic.Uint32 // txid.Packed
+}
+
+// New returns a registry with capacity rounded up to the next power of two
+// (minimum 1024 slots).
+func New(capacity int) *Registry {
+	n := 1024
+	for n < capacity {
+		n <<= 1
+	}
+	return &Registry{mask: uint64(n - 1), slots: make([]slot, n)}
+}
+
+// Record publishes that pair committed sequence number wv. Callers invoke
+// it before making the commit observable, so any transaction that can see
+// the commit's effects can also resolve it.
+func (r *Registry) Record(wv uint64, pair txid.Pair) {
+	s := &r.slots[wv&r.mask]
+	// Invalidate first so a torn observer never pairs an old wv with a new
+	// pair: readers re-check wv after loading the pair.
+	s.wv.Store(0)
+	s.pair.Store(uint32(pair.Pack()))
+	s.wv.Store(wv)
+}
+
+// Lookup resolves wv to its committing pair. ok is false when the slot was
+// recycled by a later commit (attribution lost) or wv was never recorded.
+func (r *Registry) Lookup(wv uint64) (pair txid.Pair, ok bool) {
+	if wv == 0 {
+		return txid.Pair{}, false
+	}
+	s := &r.slots[wv&r.mask]
+	if s.wv.Load() != wv {
+		return txid.Pair{}, false
+	}
+	p := txid.Packed(s.pair.Load())
+	if s.wv.Load() != wv { // recycled mid-read
+		return txid.Pair{}, false
+	}
+	return p.Unpack(), true
+}

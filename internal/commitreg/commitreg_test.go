@@ -1,0 +1,52 @@
+package commitreg
+
+import (
+	"testing"
+
+	"gstm/internal/txid"
+)
+
+func TestRoundTrip(t *testing.T) {
+	r := New(1024)
+	p := txid.Pair{Txn: 3, Thread: 7}
+	r.Record(42, p)
+	got, ok := r.Lookup(42)
+	if !ok || got != p {
+		t.Fatalf("Lookup(42) = %v, %v; want %v, true", got, ok, p)
+	}
+	if _, ok := r.Lookup(43); ok {
+		t.Fatal("Lookup(43) succeeded for unrecorded version")
+	}
+	if _, ok := r.Lookup(0); ok {
+		t.Fatal("Lookup(0) must fail")
+	}
+	// Recycling the slot must invalidate the old wv.
+	r.Record(42+1024, txid.Pair{Txn: 1, Thread: 1})
+	if _, ok := r.Lookup(42); ok {
+		t.Fatal("Lookup(42) succeeded after slot recycled")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	r := New(3000)
+	if len(r.slots) != 4096 {
+		t.Fatalf("slots = %d, want 4096", len(r.slots))
+	}
+	if m := New(0); len(m.slots) != 1024 {
+		t.Fatalf("minimum slots = %d, want 1024", len(m.slots))
+	}
+}
+
+func TestDistinctSlotsIndependent(t *testing.T) {
+	r := New(1024)
+	a := txid.Pair{Txn: 1, Thread: 2}
+	b := txid.Pair{Txn: 3, Thread: 4}
+	r.Record(5, a)
+	r.Record(6, b)
+	if got, ok := r.Lookup(5); !ok || got != a {
+		t.Fatalf("Lookup(5) = %v, %v", got, ok)
+	}
+	if got, ok := r.Lookup(6); !ok || got != b {
+		t.Fatalf("Lookup(6) = %v, %v", got, ok)
+	}
+}

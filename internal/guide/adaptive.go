@@ -1,0 +1,97 @@
+package guide
+
+import (
+	"sync"
+
+	"gstm/internal/model"
+	"gstm/internal/trace"
+)
+
+// Adaptive is an online-learning extension of guided execution (not in the
+// paper, which trains offline and observes that unrepresentative training
+// inputs weaken the model — Section VII "Remarks"). It starts from an
+// optional pre-trained automaton (or empty), keeps learning transitions
+// from the live event stream, and periodically recompiles the guide table
+// so guidance tracks the workload it is actually steering.
+//
+// While the model is empty every state is unknown and the gate lets
+// everything pass, so a cold-started Adaptive behaves like default
+// execution and tightens as evidence accumulates.
+type Adaptive struct {
+	*Controller
+
+	tfactor float64
+	every   int // recompile period, in tracked state changes
+
+	mu      sync.Mutex
+	tsa     *model.TSA
+	prev    trace.Key
+	hasPrev bool
+	seen    int
+	builds  int
+}
+
+// NewAdaptive returns an adaptive controller for a workload with the given
+// thread count. seedModel may be nil (cold start); it is copied by
+// reference and extended in place, so do not reuse it elsewhere.
+// recompileEvery <= 0 selects 2048 state changes.
+func NewAdaptive(threads int, seedModel *model.TSA, tfactor float64, recompileEvery int, opts ...Option) *Adaptive {
+	if tfactor <= 0 {
+		tfactor = 4
+	}
+	if recompileEvery <= 0 {
+		recompileEvery = 2048
+	}
+	a := &Adaptive{
+		tfactor: tfactor,
+		every:   recompileEvery,
+		tsa:     seedModel,
+	}
+	if a.tsa == nil {
+		a.tsa = model.New(threads)
+	}
+	opts = append(opts, WithStateCallback(a.observe))
+	a.Controller = NewController(model.Compile(a.tsa, tfactor), opts...)
+	return a
+}
+
+// observe is invoked by the embedded Controller whenever the tracked
+// current state changes; it learns the transition and periodically
+// recompiles the guide table.
+func (a *Adaptive) observe(k trace.Key) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.hasPrev {
+		a.tsa.AddTransitionKeys(a.prev, k)
+	}
+	a.prev, a.hasPrev = k, true
+	a.seen++
+	if a.seen%a.every == 0 {
+		a.Controller.SetTable(model.Compile(a.tsa, a.tfactor))
+		a.builds++
+	}
+}
+
+// ModelStates returns the current size of the online model.
+func (a *Adaptive) ModelStates() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tsa.NumStates()
+}
+
+// Recompiles returns how many times the guide table has been rebuilt.
+func (a *Adaptive) Recompiles() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.builds
+}
+
+// Snapshot returns an independent copy of the online model, suitable for
+// saving or offline analysis while execution continues.
+func (a *Adaptive) Snapshot() *model.TSA {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cp := model.New(a.tsa.Threads)
+	cp.Merge(a.tsa)
+	return cp
+}

@@ -1,0 +1,115 @@
+package guide
+
+import (
+	"sync"
+	"testing"
+
+	"gstm/internal/model"
+	"gstm/internal/tl2"
+	"gstm/internal/trace"
+	"gstm/internal/txid"
+)
+
+func TestAdaptiveColdStartPassesEverything(t *testing.T) {
+	a := NewAdaptive(4, nil, 4, 0)
+	// No model yet: no state is known, every arrival passes.
+	a.TxCommit(pair(0, 0), 1, 0)
+	a.TxCommit(pair(1, 1), 2, 0)
+	a.Arrive(pair(5, 3))
+	passed, held, escaped := a.GateStats()
+	if passed != 1 || held+escaped != 0 {
+		t.Fatalf("stats = %d/%d/%d", passed, held, escaped)
+	}
+}
+
+func TestAdaptiveLearnsTransitions(t *testing.T) {
+	a := NewAdaptive(2, nil, 4, 4)
+	// Feed a repeating commit pattern; the one-commit delay means state i
+	// is finalized when commit i+1 arrives.
+	for i := 0; i < 40; i++ {
+		a.TxCommit(pair(txnOf(i), 0), uint64(i+1), 0)
+	}
+	if got := a.ModelStates(); got < 2 {
+		t.Fatalf("model states = %d, want >= 2", got)
+	}
+	if a.Recompiles() == 0 {
+		t.Fatal("guide table never recompiled")
+	}
+}
+
+func txnOf(i int) int {
+	if i%2 == 0 {
+		return 0
+	}
+	return 1
+}
+
+func TestAdaptiveSeedModelUsedImmediately(t *testing.T) {
+	// Seed with a model where from state A only B's participants may
+	// start; the adaptive gate must enforce it before any online learning.
+	a := trace.NewState(nil, pk(0, 0))
+	b := trace.NewState(nil, pk(1, 1))
+	c := trace.NewState(nil, pk(2, 2))
+	var runs [][]trace.State
+	for i := 0; i < 40; i++ {
+		runs = append(runs, []trace.State{a, b})
+	}
+	runs = append(runs, []trace.State{a, c})
+	seed := model.Build(2, runs)
+
+	ad := NewAdaptive(2, seed, 4, 1<<20, WithGateRetries(3))
+	ad.TxCommit(pair(0, 0), 1, 0)
+	ad.TxCommit(pair(9, 9), 2, 0) // finalize A as current
+	ad.Arrive(pair(2, 2))         // low-probability participant: must escape
+	_, _, escaped := ad.GateStats()
+	if escaped != 1 {
+		t.Fatalf("escaped = %d, want 1", escaped)
+	}
+}
+
+func TestAdaptiveSnapshotIndependent(t *testing.T) {
+	ad := NewAdaptive(2, nil, 4, 4)
+	for i := 0; i < 10; i++ {
+		ad.TxCommit(pair(0, 0), uint64(i+1), 0)
+	}
+	snap := ad.Snapshot()
+	before := snap.NumStates()
+	for i := 10; i < 30; i++ {
+		ad.TxCommit(pair(txnOf(i), 1), uint64(i+1), 0)
+	}
+	if snap.NumStates() != before {
+		t.Fatal("snapshot mutated by continued learning")
+	}
+}
+
+func TestAdaptiveEndToEndCorrectness(t *testing.T) {
+	rt := tl2.New(tl2.Config{Interleave: 4})
+	ad := NewAdaptive(4, nil, 2, 256)
+	rt.SetSink(ad)
+	rt.SetGate(ad)
+	v := tl2.NewVar(0)
+	var wg sync.WaitGroup
+	const workers, per = 4, 250
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id txid.ThreadID) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_ = rt.Atomic(id, txid.TxnID(i%2), func(tx *tl2.Tx) error {
+					tl2.Write(tx, v, tl2.Read(tx, v)+1)
+					return nil
+				})
+			}
+		}(txid.ThreadID(w))
+	}
+	wg.Wait()
+	if got := v.Peek(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if ad.ModelStates() == 0 {
+		t.Fatal("nothing learned during execution")
+	}
+	if ad.Recompiles() == 0 {
+		t.Fatal("table never rebuilt during execution")
+	}
+}

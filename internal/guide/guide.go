@@ -1,0 +1,208 @@
+// Package guide implements the paper's guided execution (Section V): a
+// transaction-start gate that holds back threads whose (transaction,
+// thread) pair does not participate in any high-probability destination
+// state of the automaton's current state, re-checking up to K times before
+// letting the thread proceed (the deadlock/progress escape hatch).
+//
+// The controller tracks the STM's current thread transactional state
+// online: it observes the commit/abort event stream and finalizes each
+// commit's state one commit late, so that aborts attributed to a commit —
+// which are reported by the aborting threads shortly *after* the commit —
+// have time to arrive before the state is published.
+package guide
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gstm/internal/model"
+	"gstm/internal/trace"
+	"gstm/internal/txid"
+)
+
+// DefaultGateRetries is the paper's k: how many times the gate re-checks a
+// held-back thread before forcing progress.
+const DefaultGateRetries = 16
+
+// Controller implements tl2.Gate and tl2.EventSink. Install it as both on
+// a runtime (SetGate/SetSink) to obtain guided execution; it forwards
+// events to an optional inner sink so measurement can continue during
+// guided runs.
+type Controller struct {
+	table   atomic.Pointer[model.GuideTable]
+	retries int
+	inner   innerSink
+	onState func(trace.Key) // optional hook: fires when the tracked state updates
+
+	cur atomic.Pointer[stateBox] // current TTS key; nil until first commit
+
+	mu      sync.Mutex
+	pending pendingCommit
+	hasPend bool
+	aborts  map[uint64][]txid.Packed // byWV → aborted pairs (recent window)
+	seen    uint64                   // commits processed, for periodic pruning
+
+	held    atomic.Uint64 // gate decisions that delayed a thread
+	passed  atomic.Uint64 // gate decisions that let a thread through at once
+	escaped atomic.Uint64 // gate decisions forced through after K retries
+}
+
+type stateBox struct{ key trace.Key }
+
+type pendingCommit struct {
+	wv   uint64
+	pair txid.Packed
+}
+
+// innerSink mirrors tl2.EventSink without importing tl2 (avoids a cycle if
+// tl2 ever grows a dependency on guide configuration types).
+type innerSink interface {
+	TxCommit(p txid.Pair, wv uint64, aborts int)
+	TxAbort(p txid.Pair, byWV uint64, by txid.Pair, byKnown bool)
+}
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithGateRetries overrides the paper's k.
+func WithGateRetries(k int) Option {
+	return func(c *Controller) {
+		if k > 0 {
+			c.retries = k
+		}
+	}
+}
+
+// WithInnerSink tees all events to s after state tracking.
+func WithInnerSink(s innerSink) Option {
+	return func(c *Controller) { c.inner = s }
+}
+
+// WithStateCallback registers fn to be called (synchronously, under the
+// controller's lock) each time the tracked current state changes. The
+// adaptive controller uses it to learn transitions online.
+func WithStateCallback(fn func(trace.Key)) Option {
+	return func(c *Controller) { c.onState = fn }
+}
+
+// NewController returns a Controller over a compiled guide table.
+func NewController(table *model.GuideTable, opts ...Option) *Controller {
+	c := &Controller{
+		retries: DefaultGateRetries,
+		aborts:  make(map[uint64][]txid.Packed),
+	}
+	c.table.Store(table)
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// SetTable atomically replaces the guide table; in-flight gate checks see
+// either the old or the new table.
+func (c *Controller) SetTable(table *model.GuideTable) {
+	c.table.Store(table)
+}
+
+// CurrentState returns the tracked current state key and whether any state
+// has been observed yet.
+func (c *Controller) CurrentState() (trace.Key, bool) {
+	b := c.cur.Load()
+	if b == nil {
+		return "", false
+	}
+	return b.key, true
+}
+
+// GateStats reports how many gate arrivals passed immediately, were held at
+// least once, and were forced through by the K-retry escape hatch.
+func (c *Controller) GateStats() (passed, held, escaped uint64) {
+	return c.passed.Load(), c.held.Load(), c.escaped.Load()
+}
+
+// Arrive implements the gate (tl2.Gate). It blocks the calling thread for
+// up to retries re-checks while its pair is outside every high-probability
+// destination of the current state; an unknown current state, or exhausting
+// the retries, lets the thread proceed (Section V progress rule).
+func (c *Controller) Arrive(p txid.Pair) {
+	pk := p.Pack()
+	heldOnce := false
+	for i := 0; ; i++ {
+		b := c.cur.Load()
+		if b == nil {
+			// No state observed yet: execution has just begun.
+			break
+		}
+		allowed, known := c.table.Load().Allowed(b.key, pk)
+		if !known || allowed {
+			break
+		}
+		if i >= c.retries {
+			c.escaped.Add(1)
+			return
+		}
+		heldOnce = true
+		// Step aside so a thread that *is* in the destination set can run
+		// and change the current state. A scheduler yield hands the core to
+		// every other runnable worker once, which is exactly one "round" of
+		// other threads' progress; sleeping would over-hold (the OS timer
+		// granularity dwarfs a transaction) and serialize the program.
+		runtime.Gosched()
+	}
+	if heldOnce {
+		c.held.Add(1)
+	} else {
+		c.passed.Add(1)
+	}
+}
+
+// TxCommit implements tl2.EventSink: it finalizes the previous pending
+// commit into the new current state, then makes this commit pending.
+func (c *Controller) TxCommit(p txid.Pair, wv uint64, aborts int) {
+	c.mu.Lock()
+	if c.hasPend {
+		ab := c.aborts[c.pending.wv]
+		delete(c.aborts, c.pending.wv)
+		st := trace.NewState(ab, c.pending.pair)
+		k := st.Key()
+		c.cur.Store(&stateBox{key: k})
+		if c.onState != nil {
+			c.onState(k)
+		}
+	}
+	c.pending = pendingCommit{wv: wv, pair: p.Pack()}
+	c.hasPend = true
+	c.seen++
+	if c.seen%1024 == 0 {
+		c.prune(wv)
+	}
+	c.mu.Unlock()
+
+	if c.inner != nil {
+		c.inner.TxCommit(p, wv, aborts)
+	}
+}
+
+// TxAbort implements tl2.EventSink: it records the abort against the
+// commit that caused it so the state finalized for that commit includes it.
+func (c *Controller) TxAbort(p txid.Pair, byWV uint64, by txid.Pair, byKnown bool) {
+	c.mu.Lock()
+	c.aborts[byWV] = append(c.aborts[byWV], p.Pack())
+	c.mu.Unlock()
+
+	if c.inner != nil {
+		c.inner.TxAbort(p, byWV, by, byKnown)
+	}
+}
+
+// prune drops abort records for commits far older than wv; their states
+// have long been finalized. Called with mu held.
+func (c *Controller) prune(wv uint64) {
+	const window = 256
+	for k := range c.aborts {
+		if k+window < wv {
+			delete(c.aborts, k)
+		}
+	}
+}

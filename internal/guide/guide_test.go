@@ -1,0 +1,212 @@
+package guide
+
+import (
+	"sync"
+	"testing"
+
+	"gstm/internal/model"
+	"gstm/internal/tl2"
+	"gstm/internal/trace"
+	"gstm/internal/txid"
+)
+
+func pk(txn, thread int) txid.Packed {
+	return txid.Pair{Txn: txid.TxnID(txn), Thread: txid.ThreadID(thread)}.Pack()
+}
+
+func pair(txn, thread int) txid.Pair {
+	return txid.Pair{Txn: txid.TxnID(txn), Thread: txid.ThreadID(thread)}
+}
+
+// buildTable builds a table where from state A={<a0>} the only
+// high-probability destination is B={<b1>}, and C={<c2>} is low
+// probability.
+func buildTable(t *testing.T) *model.GuideTable {
+	t.Helper()
+	a := trace.NewState(nil, pk(0, 0))
+	b := trace.NewState(nil, pk(1, 1))
+	c := trace.NewState(nil, pk(2, 2))
+	var runs [][]trace.State
+	for i := 0; i < 40; i++ {
+		runs = append(runs, []trace.State{a, b})
+	}
+	runs = append(runs, []trace.State{a, c})
+	m := model.Build(2, runs)
+	return model.Compile(m, 4)
+}
+
+func TestArriveBeforeAnyState(t *testing.T) {
+	c := NewController(buildTable(t))
+	// Must not block: no state observed yet.
+	c.Arrive(pair(2, 2))
+	passed, held, escaped := c.GateStats()
+	if passed != 1 || held != 0 || escaped != 0 {
+		t.Fatalf("stats = %d/%d/%d", passed, held, escaped)
+	}
+}
+
+func TestStateTrackingOneCommitDelay(t *testing.T) {
+	c := NewController(buildTable(t))
+	if _, ok := c.CurrentState(); ok {
+		t.Fatal("state before any commit")
+	}
+	c.TxCommit(pair(0, 0), 1, 0)
+	if _, ok := c.CurrentState(); ok {
+		t.Fatal("state finalized too early (no delay)")
+	}
+	c.TxCommit(pair(1, 1), 2, 0)
+	k, ok := c.CurrentState()
+	if !ok {
+		t.Fatal("no state after second commit")
+	}
+	want := trace.NewState(nil, pk(0, 0)).Key()
+	if k != want {
+		t.Fatalf("current state = %q, want %q", k, want)
+	}
+}
+
+func TestAbortsFoldedIntoState(t *testing.T) {
+	c := NewController(buildTable(t))
+	c.TxCommit(pair(1, 7), 5, 0)               // pending commit wv=5
+	c.TxAbort(pair(0, 6), 5, pair(1, 7), true) // abort attributed to wv=5
+	c.TxCommit(pair(0, 0), 6, 0)               // finalizes wv=5's state
+	k, ok := c.CurrentState()
+	if !ok {
+		t.Fatal("no state")
+	}
+	want := trace.NewState([]txid.Packed{pk(0, 6)}, pk(1, 7))
+	if k != want.Key() {
+		t.Fatalf("state = %q, want %q (the paper's {<a6>, <b7>})", k, want.Key())
+	}
+}
+
+func TestGateBlocksLowProbabilityPair(t *testing.T) {
+	c := NewController(buildTable(t), WithGateRetries(3))
+	// Drive current state to A.
+	c.TxCommit(pair(0, 0), 1, 0)
+	c.TxCommit(pair(9, 9), 2, 0)
+	k, _ := c.CurrentState()
+	wantA := trace.NewState(nil, pk(0, 0)).Key()
+	if k != wantA {
+		t.Fatalf("setup: current state %q, want %q", k, wantA)
+	}
+	// Pair (2,2) — only in low-probability destination C — must be held
+	// and eventually escape.
+	c.Arrive(pair(2, 2))
+	_, _, escaped := c.GateStats()
+	if escaped != 1 {
+		t.Fatalf("escaped = %d, want 1", escaped)
+	}
+	// Pair (1,1) participates in B, the high-probability destination.
+	c.Arrive(pair(1, 1))
+	passed, _, _ := c.GateStats()
+	if passed != 1 {
+		t.Fatalf("passed = %d, want 1", passed)
+	}
+}
+
+func TestUnknownStateNeverBlocks(t *testing.T) {
+	c := NewController(buildTable(t), WithGateRetries(1000000))
+	// Current state becomes {<z9>}, absent from the model.
+	c.TxCommit(pair(25, 9), 1, 0)
+	c.TxCommit(pair(25, 9), 2, 0)
+	done := make(chan struct{})
+	go func() {
+		c.Arrive(pair(2, 2)) // would block ~forever if unknown states gated
+		close(done)
+	}()
+	<-done
+}
+
+type countSink struct {
+	mu              sync.Mutex
+	commits, aborts int
+}
+
+func (s *countSink) TxCommit(p txid.Pair, wv uint64, aborts int) {
+	s.mu.Lock()
+	s.commits++
+	s.mu.Unlock()
+}
+
+func (s *countSink) TxAbort(p txid.Pair, byWV uint64, by txid.Pair, known bool) {
+	s.mu.Lock()
+	s.aborts++
+	s.mu.Unlock()
+}
+
+func TestInnerSinkTee(t *testing.T) {
+	inner := &countSink{}
+	c := NewController(buildTable(t), WithInnerSink(inner))
+	c.TxCommit(pair(0, 0), 1, 0)
+	c.TxAbort(pair(1, 1), 1, pair(0, 0), true)
+	if inner.commits != 1 || inner.aborts != 1 {
+		t.Fatalf("tee lost events: %d/%d", inner.commits, inner.aborts)
+	}
+}
+
+func TestPruneDropsStaleAborts(t *testing.T) {
+	c := NewController(buildTable(t))
+	c.TxAbort(pair(1, 1), 1, pair(0, 0), true)
+	for wv := uint64(2); wv < 2100; wv++ {
+		c.TxCommit(pair(0, 0), wv, 0)
+	}
+	c.mu.Lock()
+	n := len(c.aborts)
+	c.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("abort map grew to %d entries; prune failed", n)
+	}
+}
+
+// TestGuidedEndToEnd wires a Controller into a real TL2 runtime and checks
+// that guided execution still completes all work correctly.
+func TestGuidedEndToEnd(t *testing.T) {
+	// Profile phase: run a contended counter workload, collect the trace.
+	profileRT := tl2.New(tl2.Config{Interleave: 4})
+	col := trace.NewCollector()
+	profileRT.SetSink(col)
+	run := func(rt *tl2.Runtime, v *tl2.Var[int]) {
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(id txid.ThreadID) {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					_ = rt.Atomic(id, txid.TxnID(int(id)%2), func(tx *tl2.Tx) error {
+						tl2.Write(tx, v, tl2.Read(tx, v)+1)
+						return nil
+					})
+				}
+			}(txid.ThreadID(w))
+		}
+		wg.Wait()
+	}
+	v1 := tl2.NewVar(0)
+	run(profileRT, v1)
+	tr := col.Finalize()
+	if tr.Commits != 400 {
+		t.Fatalf("profile commits = %d", tr.Commits)
+	}
+
+	// Model + guided phase.
+	m := model.BuildFromTraces(4, []*trace.Trace{tr})
+	if m.NumStates() == 0 {
+		t.Fatal("model is empty")
+	}
+	table := model.Compile(m, 4)
+	guidedRT := tl2.New(tl2.Config{Interleave: 4})
+	inner := &countSink{}
+	ctrl := NewController(table, WithInnerSink(inner))
+	guidedRT.SetSink(ctrl)
+	guidedRT.SetGate(ctrl)
+
+	v2 := tl2.NewVar(0)
+	run(guidedRT, v2)
+	if got := v2.Peek(); got != 400 {
+		t.Fatalf("guided counter = %d, want 400 (guidance broke correctness)", got)
+	}
+	if inner.commits != 400 {
+		t.Fatalf("inner sink commits = %d", inner.commits)
+	}
+}

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"gstm"
+	"gstm/internal/cm"
+	"gstm/internal/stamp"
+	"gstm/internal/stats"
+)
+
+// PolicyFactory builds a transaction-start scheduler (and its event
+// observer) for a measurement run; nil values mean unscheduled execution.
+type PolicyFactory func(threads int) (gstm.Scheduler, gstm.Observer)
+
+// MeasureScheduler measures one configuration of w under an arbitrary
+// scheduling policy, using the same protocol as the default/guided sides
+// of RunBenchmark.
+func MeasureScheduler(w stamp.Workload, cfg Config, factory PolicyFactory) (*SideResult, error) {
+	cfg = cfg.Normalize()
+	sys := gstm.NewSystem(gstm.Config{Threads: cfg.Threads, Interleave: cfg.Interleave})
+	if factory != nil {
+		gate, obs := factory(cfg.Threads)
+		sys.SetScheduler(gate, obs)
+	}
+	return measureSide(sys, w, cfg)
+}
+
+// PolicyComparison measures a workload under the built-in scheduling
+// policies — unmanaged, the three contention managers from the paper's
+// Related Work, and the DeSTM-style round-robin — and, separately, guided
+// execution, so the paper's claim that "CMs … only lead to higher
+// variance" can be tested directly (see bench_test.go and EXPERIMENTS.md).
+type PolicyComparison struct {
+	Workload string
+	Config   Config
+	Rows     []PolicyRow
+}
+
+// PolicyRow is one policy's measurements.
+type PolicyRow struct {
+	Policy string
+	Side   *SideResult
+}
+
+// BuiltinPolicies returns the named non-guidance policies.
+func BuiltinPolicies() map[string]PolicyFactory {
+	return map[string]PolicyFactory{
+		"default": nil,
+		"polite": func(int) (gstm.Scheduler, gstm.Observer) {
+			p := cm.NewPolite(0)
+			return p, p
+		},
+		"karma": func(int) (gstm.Scheduler, gstm.Observer) {
+			k := cm.NewKarma(0, 0)
+			return k, k
+		},
+		"greedy": func(int) (gstm.Scheduler, gstm.Observer) {
+			g := cm.NewGreedy(0)
+			return g, g
+		},
+		"roundrobin": func(threads int) (gstm.Scheduler, gstm.Observer) {
+			rr := cm.NewRoundRobin(threads, 0)
+			return rr, rr
+		},
+	}
+}
+
+// policyOrder fixes the report row order.
+var policyOrder = []string{"default", "polite", "karma", "greedy", "roundrobin", "guided"}
+
+// ComparePolicies runs the comparison, including a guided row trained per
+// RunBenchmark's protocol.
+func ComparePolicies(w stamp.Workload, cfg Config) (*PolicyComparison, error) {
+	cfg = cfg.Normalize()
+	out := &PolicyComparison{Workload: w.Name(), Config: cfg}
+
+	builtin := BuiltinPolicies()
+	for _, name := range policyOrder {
+		if name == "guided" {
+			res, err := RunBenchmark(w, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("policy guided: %w", err)
+			}
+			g := res.Guided
+			out.Rows = append(out.Rows, PolicyRow{Policy: "guided", Side: &g})
+			continue
+		}
+		factory := builtin[name]
+		side, err := MeasureScheduler(w, cfg, factory)
+		if err != nil {
+			return nil, fmt.Errorf("policy %s: %w", name, err)
+		}
+		out.Rows = append(out.Rows, PolicyRow{Policy: name, Side: side})
+	}
+	return out, nil
+}
+
+// Write renders the comparison: mean per-thread execution-time std-dev,
+// non-determinism, abort ratio and mean program time per policy.
+func (pc *PolicyComparison) Write(w io.Writer) {
+	fmt.Fprintf(w, "POLICY COMPARISON (%s, %d threads): per-thread time stddev / non-determinism / abort ratio / mean time\n",
+		pc.Workload, pc.Config.Threads)
+	var base float64
+	for _, row := range pc.Rows {
+		meanStd := stats.Mean(row.Side.ThreadStd)
+		meanTime := row.Side.MeanProgramTime()
+		if row.Policy == "default" {
+			base = meanTime
+		}
+		slow := 0.0
+		if base > 0 {
+			slow = meanTime / base
+		}
+		fmt.Fprintf(w, "  %-10s stddev=%8.3fms  nd=%5d  aborts/commit=%6.3f  time=%8.2fms (%.2fx)\n",
+			row.Policy, meanStd*1e3, row.Side.NonDeterminism,
+			row.Side.AbortRatio(), meanTime*1e3, slow)
+	}
+}

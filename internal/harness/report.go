@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Suite is a set of benchmark results keyed by (app, threads), holding
+// everything needed to print the paper's tables and figures.
+type Suite struct {
+	results map[suiteKey]*Result
+}
+
+type suiteKey struct {
+	app     string
+	threads int
+}
+
+// NewSuite returns an empty result suite.
+func NewSuite() *Suite { return &Suite{results: make(map[suiteKey]*Result)} }
+
+// Add stores r in the suite.
+func (s *Suite) Add(r *Result) {
+	s.results[suiteKey{app: r.App, threads: r.Config.Threads}] = r
+}
+
+// Get returns the result for (app, threads), or nil.
+func (s *Suite) Get(app string, threads int) *Result {
+	return s.results[suiteKey{app: app, threads: threads}]
+}
+
+// apps returns the distinct application names in table order.
+func (s *Suite) apps() []string {
+	seen := map[string]bool{}
+	var out []string
+	for k := range s.results {
+		if !seen[k.app] {
+			seen[k.app] = true
+			out = append(out, k.app)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// threadCounts returns the distinct thread counts ascending.
+func (s *Suite) threadCounts() []int {
+	seen := map[int]bool{}
+	var out []int
+	for k := range s.results {
+		if !seen[k.threads] {
+			seen[k.threads] = true
+			out = append(out, k.threads)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (s *Suite) perThreadsCell(app string, threads int, f func(*Result) string) string {
+	r := s.Get(app, threads)
+	if r == nil {
+		return "-"
+	}
+	return f(r)
+}
+
+// WriteTableI prints the model analyzer guidance metric (lower is better).
+func (s *Suite) WriteTableI(w io.Writer) {
+	fmt.Fprintln(w, "TABLE I: MODEL ANALYZER GUIDANCE METRIC PERCENTAGE (LOWER IS BETTER)")
+	s.writePerApp(w, func(r *Result) string { return fmt.Sprintf("%.0f", r.Report.Metric) })
+}
+
+// WriteTableIII prints the number of states in each model.
+func (s *Suite) WriteTableIII(w io.Writer) {
+	fmt.Fprintln(w, "TABLE III: THE NUMBER OF STATES IN THE MODEL OF APPLICATION")
+	s.writePerApp(w, func(r *Result) string { return fmt.Sprintf("%d", r.Model.NumStates()) })
+}
+
+// WriteTableIV prints the average percentage improvement in the abort tail
+// distribution.
+func (s *Suite) WriteTableIV(w io.Writer) {
+	fmt.Fprintln(w, "TABLE IV: AVERAGE PERCENTAGE IMPROVEMENT IN THE TAIL DISTRIBUTION OF ABORTS")
+	s.writePerApp(w, func(r *Result) string { return fmt.Sprintf("%.0f%%", r.TailImprovement()) })
+}
+
+// writePerApp renders one row per app with one column per thread count.
+func (s *Suite) writePerApp(w io.Writer, cell func(*Result) string) {
+	threads := s.threadCounts()
+	fmt.Fprintf(w, "%-12s", "Application")
+	for _, th := range threads {
+		fmt.Fprintf(w, " %12s", fmt.Sprintf("%d threads", th))
+	}
+	fmt.Fprintln(w)
+	for _, app := range s.apps() {
+		fmt.Fprintf(w, "%-12s", app)
+		for _, th := range threads {
+			fmt.Fprintf(w, " %12s", s.perThreadsCell(app, th, cell))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteVarianceFigure prints per-thread percentage execution-time variance
+// improvement for the given thread count (Figure 4 for 8 threads, Figure 6
+// for 16).
+func (s *Suite) WriteVarianceFigure(w io.Writer, threads int) {
+	fmt.Fprintf(w, "FIG (variance): %% EXECUTION TIME VARIANCE IMPROVEMENT PER THREAD, %d THREADS\n", threads)
+	for _, app := range s.apps() {
+		r := s.Get(app, threads)
+		if r == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s", app)
+		for _, v := range r.VarianceImprovement() {
+			fmt.Fprintf(w, " %7.1f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteAbortTailFigure prints each thread's abort histogram for default
+// (dotted line in the paper) and guided (solid line) executions (Figures 5
+// and 7), in the artifact's "aborts:frequency" format.
+func (s *Suite) WriteAbortTailFigure(w io.Writer, threads int) {
+	fmt.Fprintf(w, "FIG (abort tails): ABORT DISTRIBUTION PER THREAD, %d THREADS (default | guided)\n", threads)
+	for _, app := range s.apps() {
+		r := s.Get(app, threads)
+		if r == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%s:\n", app)
+		for t := 0; t < threads; t++ {
+			fmt.Fprintf(w, "  thread %2d: %-40s | %s\n",
+				t, r.Default.AbortHist[t].String(), r.Guided.AbortHist[t].String())
+		}
+	}
+}
+
+// WriteNonDeterminismFigure prints the percentage reduction in
+// non-determinism, guided vs default (Figure 9).
+func (s *Suite) WriteNonDeterminismFigure(w io.Writer) {
+	fmt.Fprintln(w, "FIG 9: REDUCTION IN NON-DETERMINISM, GUIDED VS DEFAULT")
+	s.writePerApp(w, func(r *Result) string {
+		return fmt.Sprintf("%.1f%% (%d→%d)", r.NonDeterminismReduction(),
+			r.Default.NonDeterminism, r.Guided.NonDeterminism)
+	})
+}
+
+// WriteSlowdownFigure prints the slowdown of guided vs default execution
+// (Figure 10; values < 1 are speedups).
+func (s *Suite) WriteSlowdownFigure(w io.Writer) {
+	fmt.Fprintln(w, "FIG 10: SLOWDOWN OF GUIDED VS DEFAULT EXECUTION (X)")
+	s.writePerApp(w, func(r *Result) string { return fmt.Sprintf("%.2fx", r.Slowdown()) })
+}
+
+// WriteSummary prints one compact line per result: the headline numbers of
+// the whole experiment.
+func (s *Suite) WriteSummary(w io.Writer) {
+	fmt.Fprintln(w, "SUMMARY (per app/threads): metric, states, mean variance improvement, ND reduction, tail improvement, slowdown")
+	for _, th := range s.threadCounts() {
+		for _, app := range s.apps() {
+			r := s.Get(app, th)
+			if r == nil {
+				continue
+			}
+			vi := r.VarianceImprovement()
+			sum := 0.0
+			for _, v := range vi {
+				sum += v
+			}
+			fmt.Fprintf(w, "%-12s %2dt metric=%3.0f%% states=%6d var=%+6.1f%% nd=%+6.1f%% tail=%+6.1f%% slow=%.2fx guidable=%v\n",
+				app, th, r.Report.Metric, r.Model.NumStates(),
+				sum/float64(len(vi)), r.NonDeterminismReduction(),
+				r.TailImprovement(), r.Slowdown(), r.Report.Guidable)
+		}
+	}
+}
+
+// FormatAll renders every table and figure into one string (used by the
+// CLI's -all mode and by EXPERIMENTS.md generation).
+func (s *Suite) FormatAll() string {
+	var b strings.Builder
+	s.WriteTableI(&b)
+	b.WriteByte('\n')
+	s.WriteTableIII(&b)
+	b.WriteByte('\n')
+	s.WriteTableIV(&b)
+	b.WriteByte('\n')
+	for _, th := range s.threadCounts() {
+		s.WriteVarianceFigure(&b, th)
+		b.WriteByte('\n')
+		s.WriteAbortTailFigure(&b, th)
+		b.WriteByte('\n')
+	}
+	s.WriteNonDeterminismFigure(&b)
+	b.WriteByte('\n')
+	s.WriteSlowdownFigure(&b)
+	b.WriteByte('\n')
+	s.WriteSummary(&b)
+	return b.String()
+}

@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"gstm/internal/guide"
+	"gstm/internal/libtm"
+	"gstm/internal/model"
+	"gstm/internal/stats"
+	"gstm/internal/synquake"
+	"gstm/internal/trace"
+)
+
+// SynQuakeConfig parameterizes the Section VIII experiment.
+type SynQuakeConfig struct {
+	Threads     int
+	Players     int
+	TrainFrames int // paper: 1000 frames per training quest
+	TestFrames  int // paper: 10000 frames per test quest
+	TrainRuns   int // runs per training quest
+	MeasureRuns int // measured runs per side per quest (averaged, paper: 20)
+	Interleave  int
+	Tfactor     float64
+	GateRetries int
+	Seed        uint64
+}
+
+// Normalize fills defaults scaled for the test machine.
+func (c SynQuakeConfig) Normalize() SynQuakeConfig {
+	if c.Threads <= 0 {
+		c.Threads = 8
+	}
+	if c.Players <= 0 {
+		c.Players = 256
+	}
+	if c.TrainFrames <= 0 {
+		c.TrainFrames = 100
+	}
+	if c.TestFrames <= 0 {
+		c.TestFrames = 400
+	}
+	if c.TrainRuns <= 0 {
+		c.TrainRuns = 3
+	}
+	if c.MeasureRuns <= 0 {
+		c.MeasureRuns = 5
+	}
+	if c.Interleave == 0 {
+		c.Interleave = 6
+	}
+	if c.Tfactor <= 0 {
+		c.Tfactor = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xBADA55
+	}
+	return c
+}
+
+// SynQuakeQuestResult holds one test quest's paired measurements — the
+// three panels of Figures 11 and 12.
+type SynQuakeQuestResult struct {
+	Quest string
+
+	DefaultFrameStd float64 // std-dev of frame processing time (s)
+	GuidedFrameStd  float64
+
+	DefaultRateStd float64 // std-dev of the frame rate (frames/s)
+	GuidedRateStd  float64
+
+	DefaultAbortRatio float64
+	GuidedAbortRatio  float64
+
+	DefaultTotal float64 // total processing time (s)
+	GuidedTotal  float64
+}
+
+// FrameVarianceImprovement returns the % reduction in frame-RATE std-dev,
+// the quantity of Figures 11a/12a ("% improvement in frame Rate variance"):
+// the stability of the delivered frames-per-second, the measure a game
+// player experiences as jitter.
+func (r *SynQuakeQuestResult) FrameVarianceImprovement() float64 {
+	return stats.PercentImprovement(r.DefaultRateStd, r.GuidedRateStd)
+}
+
+// FrameTimeVarianceImprovement returns the % reduction in frame-TIME
+// std-dev, the absolute-milliseconds view also reported for transparency.
+func (r *SynQuakeQuestResult) FrameTimeVarianceImprovement() float64 {
+	return stats.PercentImprovement(r.DefaultFrameStd, r.GuidedFrameStd)
+}
+
+// AbortRatioReduction returns the % reduction in aborts per commit
+// (Figures 11b/12b).
+func (r *SynQuakeQuestResult) AbortRatioReduction() float64 {
+	return stats.PercentImprovement(r.DefaultAbortRatio, r.GuidedAbortRatio)
+}
+
+// Slowdown returns guided/default total time (Figures 11c/12c; < 1 is the
+// paper's "negative slowdown", a speedup).
+func (r *SynQuakeQuestResult) Slowdown() float64 {
+	return stats.Slowdown(r.DefaultTotal, r.GuidedTotal)
+}
+
+// SynQuakeResult is the complete Section VIII experiment outcome.
+type SynQuakeResult struct {
+	Config SynQuakeConfig
+	Model  *model.TSA
+	Report model.Report // Table V's guidance metric
+	Quests []SynQuakeQuestResult
+}
+
+// RunSynQuake trains the model on 4worst_case and 4moving and measures the
+// default and guided servers on 4quadrants and 4center_spread6.
+func RunSynQuake(cfg SynQuakeConfig) (*SynQuakeResult, error) {
+	cfg = cfg.Normalize()
+	res := &SynQuakeResult{Config: cfg}
+
+	// Train.
+	trainRT := libtm.New(libtm.Config{Interleave: cfg.Interleave})
+	col := trace.NewCollector()
+	trainRT.SetSink(col)
+	var traces []*trace.Trace
+	for _, q := range synquake.TrainingQuests(1024) {
+		for run := 0; run < cfg.TrainRuns; run++ {
+			g, err := synquake.NewGame(synquake.Config{
+				Threads: cfg.Threads, Players: cfg.Players, Frames: cfg.TrainFrames,
+				MapSize: 1024, Seed: cfg.Seed + uint64(run)*31, Interleave: cfg.Interleave,
+			}, q, trainRT)
+			if err != nil {
+				return nil, fmt.Errorf("synquake train %s: %w", q.Name(), err)
+			}
+			if _, err := g.Run(); err != nil {
+				return nil, fmt.Errorf("synquake train %s run %d: %w", q.Name(), run, err)
+			}
+			if err := g.Validate(); err != nil {
+				return nil, fmt.Errorf("synquake train %s run %d: %w", q.Name(), run, err)
+			}
+			traces = append(traces, col.Finalize())
+		}
+	}
+	res.Model = model.BuildFromTraces(cfg.Threads, traces)
+	res.Report = model.DefaultAnalyzer().Analyze(res.Model)
+
+	// Measure both test quests.
+	table := model.Compile(res.Model, cfg.Tfactor)
+	for _, q := range synquake.TestQuests(1024) {
+		qr := SynQuakeQuestResult{Quest: q.Name()}
+
+		// Each side is measured over MeasureRuns paired runs; the reported
+		// frame-time std-dev, abort ratio and total time are means over
+		// runs, following the paper's 20-run averaging protocol.
+		run := func(guided bool) (frameStd, rateStd, abortRatio, total float64, err error) {
+			for rep := 0; rep < cfg.MeasureRuns; rep++ {
+				rt := libtm.New(libtm.Config{Interleave: cfg.Interleave})
+				if guided {
+					var opts []guide.Option
+					if cfg.GateRetries > 0 {
+						opts = append(opts, guide.WithGateRetries(cfg.GateRetries))
+					}
+					ctrl := guide.NewController(table, opts...)
+					rt.SetSink(ctrl)
+					rt.SetGate(ctrl)
+				}
+				g, err := synquake.NewGame(synquake.Config{
+					Threads: cfg.Threads, Players: cfg.Players, Frames: cfg.TestFrames,
+					MapSize: 1024, Seed: cfg.Seed + 777 + uint64(rep)*101, Interleave: cfg.Interleave,
+				}, q, rt)
+				if err != nil {
+					return 0, 0, 0, 0, err
+				}
+				r, err := g.Run()
+				if err != nil {
+					return 0, 0, 0, 0, err
+				}
+				if err := g.Validate(); err != nil {
+					return 0, 0, 0, 0, err
+				}
+				sd, err := stats.StdDev(r.FrameTimes)
+				if err != nil {
+					return 0, 0, 0, 0, err
+				}
+				rates := make([]float64, len(r.FrameTimes))
+				for i, ft := range r.FrameTimes {
+					if ft > 0 {
+						rates[i] = 1 / ft
+					}
+				}
+				rsd, err := stats.StdDev(rates)
+				if err != nil {
+					return 0, 0, 0, 0, err
+				}
+				frameStd += sd
+				rateStd += rsd
+				abortRatio += r.AbortRatio()
+				total += r.TotalTime()
+			}
+			n := float64(cfg.MeasureRuns)
+			return frameStd / n, rateStd / n, abortRatio / n, total / n, nil
+		}
+
+		var err error
+		if qr.DefaultFrameStd, qr.DefaultRateStd, qr.DefaultAbortRatio, qr.DefaultTotal, err = run(false); err != nil {
+			return nil, fmt.Errorf("synquake %s default: %w", q.Name(), err)
+		}
+		if qr.GuidedFrameStd, qr.GuidedRateStd, qr.GuidedAbortRatio, qr.GuidedTotal, err = run(true); err != nil {
+			return nil, fmt.Errorf("synquake %s guided: %w", q.Name(), err)
+		}
+		res.Quests = append(res.Quests, qr)
+	}
+	return res, nil
+}
+
+// WriteTableV prints the SynQuake guidance metric (Table V).
+func (r *SynQuakeResult) WriteTableV(w io.Writer) {
+	fmt.Fprintln(w, "TABLE V: SYNQUAKE GUIDANCE METRIC (LOWER IS BETTER)")
+	fmt.Fprintf(w, "%-12s %d threads\n", "Application", r.Config.Threads)
+	fmt.Fprintf(w, "%-12s %.0f   (states: %d, guidable: %v)\n",
+		"SynQuake", r.Report.Metric, r.Model.NumStates(), r.Report.Guidable)
+}
+
+// WriteFigures prints the three panels for each test quest (Figures 11 and
+// 12).
+func (r *SynQuakeResult) WriteFigures(w io.Writer) {
+	for _, q := range r.Quests {
+		fig := "FIG 11"
+		if q.Quest == "4center_spread6" {
+			fig = "FIG 12"
+		}
+		fmt.Fprintf(w, "%s (%s), %d threads:\n", fig, q.Quest, r.Config.Threads)
+		fmt.Fprintf(w, "  (a) frame-rate variance improvement: %+.1f%% (fps std %.0f -> %.0f; time std %.3fms -> %.3fms, %+.1f%%)\n",
+			q.FrameVarianceImprovement(), q.DefaultRateStd, q.GuidedRateStd,
+			q.DefaultFrameStd*1e3, q.GuidedFrameStd*1e3, q.FrameTimeVarianceImprovement())
+		fmt.Fprintf(w, "  (b) abort-ratio reduction:           %+.1f%% (%.3f -> %.3f)\n",
+			q.AbortRatioReduction(), q.DefaultAbortRatio, q.GuidedAbortRatio)
+		fmt.Fprintf(w, "  (c) slowdown:                        %.2fx (total %.2fs -> %.2fs)\n",
+			q.Slowdown(), q.DefaultTotal, q.GuidedTotal)
+	}
+}

@@ -1,0 +1,232 @@
+package libtm
+
+import (
+	"sync"
+	"testing"
+
+	"gstm/internal/txid"
+)
+
+func TestObjPeekReset(t *testing.T) {
+	o := NewObj("hello")
+	if o.Peek() != "hello" {
+		t.Fatal("Peek initial")
+	}
+	o.Reset("bye")
+	if o.Peek() != "bye" {
+		t.Fatal("Reset")
+	}
+}
+
+func TestVersionAdvancesPerCommit(t *testing.T) {
+	rt := New(Config{})
+	o := NewObj(0)
+	before := o.b.version.Load()
+	for i := 0; i < 3; i++ {
+		_ = rt.Atomic(0, 0, func(tx *Tx) error {
+			Write(tx, o, i)
+			return nil
+		})
+	}
+	if got := o.b.version.Load(); got != before+3 {
+		t.Fatalf("version advanced %d, want 3", got-before)
+	}
+}
+
+func TestReadOnlyTxLeavesVersion(t *testing.T) {
+	rt := New(Config{})
+	o := NewObj(1)
+	before := o.b.version.Load()
+	_ = rt.Atomic(0, 0, func(tx *Tx) error {
+		_ = Read(tx, o)
+		return nil
+	})
+	if o.b.version.Load() != before {
+		t.Fatal("read-only commit bumped the version")
+	}
+}
+
+func TestPessimisticReadBlocksOnWriter(t *testing.T) {
+	rt := New(Config{ReadMode: ReadPessimistic, WriteMode: WriteEncounterTime, MaxSpin: 4})
+	o := NewObj(0)
+	inWrite := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	first := true
+	go func() {
+		defer wg.Done()
+		_ = rt.Atomic(0, 0, func(tx *Tx) error {
+			Write(tx, o, 1)
+			if first {
+				first = false
+				close(inWrite)
+				<-release
+			}
+			return nil
+		})
+	}()
+	<-inWrite
+	// A pessimistic reader must abort (bounded spin) while the writer
+	// holds the object.
+	sawAbort := false
+	_ = rt.Atomic(1, 1, func(tx *Tx) error {
+		if tx.Attempt() >= 2 {
+			sawAbort = true
+			return nil // give up without reading
+		}
+		_ = Read(tx, o)
+		return nil
+	})
+	if !sawAbort {
+		t.Fatal("pessimistic reader never aborted on writer-held object")
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestOptimisticReadProceedsUnderWriter(t *testing.T) {
+	rt := New(Config{ReadMode: ReadOptimistic, WriteMode: WriteEncounterTime, MaxSpin: 1 << 16})
+	o := NewObj(7)
+	inWrite := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	first := true
+	go func() {
+		defer wg.Done()
+		_ = rt.Atomic(0, 0, func(tx *Tx) error {
+			Write(tx, o, 8)
+			if first {
+				first = false
+				close(inWrite)
+				<-release
+			}
+			return nil
+		})
+	}()
+	<-inWrite
+	// An optimistic reader sees the last committed value even while the
+	// writer holds its encounter-time lock.
+	var got int
+	if err := rt.Atomic(1, 1, func(tx *Tx) error {
+		got = Read(tx, o)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("optimistic read = %d, want pre-commit 7", got)
+	}
+	close(release)
+	wg.Wait()
+	if o.Peek() != 8 {
+		t.Fatal("writer's commit lost")
+	}
+}
+
+func TestSelfDoomCleared(t *testing.T) {
+	// A doomed attempt must not leak its doom flag into the retry.
+	rt := New(Config{})
+	o := NewObj(0)
+	readerStarted := make(chan struct{})
+	writerDone := make(chan struct{})
+	attempts := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = rt.Atomic(1, 1, func(tx *Tx) error {
+			attempts++
+			_ = Read(tx, o)
+			if attempts == 1 {
+				close(readerStarted)
+				<-writerDone
+			}
+			Write(tx, o, 100+attempts)
+			return nil
+		})
+	}()
+	<-readerStarted
+	_ = rt.Atomic(0, 0, func(tx *Tx) error {
+		Write(tx, o, 42)
+		return nil
+	})
+	close(writerDone)
+	wg.Wait()
+	if attempts < 2 {
+		t.Fatalf("attempts = %d", attempts)
+	}
+	if got := o.Peek(); got != 100+attempts {
+		t.Fatalf("final = %d, want %d (retry must eventually commit)", got, 100+attempts)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	rt := New(Config{})
+	o := NewObj(0)
+	for i := 0; i < 5; i++ {
+		_ = rt.Atomic(0, 0, func(tx *Tx) error {
+			Write(tx, o, i)
+			return nil
+		})
+	}
+	c, _ := rt.Stats()
+	if c != 5 {
+		t.Fatalf("commits = %d", c)
+	}
+	rt.ResetStats()
+	if c, a := rt.Stats(); c != 0 || a != 0 {
+		t.Fatalf("after reset %d/%d", c, a)
+	}
+}
+
+func TestConfigNormalizeDefaults(t *testing.T) {
+	cfg := Config{}.Normalize()
+	if cfg.MaxSpin <= 0 || cfg.RegistryCapacity <= 0 {
+		t.Fatalf("defaults missing: %+v", cfg)
+	}
+	if cfg.ReadMode != ReadOptimistic || cfg.WriteMode != WriteCommitTime || cfg.Resolution != AbortReaders {
+		t.Fatal("zero config must be the paper's fully-optimistic abort-readers")
+	}
+	if rt := New(Config{}); rt.Config().MaxSpin == 0 {
+		t.Fatal("runtime did not normalize config")
+	}
+}
+
+func TestNonConflictPanicPropagatesLibTM(t *testing.T) {
+	rt := New(Config{})
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	_ = rt.Atomic(0, 0, func(tx *Tx) error { panic("boom") })
+}
+
+func TestManyObjectsDisjointNoAborts(t *testing.T) {
+	rt := New(Config{})
+	objs := make([]*Obj[int], 8)
+	for i := range objs {
+		objs[i] = NewObj(0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = rt.Atomic(txid.ThreadID(id), 0, func(tx *Tx) error {
+					Write(tx, objs[id], Read(tx, objs[id])+1)
+					return nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, o := range objs {
+		if o.Peek() != 100 {
+			t.Fatalf("obj %d = %d", i, o.Peek())
+		}
+	}
+}

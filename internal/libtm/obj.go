@@ -1,0 +1,103 @@
+package libtm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// objBase is the non-generic core of a transactional object: its writer
+// lock, visible-reader list and the type-erased publish hook. The reader
+// list is guarded by a small mutex; LibTM's visible readers are inherently
+// a shared structure and the experiments run on a single core, where a
+// short critical section costs less than a lock-free multi-writer set.
+type objBase struct {
+	mu      sync.Mutex
+	writer  *txState              // commit-lock holder, nil when free
+	readers map[*txState]struct{} // registered active readers
+	version atomic.Uint64
+	apply   func(boxed any)
+}
+
+// Obj is a transactional object holding a value of type T, the
+// object-granularity unit of LibTM conflict detection (SynQuake wraps each
+// game entity and spatial cell in one).
+type Obj[T any] struct {
+	b objBase
+	p atomic.Pointer[T]
+}
+
+// NewObj returns an object initialized to val.
+func NewObj[T any](val T) *Obj[T] {
+	o := &Obj[T]{}
+	o.p.Store(&val)
+	o.b.readers = make(map[*txState]struct{})
+	o.b.apply = func(boxed any) { o.p.Store(boxed.(*T)) }
+	return o
+}
+
+// Peek loads the current value non-transactionally (setup and verification
+// only).
+func (o *Obj[T]) Peek() T { return *o.p.Load() }
+
+// Reset stores val non-transactionally (setup only).
+func (o *Obj[T]) Reset(val T) { o.p.Store(&val) }
+
+// registerReader adds tx to the object's visible-reader list. In
+// pessimistic read mode it refuses while a writer holds the object.
+func (b *objBase) registerReader(tx *txState, pessimistic bool) (ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if pessimistic && b.writer != nil && b.writer != tx {
+		return false
+	}
+	b.readers[tx] = struct{}{}
+	return true
+}
+
+// deregisterReader removes tx from the reader list.
+func (b *objBase) deregisterReader(tx *txState) {
+	b.mu.Lock()
+	delete(b.readers, tx)
+	b.mu.Unlock()
+}
+
+// tryLockWriter attempts to make tx the object's writer. It fails when
+// another transaction holds the write lock.
+func (b *objBase) tryLockWriter(tx *txState) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.writer != nil && b.writer != tx {
+		return false
+	}
+	b.writer = tx
+	return true
+}
+
+// unlockWriter releases tx's write lock if it holds it.
+func (b *objBase) unlockWriter(tx *txState) {
+	b.mu.Lock()
+	if b.writer == tx {
+		b.writer = nil
+	}
+	b.mu.Unlock()
+}
+
+// resolveReaders applies the writer/reader resolution policy for writer tx:
+// with abortReaders it dooms every other registered reader (recording tx's
+// commit sequence as the cause) and reports success; with wait-for-readers
+// it reports whether the reader list (excluding tx) is empty, leaving the
+// waiting to the caller's bounded loop.
+func (b *objBase) resolveReaders(tx *txState, abortReaders bool, wv uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for r := range b.readers {
+		if r == tx {
+			continue
+		}
+		if !abortReaders {
+			return false
+		}
+		r.doom(wv, tx.self)
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+package libtm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gstm/internal/commitreg"
+	"gstm/internal/txid"
+)
+
+// Runtime is a LibTM STM instance.
+type Runtime struct {
+	cfg  Config
+	reg  *commitreg.Registry
+	sink atomic.Pointer[sinkBox]
+	gate atomic.Pointer[gateBox]
+	pool sync.Pool
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+type sinkBox struct{ s EventSink }
+type gateBox struct{ g Gate }
+
+// New returns a Runtime with cfg (zero fields defaulted: the paper's fully
+// optimistic detection with abort-readers resolution).
+func New(cfg Config) *Runtime {
+	rt := &Runtime{cfg: cfg.Normalize()}
+	rt.reg = commitreg.New(rt.cfg.RegistryCapacity)
+	rt.pool.New = func() any { return &Tx{} }
+	return rt
+}
+
+// Config returns the runtime's configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// SetSink installs (or removes, with nil) the instrumentation sink.
+func (rt *Runtime) SetSink(s EventSink) {
+	if s == nil {
+		rt.sink.Store(nil)
+		return
+	}
+	rt.sink.Store(&sinkBox{s: s})
+}
+
+// SetGate installs (or removes, with nil) the transaction-start gate.
+func (rt *Runtime) SetGate(g Gate) {
+	if g == nil {
+		rt.gate.Store(nil)
+		return
+	}
+	rt.gate.Store(&gateBox{g: g})
+}
+
+// Stats returns cumulative committed transactions and aborted attempts.
+func (rt *Runtime) Stats() (commits, aborts uint64) {
+	return rt.commits.Load(), rt.aborts.Load()
+}
+
+// ResetStats zeroes the counters.
+func (rt *Runtime) ResetStats() {
+	rt.commits.Store(0)
+	rt.aborts.Store(0)
+}
+
+// Atomic executes fn transactionally as transaction site txn on worker
+// thread, retrying on conflicts. A non-nil error from fn aborts the attempt
+// and is returned without retry. Atomic must not be nested.
+func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
+	self := txid.Pair{Txn: txn, Thread: thread}
+	tx := rt.pool.Get().(*Tx)
+	defer rt.pool.Put(tx)
+
+	for attempt := 0; ; attempt++ {
+		if gb := rt.gate.Load(); gb != nil {
+			gb.g.Arrive(self)
+		}
+		tx.reset(rt, self, attempt)
+
+		err, c := runBody(tx, fn)
+		if c != nil {
+			tx.cleanup()
+			rt.noteAbort(self, c)
+			backoff(attempt)
+			continue
+		}
+		if err != nil {
+			tx.cleanup()
+			return err
+		}
+		wv, c, ok := tx.commit()
+		if !ok {
+			tx.cleanup()
+			rt.noteAbort(self, c)
+			backoff(attempt)
+			continue
+		}
+		rt.commits.Add(1)
+		if sb := rt.sink.Load(); sb != nil {
+			sb.s.TxCommit(self, wv, attempt)
+		}
+		return nil
+	}
+}
+
+// noteAbort counts and reports an abort. Dooming gives exact attribution;
+// lock-wait conflicts fall back to the most recent commit.
+func (rt *Runtime) noteAbort(self txid.Pair, c *conflict) {
+	rt.aborts.Add(1)
+	sb := rt.sink.Load()
+	if sb == nil {
+		return
+	}
+	if c.byKnown && c.byWV != 0 {
+		sb.s.TxAbort(self, c.byWV, c.by, true)
+		return
+	}
+	guessWV := seq.Load()
+	by, ok := rt.reg.Lookup(guessWV)
+	if !ok {
+		by = txid.Pair{}
+	}
+	sb.s.TxAbort(self, guessWV, by, false)
+}
+
+// backoff mirrors tl2's yield-based contention backoff.
+func backoff(attempt int) {
+	yields := 0
+	switch {
+	case attempt < 2:
+	case attempt < 8:
+		yields = 1
+	case attempt < 32:
+		yields = 4
+	default:
+		yields = 16
+	}
+	for i := 0; i < yields; i++ {
+		runtime.Gosched()
+	}
+}
+
+// runBody executes fn, converting a conflict panic into a result while
+// letting other panics propagate.
+func runBody(tx *Tx, fn func(*Tx) error) (err error, c *conflict) {
+	defer func() {
+		if r := recover(); r != nil {
+			if cc, ok := r.(*conflict); ok {
+				c = cc
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn(tx), nil
+}

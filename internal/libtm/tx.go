@@ -1,0 +1,243 @@
+package libtm
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"gstm/internal/txid"
+)
+
+// txState is the shared-visibility part of a transaction attempt: other
+// transactions find it in reader lists and doom it through it.
+type txState struct {
+	self     txid.Pair
+	doomed   atomic.Bool
+	doomWV   atomic.Uint64
+	doomPair atomic.Uint32 // txid.Packed of the committing writer
+}
+
+// doom marks the transaction aborted by the commit (wv, by). Only the first
+// doom records attribution.
+func (st *txState) doom(wv uint64, by txid.Pair) {
+	if st.doomed.CompareAndSwap(false, true) {
+		st.doomWV.Store(wv)
+		st.doomPair.Store(uint32(by.Pack()))
+	}
+}
+
+// conflict carries abort attribution out of a transaction body.
+type conflict struct {
+	byWV    uint64
+	by      txid.Pair
+	byKnown bool
+}
+
+// Tx is one attempt of a LibTM transaction.
+type Tx struct {
+	rt      *Runtime
+	st      *txState
+	reads   []*objBase
+	writes  map[*objBase]any
+	locked  []*objBase // write locks held (encounter-time and commit-time)
+	attempt int
+	rng     uint64
+}
+
+func (tx *Tx) reset(rt *Runtime, self txid.Pair, attempt int) {
+	tx.rt = rt
+	tx.st = &txState{self: self} // fresh shared state: old dooms must not leak
+	tx.reads = tx.reads[:0]
+	if tx.writes == nil {
+		tx.writes = make(map[*objBase]any, 8)
+	} else {
+		clear(tx.writes)
+	}
+	tx.locked = tx.locked[:0]
+	tx.attempt = attempt
+	if tx.rng == 0 {
+		tx.rng = rngSeq.Add(0x9e3779b97f4a7c15) | 1
+	}
+}
+
+// rngSeq seeds per-Tx yield generators (see tl2 for rationale).
+var rngSeq atomic.Uint64
+
+// Self returns the attempt's (transaction, thread) pair.
+func (tx *Tx) Self() txid.Pair { return tx.st.self }
+
+// Attempt returns the zero-based retry count.
+func (tx *Tx) Attempt() int { return tx.attempt }
+
+func (tx *Tx) maybeYield() {
+	n := tx.rt.cfg.Interleave
+	if n <= 0 {
+		return
+	}
+	tx.rng ^= tx.rng << 13
+	tx.rng ^= tx.rng >> 7
+	tx.rng ^= tx.rng << 17
+	if tx.rng%uint64(n) == 0 {
+		runtime.Gosched()
+	}
+}
+
+func (tx *Tx) abort(c *conflict) {
+	panic(c)
+}
+
+// checkDoomed aborts the attempt when a committing writer has doomed it.
+func (tx *Tx) checkDoomed() {
+	if tx.st.doomed.Load() {
+		tx.abort(&conflict{
+			byWV:    tx.st.doomWV.Load(),
+			by:      txid.Packed(tx.st.doomPair.Load()).Unpack(),
+			byKnown: true,
+		})
+	}
+}
+
+// readBase implements the LibTM read protocol: register as a visible
+// reader (blocking while a writer holds the object in pessimistic read
+// mode), load the value, then re-check the doom flag so a value published
+// after our registration can never enter the read set unnoticed.
+func (tx *Tx) readBase(b *objBase, load func() any) any {
+	tx.maybeYield()
+	tx.checkDoomed()
+	if boxed, ok := tx.writes[b]; ok {
+		return boxed
+	}
+	pess := tx.rt.cfg.ReadMode == ReadPessimistic
+	for spins := 0; !b.registerReader(tx.st, pess); spins++ {
+		if spins >= tx.rt.cfg.MaxSpin {
+			tx.abort(&conflict{})
+		}
+		runtime.Gosched()
+		tx.checkDoomed()
+	}
+	tx.reads = append(tx.reads, b)
+	val := load()
+	tx.checkDoomed()
+	return val
+}
+
+// Read returns o's value inside the transaction.
+func Read[T any](tx *Tx, o *Obj[T]) T {
+	boxed := tx.readBase(&o.b, func() any { return o.p.Load() })
+	return *(boxed.(*T))
+}
+
+// Write buffers val as tx's pending write to o. In encounter-time write
+// mode the object's write lock is acquired immediately.
+func Write[T any](tx *Tx, o *Obj[T], val T) {
+	tx.maybeYield()
+	tx.checkDoomed()
+	b := &o.b
+	if tx.rt.cfg.WriteMode == WriteEncounterTime {
+		if _, already := tx.writes[b]; !already {
+			tx.lockOne(b)
+		}
+	}
+	tx.writes[b] = &val
+}
+
+// lockOne acquires b's write lock with bounded spinning, aborting the
+// transaction on exhaustion.
+func (tx *Tx) lockOne(b *objBase) {
+	for spins := 0; ; spins++ {
+		if b.tryLockWriter(tx.st) {
+			tx.locked = append(tx.locked, b)
+			return
+		}
+		if spins >= tx.rt.cfg.MaxSpin {
+			tx.abort(&conflict{})
+		}
+		runtime.Gosched()
+		tx.checkDoomed()
+	}
+}
+
+// cleanup releases all write locks and reader registrations.
+func (tx *Tx) cleanup() {
+	for _, b := range tx.locked {
+		b.unlockWriter(tx.st)
+	}
+	tx.locked = tx.locked[:0]
+	for _, b := range tx.reads {
+		b.deregisterReader(tx.st)
+	}
+	tx.reads = tx.reads[:0]
+}
+
+// commit runs the LibTM commit protocol: acquire outstanding write locks,
+// draw the commit sequence number, resolve readers per the configured
+// policy, re-check our own doom flag, publish, release.
+func (tx *Tx) commit() (wv uint64, c *conflict, ok bool) {
+	if tx.st.doomed.Load() {
+		return 0, &conflict{
+			byWV:    tx.st.doomWV.Load(),
+			by:      txid.Packed(tx.st.doomPair.Load()).Unpack(),
+			byKnown: true,
+		}, false
+	}
+	if len(tx.writes) == 0 {
+		tx.cleanup()
+		return seq.Add(1), nil, true
+	}
+	if tx.rt.cfg.WriteMode == WriteCommitTime {
+		for b := range tx.writes {
+			if !tx.tryLockBounded(b) {
+				return 0, &conflict{}, false
+			}
+		}
+	}
+	wv = seq.Add(1)
+	abortReaders := tx.rt.cfg.Resolution == AbortReaders
+	for b := range tx.writes {
+		for spins := 0; !b.resolveReaders(tx.st, abortReaders, wv); spins++ {
+			// wait-for-readers: stall until this object's readers drain.
+			if spins >= tx.rt.cfg.MaxSpin {
+				return 0, &conflict{}, false
+			}
+			runtime.Gosched()
+			if tx.st.doomed.Load() {
+				return 0, &conflict{
+					byWV:    tx.st.doomWV.Load(),
+					by:      txid.Packed(tx.st.doomPair.Load()).Unpack(),
+					byKnown: true,
+				}, false
+			}
+		}
+	}
+	// A concurrent committer may have doomed us through an object we read;
+	// our dooms above are only undone by those readers retrying, which is
+	// the abort-readers policy's intended behaviour.
+	if tx.st.doomed.Load() {
+		return 0, &conflict{
+			byWV:    tx.st.doomWV.Load(),
+			by:      txid.Packed(tx.st.doomPair.Load()).Unpack(),
+			byKnown: true,
+		}, false
+	}
+	for b, boxed := range tx.writes {
+		b.apply(boxed)
+		b.version.Add(1)
+	}
+	tx.rt.reg.Record(wv, tx.st.self)
+	tx.cleanup()
+	return wv, nil, true
+}
+
+// tryLockBounded is lockOne without the panic path, for use during commit
+// where the caller owns cleanup.
+func (tx *Tx) tryLockBounded(b *objBase) bool {
+	for spins := 0; ; spins++ {
+		if b.tryLockWriter(tx.st) {
+			tx.locked = append(tx.locked, b)
+			return true
+		}
+		if spins >= tx.rt.cfg.MaxSpin {
+			return false
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,74 @@
+package model
+
+import "fmt"
+
+// Analyzer validates a model's fitness for guided execution (Section IV).
+// The guidance metric is the percentage ratio of the number of transition
+// states reachable under guidance (the Tfactor-thresholded destination set
+// S') to the number reachable unguided (all outbound states S), summed over
+// every state. A high metric means S ≈ S' — the bias guided execution needs
+// simply does not exist (the paper's ssca2 at 72%/57%).
+type Analyzer struct {
+	// Tfactor is the destination-set threshold divisor (paper default 4).
+	Tfactor float64
+
+	// MaxMetric is the guidance-metric rejection threshold in percent.
+	// The paper observes that above ~50 most transition states are high
+	// probability and guidance cannot help.
+	MaxMetric float64
+
+	// MinStates rejects models with too few states to encode any usable
+	// bias ("if the model contains too few states ... unfit").
+	MinStates int
+}
+
+// DefaultAnalyzer returns an Analyzer with the paper's parameters. The
+// state-count floor follows the paper's Table III, where the one rejected
+// benchmark (ssca2, "model only consists few states") has 59 states while
+// every accepted one has at least 445.
+func DefaultAnalyzer() Analyzer {
+	return Analyzer{Tfactor: 4, MaxMetric: 50, MinStates: 96}
+}
+
+// Report is the analyzer's verdict on a model.
+type Report struct {
+	States         int     // total states in the model (Table III)
+	BranchStates   int     // states with at least one outbound edge
+	GuidedStates   int     // Σ |S'| over all states
+	UnguidedStates int     // Σ |S| over all states
+	Metric         float64 // guidance metric percentage (Table I / Table V)
+	Guidable       bool
+	Reason         string // populated when !Guidable
+}
+
+// Analyze computes the guidance metric and the accept/reject decision.
+func (a Analyzer) Analyze(m *TSA) Report {
+	tf := a.Tfactor
+	if tf <= 0 {
+		tf = 4
+	}
+	r := Report{States: m.NumStates()}
+	for _, k := range m.Keys() {
+		all := m.Edges(k)
+		if len(all) == 0 {
+			continue
+		}
+		r.BranchStates++
+		r.UnguidedStates += len(all)
+		r.GuidedStates += len(m.destinations(k, tf))
+	}
+	if r.UnguidedStates > 0 {
+		r.Metric = float64(r.GuidedStates) / float64(r.UnguidedStates) * 100
+	}
+	switch {
+	case r.States < a.MinStates:
+		r.Reason = fmt.Sprintf("model has only %d states (< %d): too little structure to bias", r.States, a.MinStates)
+	case r.UnguidedStates == 0:
+		r.Reason = "model has no transitions"
+	case r.Metric > a.MaxMetric:
+		r.Reason = fmt.Sprintf("guidance metric %.0f%% exceeds %.0f%%: transition probabilities are near-uniform", r.Metric, a.MaxMetric)
+	default:
+		r.Guidable = true
+	}
+	return r
+}

@@ -1,0 +1,73 @@
+package model
+
+import (
+	"gstm/internal/trace"
+	"gstm/internal/txid"
+)
+
+// GuideTable is the run-time form of a TSA, "cut down to exclude
+// low-probability states and stored in an efficient bitwise structure"
+// (Section VI). For every known state it precomputes the set of
+// (transaction, thread) pairs that participate in any high-probability
+// destination state; the guided-execution gate only performs two hash
+// lookups per check.
+type GuideTable struct {
+	tfactor float64
+	allowed map[trace.Key]map[txid.Packed]struct{}
+}
+
+// Compile builds the guide table for m under the given Tfactor (paper
+// default 4; some machines need 6 per the artifact notes).
+func Compile(m *TSA, tfactor float64) *GuideTable {
+	if tfactor <= 0 {
+		tfactor = 4
+	}
+	g := &GuideTable{
+		tfactor: tfactor,
+		allowed: make(map[trace.Key]map[txid.Packed]struct{}, m.NumStates()),
+	}
+	for _, k := range m.Keys() {
+		dests := m.destinations(k, tfactor)
+		if len(dests) == 0 {
+			continue // terminal state: treated as unknown at run time
+		}
+		set := make(map[txid.Packed]struct{})
+		for _, e := range dests {
+			st, err := trace.ParseKey(e.To)
+			if err != nil {
+				continue // defensively skip malformed keys
+			}
+			for _, p := range st.Participants() {
+				set[p] = struct{}{}
+			}
+		}
+		g.allowed[k] = set
+	}
+	return g
+}
+
+// Tfactor returns the threshold divisor the table was compiled with.
+func (g *GuideTable) Tfactor() float64 { return g.tfactor }
+
+// NumStates returns the number of states retained in the compiled table.
+func (g *GuideTable) NumStates() int { return len(g.allowed) }
+
+// Known reports whether state k exists in the table. Unknown states never
+// block a thread: training cannot capture all states, so execution is
+// allowed to continue until the current state changes into a known one
+// (Section V).
+func (g *GuideTable) Known(k trace.Key) bool {
+	_, ok := g.allowed[k]
+	return ok
+}
+
+// Allowed reports whether pair p participates in any high-probability
+// destination state of state k. The second result mirrors Known.
+func (g *GuideTable) Allowed(k trace.Key, p txid.Packed) (allowed, known bool) {
+	set, ok := g.allowed[k]
+	if !ok {
+		return true, false
+	}
+	_, in := set[p]
+	return in, true
+}

@@ -1,0 +1,181 @@
+package model
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"gstm/internal/trace"
+)
+
+// Binary model format ("state_data" in the paper's artifact):
+//
+//	magic   "GSTM"                      4 bytes
+//	version u8 (=1)
+//	threads u32
+//	nstates u32
+//	keys    nstates × { u16 len, bytes }   (byte-sorted order)
+//	edges   nstates × { u32 nedges, nedges × { u32 toIndex, u64 freq } }
+//
+// All integers are little-endian. Keys are indexed by their position in the
+// key table so edges cost 12 bytes each.
+
+var magic = [4]byte{'G', 'S', 'T', 'M'}
+
+const formatVersion = 1
+
+// Write serializes m to w in the binary model format.
+func (m *TSA) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(formatVersion); err != nil {
+		return err
+	}
+	keys := m.Keys()
+	if err := writeU32(bw, uint32(m.Threads)); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(len(keys))); err != nil {
+		return err
+	}
+	index := make(map[trace.Key]uint32, len(keys))
+	for i, k := range keys {
+		index[k] = uint32(i)
+		if len(k) > 0xffff {
+			return fmt.Errorf("model: state key of %d bytes exceeds format limit", len(k))
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(k))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(string(k)); err != nil {
+			return err
+		}
+	}
+	for _, k := range keys {
+		n := m.nodes[k]
+		if err := writeU32(bw, uint32(len(n.Out))); err != nil {
+			return err
+		}
+		// Deterministic edge order: reuse Edges (sorted by freq then key).
+		for _, e := range m.Edges(k) {
+			to, ok := index[e.To]
+			if !ok {
+				return fmt.Errorf("model: edge to unknown state %q", e.To)
+			}
+			if err := writeU32(bw, to); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, uint64(e.Freq)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a model written by Write.
+func Read(r io.Reader) (*TSA, error) {
+	br := bufio.NewReader(r)
+	var got [4]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("model: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("model: bad magic %q", got[:])
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("model: unsupported format version %d", ver)
+	}
+	threads, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	nstates, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxStates = 1 << 26
+	if nstates > maxStates {
+		return nil, fmt.Errorf("model: state count %d exceeds sanity limit", nstates)
+	}
+	keys := make([]trace.Key, nstates)
+	for i := range keys {
+		var klen uint16
+		if err := binary.Read(br, binary.LittleEndian, &klen); err != nil {
+			return nil, err
+		}
+		buf := make([]byte, klen)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		keys[i] = trace.Key(buf)
+	}
+	m := New(int(threads))
+	for i := range keys {
+		m.nodes[keys[i]] = &Node{Key: keys[i], Out: make(map[trace.Key]int64)}
+	}
+	for i := range keys {
+		n := m.nodes[keys[i]]
+		nedges, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		for e := uint32(0); e < nedges; e++ {
+			to, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			if to >= nstates {
+				return nil, fmt.Errorf("model: edge index %d out of range", to)
+			}
+			var freq uint64
+			if err := binary.Read(br, binary.LittleEndian, &freq); err != nil {
+				return nil, err
+			}
+			n.Out[keys[to]] += int64(freq)
+			n.Total += int64(freq)
+		}
+	}
+	return m, nil
+}
+
+// Save writes the model to path (the artifact's state_data file).
+func (m *TSA) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a model from path.
+func Load(path string) (*TSA, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	return binary.Write(w, binary.LittleEndian, v)
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var v uint32
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}

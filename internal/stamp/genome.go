@@ -1,0 +1,179 @@
+package stamp
+
+import (
+	"fmt"
+	"time"
+
+	"gstm"
+	"gstm/internal/stmds"
+	"gstm/internal/xrand"
+)
+
+// Genome ports STAMP's genome: gene sequencing by (1) de-duplicating an
+// oversampled pool of DNA segments into a shared hash set and (2) linking
+// unique segments into chains by claiming overlapping successors. Phase 2's
+// claims conflict when two segments race for the same successor — the
+// benchmark's characteristic contention.
+//
+// Transaction sites:
+//
+//	0 — insert a sampled segment into the de-duplication hash set
+//	1 — look up overlap candidates and claim a successor link
+type Genome struct{}
+
+// NewGenome returns the genome workload.
+func NewGenome() *Genome { return &Genome{} }
+
+// Name implements Workload.
+func (*Genome) Name() string { return "genome" }
+
+type genomeInstance struct {
+	threads    int
+	geneLen    int
+	segLen     int
+	samples    []int64 // sampled segment start positions (with duplicates)
+	table      *stmds.HashTable[struct{}]
+	prev       *gstm.Array[int64] // prev[s] = start of the segment that claimed s as successor, -1 if unclaimed
+	uniqueWant map[int64]bool     // ground truth of unique segments
+}
+
+// NewInstance implements Workload.
+func (*Genome) NewInstance(p Params) (Instance, error) {
+	if p.Threads <= 0 {
+		return nil, fmt.Errorf("genome: non-positive thread count %d", p.Threads)
+	}
+	var geneLen, oversample int
+	switch p.Size {
+	case Small:
+		geneLen, oversample = 1024, 4
+	case Medium:
+		geneLen, oversample = 2048, 4
+	case Large:
+		geneLen, oversample = 8192, 6
+	default:
+		return nil, fmt.Errorf("genome: unknown size %v", p.Size)
+	}
+	const segLen = 16
+	rng := xrand.New(p.Seed + 202)
+	nSamples := geneLen * oversample
+	inst := &genomeInstance{
+		threads: p.Threads,
+		geneLen: geneLen,
+		segLen:  segLen,
+		samples: make([]int64, nSamples),
+		// A small table keeps bucket chains hot: the original's segment
+		// table is sized to contend during the insertion phase.
+		table:      stmds.NewHashTable[struct{}](geneLen / 8),
+		prev:       gstm.NewArray[int64](geneLen),
+		uniqueWant: make(map[int64]bool),
+	}
+	for i := range inst.samples {
+		s := int64(rng.Intn(geneLen - segLen))
+		inst.samples[i] = s
+		inst.uniqueWant[s] = true
+	}
+	for i := 0; i < geneLen; i++ {
+		inst.prev.Reset(i, -1)
+	}
+	return inst, nil
+}
+
+// Run implements Instance.
+func (in *genomeInstance) Run(sys *gstm.System) ([]time.Duration, error) {
+	total := make([]time.Duration, in.threads)
+
+	// Phase 1: de-duplicate the sampled segments.
+	durs, err := RunThreads(in.threads, func(t int) error {
+		lo := t * len(in.samples) / in.threads
+		hi := (t + 1) * len(in.samples) / in.threads
+		for _, s := range in.samples[lo:hi] {
+			if err := sys.Atomic(gstm.ThreadID(t), 0, func(tx *gstm.Tx) error {
+				// The counted insert maintains the table's global element
+				// counter, the same shared hot spot the original's segment
+				// insertion phase contends on.
+				in.table.Insert(tx, s, struct{}{})
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	addDurations(total, durs)
+	if err != nil {
+		return total, err
+	}
+
+	// Phase 2: for each unique segment, claim the nearest overlapping
+	// successor (smallest start' > start within segLen-1) whose prev link
+	// is free. Threads partition the gene's position space.
+	durs, err = RunThreads(in.threads, func(t int) error {
+		for s := int64(t); s < int64(in.geneLen); s += int64(in.threads) {
+			if !in.uniqueWant[s] {
+				continue
+			}
+			if err := sys.Atomic(gstm.ThreadID(t), 1, func(tx *gstm.Tx) error {
+				for d := int64(1); d < int64(in.segLen); d++ {
+					succ := s + d
+					if succ >= int64(in.geneLen) {
+						break
+					}
+					if !in.table.Contains(tx, succ) {
+						continue
+					}
+					if gstm.ReadAt(tx, in.prev, int(succ)) == -1 {
+						gstm.WriteAt(tx, in.prev, int(succ), s)
+						return nil
+					}
+				}
+				return nil // no free successor: end of a chain
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	addDurations(total, durs)
+	return total, err
+}
+
+// Validate implements Instance.
+func (in *genomeInstance) Validate(sys *gstm.System) error {
+	// Every unique sampled segment must be in the table; nothing else.
+	var tableErr error
+	err := sys.Atomic(0, 0, func(tx *gstm.Tx) error {
+		for s := range in.uniqueWant {
+			if !in.table.Contains(tx, s) {
+				tableErr = fmt.Errorf("genome: unique segment %d missing from table", s)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if tableErr != nil {
+		return tableErr
+	}
+	// Claims must be valid overlaps between unique segments, and each
+	// claimer must claim at most one successor.
+	claimsBy := make(map[int64]int)
+	for s := 0; s < in.geneLen; s++ {
+		p := in.prev.Peek(s)
+		if p == -1 {
+			continue
+		}
+		if !in.uniqueWant[p] || !in.uniqueWant[int64(s)] {
+			return fmt.Errorf("genome: link %d→%d involves a non-unique segment", p, s)
+		}
+		if int64(s) <= p || int64(s)-p >= int64(in.segLen) {
+			return fmt.Errorf("genome: link %d→%d is not a valid overlap", p, s)
+		}
+		claimsBy[p]++
+		if claimsBy[p] > 1 {
+			return fmt.Errorf("genome: segment %d claimed %d successors", p, claimsBy[p])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package stamp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gstm"
+	"gstm/internal/stmds"
+	"gstm/internal/xrand"
+)
+
+// Intruder ports STAMP's intruder: network intrusion detection in three
+// stages — capture (pull a packet fragment from a shared queue), reassembly
+// (collect a flow's fragments in a shared dictionary), and detection
+// (scan the reassembled payload; findings go to a shared result list).
+// The capture queue head and the per-flow dictionary entries are the
+// contended state.
+//
+// Transaction sites:
+//
+//	0 — capture: dequeue one fragment
+//	1 — reassembly: add the fragment to its flow, extracting the flow when
+//	    complete
+//	2 — report: append a detected attack to the result list
+type Intruder struct{}
+
+// NewIntruder returns the intruder workload.
+func NewIntruder() *Intruder { return &Intruder{} }
+
+// Name implements Workload.
+func (*Intruder) Name() string { return "intruder" }
+
+const intruderAttack = "ATTACK"
+
+type intruderFragment struct {
+	Flow  int64
+	Index int
+	Count int
+	Data  string
+}
+
+type intruderFlowState struct {
+	Received int
+	Parts    []string // immutable snapshot; copy-on-write
+}
+
+type intruderInstance struct {
+	threads   int
+	nFlows    int
+	packets   *stmds.Queue[intruderFragment]
+	assembly  *stmds.Map[intruderFlowState]
+	attacks   *stmds.List[struct{}]
+	processed *gstm.Var[int]
+	wantBad   map[int64]bool
+}
+
+// NewInstance implements Workload.
+func (*Intruder) NewInstance(p Params) (Instance, error) {
+	if p.Threads <= 0 {
+		return nil, fmt.Errorf("intruder: non-positive thread count %d", p.Threads)
+	}
+	var nFlows, fragsPerFlow int
+	switch p.Size {
+	case Small:
+		nFlows, fragsPerFlow = 128, 6
+	case Medium:
+		nFlows, fragsPerFlow = 256, 8
+	case Large:
+		nFlows, fragsPerFlow = 768, 10
+	default:
+		return nil, fmt.Errorf("intruder: unknown size %v", p.Size)
+	}
+	rng := xrand.New(p.Seed + 404)
+	inst := &intruderInstance{
+		threads:   p.Threads,
+		nFlows:    nFlows,
+		packets:   stmds.NewQueue[intruderFragment](),
+		assembly:  stmds.NewMap[intruderFlowState](),
+		attacks:   stmds.NewList[struct{}](),
+		processed: gstm.NewVar(0),
+		wantBad:   make(map[int64]bool),
+	}
+	// Build flows: ~25% contain the attack signature, split into fragments,
+	// then globally shuffle all fragments into the capture queue.
+	var frags []intruderFragment
+	letters := "abcdefgh"
+	for f := 0; f < nFlows; f++ {
+		var payload strings.Builder
+		for i := 0; i < fragsPerFlow*4; i++ {
+			payload.WriteByte(letters[rng.Intn(len(letters))])
+		}
+		s := payload.String()
+		if rng.Intn(4) == 0 {
+			pos := rng.Intn(len(s) - len(intruderAttack))
+			s = s[:pos] + intruderAttack + s[pos+len(intruderAttack):]
+			inst.wantBad[int64(f)] = true
+		}
+		per := len(s) / fragsPerFlow
+		for i := 0; i < fragsPerFlow; i++ {
+			end := (i + 1) * per
+			if i == fragsPerFlow-1 {
+				end = len(s)
+			}
+			frags = append(frags, intruderFragment{
+				Flow: int64(f), Index: i, Count: fragsPerFlow, Data: s[i*per : end],
+			})
+		}
+	}
+	order := rng.Perm(len(frags))
+	setup := gstm.NewSystem(gstm.Config{Threads: 1})
+	for _, i := range order {
+		frag := frags[i]
+		if err := setup.Atomic(0, 0, func(tx *gstm.Tx) error {
+			inst.packets.Enqueue(tx, frag)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return inst, nil
+}
+
+// Run implements Instance.
+func (in *intruderInstance) Run(sys *gstm.System) ([]time.Duration, error) {
+	return RunThreads(in.threads, func(t int) error {
+		id := gstm.ThreadID(t)
+		for {
+			// Capture.
+			var frag intruderFragment
+			var got bool
+			if err := sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+				frag, got = in.packets.Dequeue(tx)
+				return nil
+			}); err != nil {
+				return err
+			}
+			if !got {
+				return nil
+			}
+			// Reassembly: add the fragment; extract the payload when the
+			// flow completes.
+			var payload string
+			var complete bool
+			if err := sys.Atomic(id, 1, func(tx *gstm.Tx) error {
+				payload, complete = "", false
+				st, ok := in.assembly.Get(tx, frag.Flow)
+				if !ok {
+					st = intruderFlowState{Parts: make([]string, frag.Count)}
+				}
+				parts := make([]string, len(st.Parts))
+				copy(parts, st.Parts)
+				parts[frag.Index] = frag.Data
+				st = intruderFlowState{Received: st.Received + 1, Parts: parts}
+				if st.Received == frag.Count {
+					in.assembly.Remove(tx, frag.Flow)
+					payload = strings.Join(parts, "")
+					complete = true
+					gstm.Write(tx, in.processed, gstm.Read(tx, in.processed)+1)
+				} else {
+					in.assembly.Upsert(tx, frag.Flow, st)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			// Detection (pure computation) + report.
+			if complete && strings.Contains(payload, intruderAttack) {
+				if err := sys.Atomic(id, 2, func(tx *gstm.Tx) error {
+					in.attacks.Insert(tx, frag.Flow, struct{}{})
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	})
+}
+
+// Validate implements Instance.
+func (in *intruderInstance) Validate(sys *gstm.System) error {
+	if got := in.processed.Peek(); got != in.nFlows {
+		return fmt.Errorf("intruder: %d flows completed, want %d", got, in.nFlows)
+	}
+	detected := make(map[int64]bool)
+	var verr error
+	err := sys.Atomic(0, 0, func(tx *gstm.Tx) error {
+		if n := in.assembly.Len(tx); n != 0 {
+			verr = fmt.Errorf("intruder: %d flows left unassembled", n)
+			return nil
+		}
+		in.attacks.Range(tx, func(k int64, _ struct{}) bool {
+			detected[k] = true
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if verr != nil {
+		return verr
+	}
+	if len(detected) != len(in.wantBad) {
+		return fmt.Errorf("intruder: detected %d attacks, want %d", len(detected), len(in.wantBad))
+	}
+	for f := range in.wantBad {
+		if !detected[f] {
+			return fmt.Errorf("intruder: attack flow %d not detected", f)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package stamp
+
+import (
+	"fmt"
+	"time"
+
+	"gstm"
+	"gstm/internal/xrand"
+)
+
+// KMeans ports STAMP's kmeans: iterative clustering where each point's
+// assignment updates a shared per-cluster accumulator and a global
+// membership-change counter inside transactions. With few clusters the
+// accumulators are hot, producing the high abort rates the paper's kmeans
+// figures show.
+//
+// Transaction sites:
+//
+//	0 — add a point to its nearest cluster's accumulator
+//	1 — bump the global delta counter when a point switches clusters
+type KMeans struct{}
+
+// NewKMeans returns the kmeans workload.
+func NewKMeans() *KMeans { return &KMeans{} }
+
+// Name implements Workload.
+func (*KMeans) Name() string { return "kmeans" }
+
+const kmeansDims = 4
+
+type kmPoint [kmeansDims]float64
+
+type kmAccum struct {
+	Count int
+	Sum   kmPoint
+}
+
+type kmeansInstance struct {
+	threads  int
+	iters    int
+	points   []kmPoint
+	centers  []kmPoint // refreshed between iterations (non-TM)
+	member   []int32   // each point's cluster from the previous iteration
+	accums   *gstm.Array[kmAccum]
+	delta    *gstm.Var[int]
+	k        int
+	assigned int // points accumulated in the final iteration (validation)
+}
+
+// NewInstance implements Workload.
+func (*KMeans) NewInstance(p Params) (Instance, error) {
+	if p.Threads <= 0 {
+		return nil, fmt.Errorf("kmeans: non-positive thread count %d", p.Threads)
+	}
+	var npoints, iters int
+	switch p.Size {
+	case Small:
+		npoints, iters = 2048, 3
+	case Medium:
+		npoints, iters = 4096, 3
+	case Large:
+		npoints, iters = 16384, 4
+	default:
+		return nil, fmt.Errorf("kmeans: unknown size %v", p.Size)
+	}
+	const k = 8
+	rng := xrand.New(p.Seed + 101)
+	inst := &kmeansInstance{
+		threads: p.Threads,
+		iters:   iters,
+		points:  make([]kmPoint, npoints),
+		centers: make([]kmPoint, k),
+		member:  make([]int32, npoints),
+		accums:  gstm.NewArray[kmAccum](k),
+		delta:   gstm.NewVar(0),
+		k:       k,
+	}
+	// Points drawn around k well-separated anchors plus noise.
+	for i := range inst.points {
+		anchor := rng.Intn(k)
+		for d := 0; d < kmeansDims; d++ {
+			inst.points[i][d] = float64(anchor*10) + rng.Float64()*4
+		}
+		inst.member[i] = -1
+	}
+	for c := range inst.centers {
+		inst.centers[c] = inst.points[rng.Intn(npoints)]
+	}
+	return inst, nil
+}
+
+func (in *kmeansInstance) nearest(pt kmPoint) int {
+	best, bestDist := 0, sqDist(pt, in.centers[0])
+	for c := 1; c < in.k; c++ {
+		if d := sqDist(pt, in.centers[c]); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+func sqDist(a, b kmPoint) float64 {
+	s := 0.0
+	for d := 0; d < kmeansDims; d++ {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}
+
+// Run implements Instance.
+func (in *kmeansInstance) Run(sys *gstm.System) ([]time.Duration, error) {
+	total := make([]time.Duration, in.threads)
+	for iter := 0; iter < in.iters; iter++ {
+		// Reset accumulators and delta (setup, single-threaded).
+		for c := 0; c < in.k; c++ {
+			in.accums.Reset(c, kmAccum{})
+		}
+		in.delta.Reset(0)
+
+		durs, err := RunThreads(in.threads, func(t int) error {
+			lo := t * len(in.points) / in.threads
+			hi := (t + 1) * len(in.points) / in.threads
+			for i := lo; i < hi; i++ {
+				pt := in.points[i]
+				c := in.nearest(pt)
+				if err := sys.Atomic(gstm.ThreadID(t), 0, func(tx *gstm.Tx) error {
+					acc := gstm.ReadAt(tx, in.accums, c)
+					acc.Count++
+					for d := 0; d < kmeansDims; d++ {
+						acc.Sum[d] += pt[d]
+					}
+					gstm.WriteAt(tx, in.accums, c, acc)
+					return nil
+				}); err != nil {
+					return err
+				}
+				if int32(c) != in.member[i] {
+					in.member[i] = int32(c)
+					if err := sys.Atomic(gstm.ThreadID(t), 1, func(tx *gstm.Tx) error {
+						gstm.Write(tx, in.delta, gstm.Read(tx, in.delta)+1)
+						return nil
+					}); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		addDurations(total, durs)
+		if err != nil {
+			return total, err
+		}
+
+		// Recompute centers from the accumulators (single-threaded barrier
+		// phase, as in STAMP's main loop).
+		in.assigned = 0
+		for c := 0; c < in.k; c++ {
+			acc := in.accums.Peek(c)
+			in.assigned += acc.Count
+			if acc.Count > 0 {
+				for d := 0; d < kmeansDims; d++ {
+					in.centers[c][d] = acc.Sum[d] / float64(acc.Count)
+				}
+			}
+		}
+	}
+	return total, nil
+}
+
+// Validate implements Instance.
+func (in *kmeansInstance) Validate(sys *gstm.System) error {
+	if in.assigned != len(in.points) {
+		return fmt.Errorf("kmeans: final iteration accumulated %d points, want %d (lost updates)",
+			in.assigned, len(in.points))
+	}
+	for i, m := range in.member {
+		if m < 0 || int(m) >= in.k {
+			return fmt.Errorf("kmeans: point %d has invalid membership %d", i, m)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package stamp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gstm"
+	"gstm/internal/stmds"
+	"gstm/internal/xrand"
+)
+
+// Labyrinth ports STAMP's labyrinth: threads pull (source, destination)
+// routing requests from a shared queue, plan a path over a snapshot of the
+// shared grid, and transactionally claim every cell of the path. Claims are
+// long transactions with large write sets, so crossing paths abort each
+// other — the original's signature behaviour.
+//
+// Transaction sites:
+//
+//	0 — pop a routing request from the work queue
+//	1 — claim a planned path's cells on the grid
+type Labyrinth struct{}
+
+// NewLabyrinth returns the labyrinth workload.
+func NewLabyrinth() *Labyrinth { return &Labyrinth{} }
+
+// Name implements Workload.
+func (*Labyrinth) Name() string { return "labyrinth" }
+
+type labTask struct {
+	ID       int32
+	Src, Dst int
+}
+
+type labyrinthInstance struct {
+	threads int
+	w, h    int
+	grid    *gstm.Array[int32] // 0 = free, else path ID
+	tasks   *stmds.Queue[labTask]
+	nTasks  int
+	routed  *gstm.Var[int]
+	failed  *gstm.Var[int]
+	paths   map[int32][]int // recorded by Run's claims for validation
+	pathsMu sync.Mutex      // guards paths
+}
+
+// errPathBlocked aborts a claim transaction when a planned cell is already
+// owned; the router then replans on a fresh snapshot.
+var errPathBlocked = errors.New("labyrinth: path cell already claimed")
+
+// NewInstance implements Workload.
+func (*Labyrinth) NewInstance(p Params) (Instance, error) {
+	if p.Threads <= 0 {
+		return nil, fmt.Errorf("labyrinth: non-positive thread count %d", p.Threads)
+	}
+	var side, nTasks int
+	switch p.Size {
+	case Small:
+		side, nTasks = 48, 96
+	case Medium:
+		side, nTasks = 64, 160
+	case Large:
+		side, nTasks = 96, 384
+	default:
+		return nil, fmt.Errorf("labyrinth: unknown size %v", p.Size)
+	}
+	rng := xrand.New(p.Seed + 505)
+	inst := &labyrinthInstance{
+		threads: p.Threads,
+		w:       side,
+		h:       side,
+		grid:    gstm.NewArray[int32](side * side),
+		tasks:   stmds.NewQueue[labTask](),
+		nTasks:  nTasks,
+		routed:  gstm.NewVar(0),
+		failed:  gstm.NewVar(0),
+		paths:   make(map[int32][]int),
+	}
+	setup := gstm.NewSystem(gstm.Config{Threads: 1})
+	for i := 0; i < nTasks; i++ {
+		task := labTask{
+			ID:  int32(i + 1),
+			Src: rng.Intn(side*side/2) * 2 % (side * side),
+			Dst: rng.Intn(side * side),
+		}
+		if task.Src == task.Dst {
+			task.Dst = (task.Dst + side + 1) % (side * side)
+		}
+		if err := setup.Atomic(0, 0, func(tx *gstm.Tx) error {
+			inst.tasks.Enqueue(tx, task)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return inst, nil
+}
+
+// snapshotBFS plans a shortest path from src to dst over a non-transactional
+// snapshot of the grid, avoiding occupied cells (but allowing occupied
+// endpoints to be rejected). It returns nil when no path exists.
+func (in *labyrinthInstance) snapshotBFS(src, dst int) []int {
+	n := in.w * in.h
+	if in.grid.Peek(src) != 0 || in.grid.Peek(dst) != 0 {
+		return nil
+	}
+	prev := make([]int32, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = int32(src)
+	queue := []int{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			break
+		}
+		x, y := cur%in.w, cur/in.w
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := x+d[0], y+d[1]
+			if nx < 0 || ny < 0 || nx >= in.w || ny >= in.h {
+				continue
+			}
+			next := ny*in.w + nx
+			if prev[next] != -1 || in.grid.Peek(next) != 0 {
+				continue
+			}
+			prev[next] = int32(cur)
+			queue = append(queue, next)
+		}
+	}
+	if prev[dst] == -1 {
+		return nil
+	}
+	var path []int
+	for cur := dst; ; cur = int(prev[cur]) {
+		path = append(path, cur)
+		if cur == src {
+			break
+		}
+	}
+	return path
+}
+
+// Run implements Instance.
+func (in *labyrinthInstance) Run(sys *gstm.System) ([]time.Duration, error) {
+	const maxReplans = 8
+	return RunThreads(in.threads, func(t int) error {
+		id := gstm.ThreadID(t)
+		for {
+			var task labTask
+			var got bool
+			if err := sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+				task, got = in.tasks.Dequeue(tx)
+				return nil
+			}); err != nil {
+				return err
+			}
+			if !got {
+				return nil
+			}
+			routed := false
+			for replan := 0; replan < maxReplans && !routed; replan++ {
+				path := in.snapshotBFS(task.Src, task.Dst)
+				if path == nil {
+					break
+				}
+				err := sys.Atomic(id, 1, func(tx *gstm.Tx) error {
+					for _, cell := range path {
+						if gstm.ReadAt(tx, in.grid, cell) != 0 {
+							return errPathBlocked
+						}
+						gstm.WriteAt(tx, in.grid, cell, task.ID)
+					}
+					gstm.Write(tx, in.routed, gstm.Read(tx, in.routed)+1)
+					return nil
+				})
+				switch {
+				case err == nil:
+					routed = true
+					in.pathsMu.Lock()
+					in.paths[task.ID] = path
+					in.pathsMu.Unlock()
+				case errors.Is(err, errPathBlocked):
+					// Stale snapshot: replan.
+				default:
+					return err
+				}
+			}
+			if !routed {
+				if err := sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+					gstm.Write(tx, in.failed, gstm.Read(tx, in.failed)+1)
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	})
+}
+
+// Validate implements Instance.
+func (in *labyrinthInstance) Validate(sys *gstm.System) error {
+	routed, failed := in.routed.Peek(), in.failed.Peek()
+	if routed+failed != in.nTasks {
+		return fmt.Errorf("labyrinth: routed %d + failed %d != %d tasks", routed, failed, in.nTasks)
+	}
+	if routed != len(in.paths) {
+		return fmt.Errorf("labyrinth: routed counter %d != recorded paths %d", routed, len(in.paths))
+	}
+	// Grid ownership must exactly reflect the recorded paths: disjoint,
+	// connected, claimed with the right ID.
+	owned := make(map[int]int32)
+	for id, path := range in.paths {
+		for i, cell := range path {
+			if prev, dup := owned[cell]; dup {
+				return fmt.Errorf("labyrinth: cell %d claimed by both %d and %d", cell, prev, id)
+			}
+			owned[cell] = id
+			if got := in.grid.Peek(cell); got != id {
+				return fmt.Errorf("labyrinth: cell %d owned by %d, want %d", cell, got, id)
+			}
+			if i > 0 && !adjacent(in.w, path[i-1], cell) {
+				return fmt.Errorf("labyrinth: path %d not connected at %d→%d", id, path[i-1], cell)
+			}
+		}
+	}
+	// No stray claims outside recorded paths.
+	for c := 0; c < in.w*in.h; c++ {
+		if v := in.grid.Peek(c); v != 0 {
+			if _, ok := owned[c]; !ok {
+				return fmt.Errorf("labyrinth: cell %d owned by %d but in no recorded path", c, v)
+			}
+		}
+	}
+	return nil
+}
+
+func adjacent(w, a, b int) bool {
+	ax, ay := a%w, a/w
+	bx, by := b%w, b/w
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx+dy == 1
+}

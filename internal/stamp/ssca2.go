@@ -1,0 +1,116 @@
+package stamp
+
+import (
+	"fmt"
+	"time"
+
+	"gstm"
+	"gstm/internal/xrand"
+)
+
+// SSCA2 ports STAMP's ssca2 (kernel 1, graph construction): threads insert
+// a partitioned edge list into shared adjacency structures with one tiny
+// read-modify-write transaction per edge. The shared arrays are much larger
+// than the thread count, so conflicts are innately near zero — exactly the
+// property that makes the paper's model analyzer reject ssca2 for guidance
+// (guidance metric 72%/57%, Table I) and why guiding it anyway only adds
+// overhead (Figure 8).
+//
+// Transaction sites:
+//
+//	0 — insert one edge (bump both endpoints' degree and weight cells)
+type SSCA2 struct{}
+
+// NewSSCA2 returns the ssca2 workload.
+func NewSSCA2() *SSCA2 { return &SSCA2{} }
+
+// Name implements Workload.
+func (*SSCA2) Name() string { return "ssca2" }
+
+type ssca2Edge struct {
+	u, v   int32
+	weight int32
+}
+
+type ssca2Instance struct {
+	threads int
+	nVerts  int
+	edges   []ssca2Edge
+	degree  *gstm.Array[int32]
+	weight  *gstm.Array[int64]
+}
+
+// NewInstance implements Workload.
+func (*SSCA2) NewInstance(p Params) (Instance, error) {
+	if p.Threads <= 0 {
+		return nil, fmt.Errorf("ssca2: non-positive thread count %d", p.Threads)
+	}
+	var nVerts, nEdges int
+	switch p.Size {
+	case Small:
+		nVerts, nEdges = 4096, 8192
+	case Medium:
+		nVerts, nEdges = 8192, 16384
+	case Large:
+		nVerts, nEdges = 32768, 65536
+	default:
+		return nil, fmt.Errorf("ssca2: unknown size %v", p.Size)
+	}
+	rng := xrand.New(p.Seed + 606)
+	inst := &ssca2Instance{
+		threads: p.Threads,
+		nVerts:  nVerts,
+		edges:   make([]ssca2Edge, nEdges),
+		degree:  gstm.NewArray[int32](nVerts),
+		weight:  gstm.NewArray[int64](nVerts),
+	}
+	for i := range inst.edges {
+		u := int32(rng.Intn(nVerts))
+		v := int32(rng.Intn(nVerts))
+		if u == v {
+			v = (v + 1) % int32(nVerts)
+		}
+		inst.edges[i] = ssca2Edge{u: u, v: v, weight: int32(1 + rng.Intn(100))}
+	}
+	return inst, nil
+}
+
+// Run implements Instance.
+func (in *ssca2Instance) Run(sys *gstm.System) ([]time.Duration, error) {
+	return RunThreads(in.threads, func(t int) error {
+		lo := t * len(in.edges) / in.threads
+		hi := (t + 1) * len(in.edges) / in.threads
+		for _, e := range in.edges[lo:hi] {
+			if err := sys.Atomic(gstm.ThreadID(t), 0, func(tx *gstm.Tx) error {
+				gstm.WriteAt(tx, in.degree, int(e.u), gstm.ReadAt(tx, in.degree, int(e.u))+1)
+				gstm.WriteAt(tx, in.degree, int(e.v), gstm.ReadAt(tx, in.degree, int(e.v))+1)
+				gstm.WriteAt(tx, in.weight, int(e.u), gstm.ReadAt(tx, in.weight, int(e.u))+int64(e.weight))
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Validate implements Instance.
+func (in *ssca2Instance) Validate(sys *gstm.System) error {
+	var totalDeg int64
+	var totalWeight int64
+	for v := 0; v < in.nVerts; v++ {
+		totalDeg += int64(in.degree.Peek(v))
+		totalWeight += in.weight.Peek(v)
+	}
+	if want := int64(2 * len(in.edges)); totalDeg != want {
+		return fmt.Errorf("ssca2: total degree %d, want %d", totalDeg, want)
+	}
+	var wantWeight int64
+	for _, e := range in.edges {
+		wantWeight += int64(e.weight)
+	}
+	if totalWeight != wantWeight {
+		return fmt.Errorf("ssca2: total weight %d, want %d", totalWeight, wantWeight)
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package stamp
+
+import (
+	"fmt"
+	"time"
+
+	"gstm"
+	"gstm/internal/stmds"
+	"gstm/internal/xrand"
+)
+
+// Vacation ports STAMP's vacation: a travel-reservation database with
+// three resource tables (flights, rooms, cars) and a customer table, hit by
+// client threads issuing pseudo-random operations. Like the original, each
+// client transaction touches several tree paths, and the operation mix is
+// skewed toward reservations.
+//
+// Transaction sites:
+//
+//	0 — make reservation (query q random resources, book the cheapest)
+//	1 — delete customer (release everything it holds)
+//	2 — update tables (add capacity / change prices)
+type Vacation struct{}
+
+// NewVacation returns the vacation workload.
+func NewVacation() *Vacation { return &Vacation{} }
+
+// Name implements Workload.
+func (*Vacation) Name() string { return "vacation" }
+
+const vacationKinds = 3 // flight, room, car
+
+type vacResource struct {
+	Total int
+	Used  int
+	Price int
+}
+
+type vacBooking struct {
+	Kind int
+	ID   int64
+}
+
+type vacationInstance struct {
+	threads   int
+	relations int // resources per kind
+	opsPerTh  int
+	queries   int
+	tables    [vacationKinds]*stmds.Map[vacResource]
+	customers *stmds.Map[[]vacBooking]
+	seed      uint64
+}
+
+// NewInstance implements Workload.
+func (*Vacation) NewInstance(p Params) (Instance, error) {
+	if p.Threads <= 0 {
+		return nil, fmt.Errorf("vacation: non-positive thread count %d", p.Threads)
+	}
+	var relations, opsPerTh int
+	switch p.Size {
+	case Small:
+		relations, opsPerTh = 64, 192
+	case Medium:
+		relations, opsPerTh = 128, 320
+	case Large:
+		relations, opsPerTh = 512, 1024
+	default:
+		return nil, fmt.Errorf("vacation: unknown size %v", p.Size)
+	}
+	inst := &vacationInstance{
+		threads:   p.Threads,
+		relations: relations,
+		opsPerTh:  opsPerTh,
+		queries:   4,
+		customers: stmds.NewMap[[]vacBooking](),
+		seed:      p.Seed + 303,
+	}
+	rng := xrand.New(inst.seed)
+	// Populate tables non-transactionally before the timed phase — the
+	// stmds structures require a transaction, so use a setup system.
+	setup := gstm.NewSystem(gstm.Config{Threads: 1})
+	for k := 0; k < vacationKinds; k++ {
+		inst.tables[k] = stmds.NewMap[vacResource]()
+		for id := 0; id < relations; id++ {
+			res := vacResource{Total: 1 + rng.Intn(5), Price: 50 + rng.Intn(450)}
+			tbl := inst.tables[k]
+			if err := setup.Atomic(0, 0, func(tx *gstm.Tx) error {
+				tbl.Insert(tx, int64(id), res)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return inst, nil
+}
+
+// Run implements Instance.
+func (in *vacationInstance) Run(sys *gstm.System) ([]time.Duration, error) {
+	return RunThreads(in.threads, func(t int) error {
+		rng := xrand.NewThread(in.seed, t)
+		for op := 0; op < in.opsPerTh; op++ {
+			var err error
+			switch r := rng.Intn(100); {
+			case r < 80:
+				err = in.makeReservation(sys, t, rng)
+			case r < 90:
+				err = in.deleteCustomer(sys, t, rng)
+			default:
+				err = in.updateTables(sys, t, rng)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (in *vacationInstance) makeReservation(sys *gstm.System, t int, rng *xrand.Rand) error {
+	kind := rng.Intn(vacationKinds)
+	custID := int64(rng.Intn(in.relations))
+	ids := make([]int64, in.queries)
+	for i := range ids {
+		ids[i] = int64(rng.Intn(in.relations))
+	}
+	tbl := in.tables[kind]
+	return sys.Atomic(gstm.ThreadID(t), 0, func(tx *gstm.Tx) error {
+		bestID := int64(-1)
+		bestPrice := 0
+		for _, id := range ids {
+			res, ok := tbl.Get(tx, id)
+			if !ok || res.Used >= res.Total {
+				continue
+			}
+			if bestID == -1 || res.Price < bestPrice {
+				bestID, bestPrice = id, res.Price
+			}
+		}
+		if bestID == -1 {
+			return nil // nothing available among the queried resources
+		}
+		res, _ := tbl.Get(tx, bestID)
+		res.Used++
+		tbl.Set(tx, bestID, res)
+		bookings, _ := in.customers.Get(tx, custID)
+		updated := make([]vacBooking, len(bookings), len(bookings)+1)
+		copy(updated, bookings)
+		updated = append(updated, vacBooking{Kind: kind, ID: bestID})
+		in.customers.Upsert(tx, custID, updated)
+		return nil
+	})
+}
+
+func (in *vacationInstance) deleteCustomer(sys *gstm.System, t int, rng *xrand.Rand) error {
+	custID := int64(rng.Intn(in.relations))
+	return sys.Atomic(gstm.ThreadID(t), 1, func(tx *gstm.Tx) error {
+		bookings, ok := in.customers.Get(tx, custID)
+		if !ok {
+			return nil
+		}
+		for _, b := range bookings {
+			res, ok := in.tables[b.Kind].Get(tx, b.ID)
+			if !ok {
+				continue // resource removed by an update; booking is void
+			}
+			if res.Used > 0 {
+				res.Used--
+				in.tables[b.Kind].Set(tx, b.ID, res)
+			}
+		}
+		in.customers.Remove(tx, custID)
+		return nil
+	})
+}
+
+func (in *vacationInstance) updateTables(sys *gstm.System, t int, rng *xrand.Rand) error {
+	kind := rng.Intn(vacationKinds)
+	id := int64(rng.Intn(in.relations))
+	addCapacity := rng.Intn(2) == 0
+	newPrice := 50 + rng.Intn(450)
+	tbl := in.tables[kind]
+	return sys.Atomic(gstm.ThreadID(t), 2, func(tx *gstm.Tx) error {
+		res, ok := tbl.Get(tx, id)
+		if !ok {
+			return nil
+		}
+		if addCapacity {
+			res.Total++
+		} else {
+			res.Price = newPrice
+		}
+		tbl.Set(tx, id, res)
+		return nil
+	})
+}
+
+// Validate implements Instance.
+func (in *vacationInstance) Validate(sys *gstm.System) error {
+	var verr error
+	err := sys.Atomic(0, 0, func(tx *gstm.Tx) error {
+		verr = nil
+		// used counts must never exceed totals, and every used unit must be
+		// accounted for by some customer's booking.
+		held := make(map[[2]int64]int) // (kind, id) → bookings held
+		in.customers.Range(tx, func(cust int64, bookings []vacBooking) bool {
+			for _, b := range bookings {
+				held[[2]int64{int64(b.Kind), b.ID}]++
+			}
+			return true
+		})
+		for k := 0; k < vacationKinds; k++ {
+			kind := k
+			in.tables[k].Range(tx, func(id int64, res vacResource) bool {
+				if res.Used < 0 || res.Used > res.Total {
+					verr = fmt.Errorf("vacation: resource (%d,%d) used %d of %d", kind, id, res.Used, res.Total)
+					return false
+				}
+				if h := held[[2]int64{int64(kind), id}]; res.Used != h {
+					verr = fmt.Errorf("vacation: resource (%d,%d) used=%d but customers hold %d", kind, id, res.Used, h)
+					return false
+				}
+				return true
+			})
+			if verr != nil {
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return verr
+}

@@ -1,0 +1,226 @@
+package stamp
+
+import (
+	"fmt"
+	"time"
+
+	"gstm"
+	"gstm/internal/stmds"
+	"gstm/internal/xrand"
+)
+
+// Yada ports STAMP's yada (Delaunay mesh refinement): threads pop the
+// worst-quality element from a shared priority heap, retriangulate its
+// cavity — modelled as a contiguous neighbourhood of a shared region array
+// whose generation counters the transaction bumps — and push any newly
+// created bad elements back onto the heap. The heap root and overlapping
+// cavities are the contended state, giving the original's mix of a global
+// hot spot plus spatial conflicts.
+//
+// Children are derived deterministically from the parent element, so the
+// complete work set is a pure function of the seed and validation can
+// recompute it exactly.
+//
+// Transaction sites:
+//
+//	0 — pop the worst bad element from the work heap
+//	1 — retriangulate the cavity and push spawned elements
+type Yada struct{}
+
+// NewYada returns the yada workload.
+func NewYada() *Yada { return &Yada{} }
+
+// Name implements Workload.
+func (*Yada) Name() string { return "yada" }
+
+type yadaElem struct {
+	ID      int64
+	Quality int
+	Loc     int
+	Depth   int
+}
+
+type yadaInstance struct {
+	threads   int
+	regionLen int
+	cavity    int
+	maxDepth  int
+	seeds     []yadaElem
+	region    *gstm.Array[int32]
+	work      *stmds.Heap[yadaElem]
+	processed *gstm.Var[int]
+}
+
+// NewInstance implements Workload.
+func (*Yada) NewInstance(p Params) (Instance, error) {
+	if p.Threads <= 0 {
+		return nil, fmt.Errorf("yada: non-positive thread count %d", p.Threads)
+	}
+	var nSeeds, regionLen int
+	switch p.Size {
+	case Small:
+		nSeeds, regionLen = 96, 512
+	case Medium:
+		nSeeds, regionLen = 192, 1024
+	case Large:
+		nSeeds, regionLen = 512, 4096
+	default:
+		return nil, fmt.Errorf("yada: unknown size %v", p.Size)
+	}
+	const maxDepth = 3
+	rng := xrand.New(p.Seed + 707)
+	inst := &yadaInstance{
+		threads:   p.Threads,
+		regionLen: regionLen,
+		cavity:    5,
+		maxDepth:  maxDepth,
+		region:    gstm.NewArray[int32](regionLen),
+		work:      stmds.NewHeap[yadaElem](1<<14, func(a, b yadaElem) bool { return a.Quality < b.Quality }),
+		processed: gstm.NewVar(0),
+	}
+	inst.seeds = make([]yadaElem, nSeeds)
+	for i := range inst.seeds {
+		inst.seeds[i] = yadaElem{
+			ID:      int64(i + 1),
+			Quality: rng.Intn(1000),
+			Loc:     rng.Intn(regionLen),
+			Depth:   0,
+		}
+	}
+	setup := gstm.NewSystem(gstm.Config{Threads: 1})
+	for _, e := range inst.seeds {
+		elem := e
+		if err := setup.Atomic(0, 0, func(tx *gstm.Tx) error {
+			return inst.work.Push(tx, elem)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return inst, nil
+}
+
+// children derives the elements spawned by processing e: 0–2 children with
+// locations and qualities hashed from the parent, stopping at maxDepth.
+func (in *yadaInstance) children(e yadaElem) []yadaElem {
+	if e.Depth >= in.maxDepth {
+		return nil
+	}
+	h := uint64(e.ID) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	n := int(h % 3) // 0, 1 or 2 children
+	kids := make([]yadaElem, 0, n)
+	for c := 0; c < n; c++ {
+		hh := h ^ uint64(c+1)*0xbf58476d1ce4e5b9
+		hh ^= hh >> 31
+		kids = append(kids, yadaElem{
+			ID:      e.ID*4 + int64(c) + 1,
+			Quality: int(hh % 1000),
+			Loc:     int(hh>>10) % in.regionLen,
+			Depth:   e.Depth + 1,
+		})
+	}
+	return kids
+}
+
+// Run implements Instance.
+func (in *yadaInstance) Run(sys *gstm.System) ([]time.Duration, error) {
+	return RunThreads(in.threads, func(t int) error {
+		id := gstm.ThreadID(t)
+		for {
+			var elem yadaElem
+			var got bool
+			if err := sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+				elem, got = in.work.Pop(tx)
+				return nil
+			}); err != nil {
+				return err
+			}
+			if !got {
+				// The heap can be momentarily empty while another thread is
+				// mid-retriangulation and about to push children. A few
+				// idle re-checks settle it: once every thread sees an empty
+				// heap after all pushes, the counter-validated work set is
+				// complete. Check the processed counter for quiescence.
+				done := false
+				if err := sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+					done = in.work.Len(tx) == 0
+					return nil
+				}); err != nil {
+					return err
+				}
+				if done && in.quiesced(sys, id) {
+					return nil
+				}
+				continue
+			}
+			kids := in.children(elem)
+			if err := sys.Atomic(id, 1, func(tx *gstm.Tx) error {
+				for off := 0; off < in.cavity; off++ {
+					cell := (elem.Loc + off) % in.regionLen
+					gstm.WriteAt(tx, in.region, cell, gstm.ReadAt(tx, in.region, cell)+1)
+				}
+				for _, kid := range kids {
+					if err := in.work.Push(tx, kid); err != nil {
+						return err
+					}
+				}
+				gstm.Write(tx, in.processed, gstm.Read(tx, in.processed)+1)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+	})
+}
+
+// quiesced reports whether all spawned work has been processed: the heap is
+// empty and the processed counter is stable across two reads with a yield
+// between them. Combined with the deterministic child derivation this is
+// sufficient: an in-flight retriangulation would bump the counter.
+func (in *yadaInstance) quiesced(sys *gstm.System, id gstm.ThreadID) bool {
+	read := func() (n int, empty bool) {
+		_ = sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+			n = gstm.Read(tx, in.processed)
+			empty = in.work.Len(tx) == 0
+			return nil
+		})
+		return n, empty
+	}
+	n1, e1 := read()
+	for i := 0; i < 4; i++ {
+		// Give any mid-flight producer a chance to publish.
+		time.Sleep(50 * time.Microsecond)
+	}
+	n2, e2 := read()
+	return e1 && e2 && n1 == n2
+}
+
+// expectedWork recomputes the full deterministic work set.
+func (in *yadaInstance) expectedWork() (count int, cavityHits map[int]int32) {
+	cavityHits = make(map[int]int32)
+	stack := append([]yadaElem(nil), in.seeds...)
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for off := 0; off < in.cavity; off++ {
+			cavityHits[(e.Loc+off)%in.regionLen]++
+		}
+		stack = append(stack, in.children(e)...)
+	}
+	return count, cavityHits
+}
+
+// Validate implements Instance.
+func (in *yadaInstance) Validate(sys *gstm.System) error {
+	wantCount, wantHits := in.expectedWork()
+	if got := in.processed.Peek(); got != wantCount {
+		return fmt.Errorf("yada: processed %d elements, want %d", got, wantCount)
+	}
+	for cell := 0; cell < in.regionLen; cell++ {
+		if got := in.region.Peek(cell); got != wantHits[cell] {
+			return fmt.Errorf("yada: region[%d] = %d, want %d", cell, got, wantHits[cell])
+		}
+	}
+	return nil
+}

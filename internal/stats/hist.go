@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts occurrences of small non-negative integer observations,
+// such as "number of aborts a transaction suffered before committing".
+// The zero value is an empty histogram ready for use.
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int64)}
+}
+
+// Add records one observation of value v. Negative values are rejected.
+func (h *Histogram) Add(v int) error {
+	if v < 0 {
+		return fmt.Errorf("stats: negative histogram value %d", v)
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+	}
+	h.counts[v]++
+	h.total++
+	return nil
+}
+
+// AddN records n observations of value v.
+func (h *Histogram) AddN(v int, n int64) error {
+	if v < 0 {
+		return fmt.Errorf("stats: negative histogram value %d", v)
+	}
+	if n < 0 {
+		return fmt.Errorf("stats: negative histogram count %d", n)
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+	}
+	h.counts[v] += n
+	h.total += n
+	return nil
+}
+
+// Merge adds every bucket of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+	}
+	for v, n := range other.counts {
+		h.counts[v] += n
+		h.total += n
+	}
+}
+
+// Count returns the frequency of value v.
+func (h *Histogram) Count(v int) int64 { return h.counts[v] }
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// MaxValue returns the largest observed value, or -1 if empty.
+func (h *Histogram) MaxValue() int {
+	max := -1
+	for v := range h.counts {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Values returns the distinct observed values in ascending order.
+func (h *Histogram) Values() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// TailMetric implements the paper's tail-of-distribution measure for a
+// thread's abort histogram:
+//
+//	tail = Σ j²  over each distinct abort count j with non-zero frequency.
+//
+// Squaring weights the long tail: a thread that ever saw 30 aborts
+// contributes 900 regardless of how rarely, so cutting extreme abort counts
+// shows up strongly even if common cases are unchanged.
+func (h *Histogram) TailMetric() float64 {
+	tail := 0.0
+	for v, n := range h.counts {
+		if n > 0 {
+			tail += float64(v) * float64(v)
+		}
+	}
+	return tail
+}
+
+// Mean returns the mean observed value.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v, n := range h.counts {
+		sum += float64(v) * float64(n)
+	}
+	return sum / float64(h.total)
+}
+
+// String renders the histogram in the artifact's "aborts:frequency" format,
+// e.g. "0:700 1:52 4:3".
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i, v := range h.Values() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", v, h.counts[v])
+	}
+	return b.String()
+}
+
+// TailImprovement returns the average percentage improvement of the tail
+// metric across paired per-thread histograms (Table IV). Threads whose
+// baseline tail metric is zero are skipped, matching the paper's ssca2 rows
+// reported as 0.
+func TailImprovement(base, guided []*Histogram) float64 {
+	n := len(base)
+	if len(guided) < n {
+		n = len(guided)
+	}
+	sum, cnt := 0.0, 0
+	for i := 0; i < n; i++ {
+		bt := base[i].TailMetric()
+		if bt == 0 {
+			continue
+		}
+		sum += PercentImprovement(bt, guided[i].TailMetric())
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Total() != 0 || h.MaxValue() != -1 || h.String() != "" {
+		t.Fatal("empty histogram invariants violated")
+	}
+	for i := 0; i < 700; i++ {
+		if err := h.Add(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.AddN(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add(7); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count(0) != 700 || h.Count(3) != 2 || h.Count(7) != 1 {
+		t.Fatalf("counts wrong: %v", h)
+	}
+	if h.Total() != 703 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.MaxValue() != 7 {
+		t.Fatalf("MaxValue = %d", h.MaxValue())
+	}
+	if got := h.String(); got != "0:700 3:2 7:1" {
+		t.Fatalf("String = %q", got)
+	}
+	if got, want := h.TailMetric(), float64(0+9+49); got != want {
+		t.Fatalf("TailMetric = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramRejectsNegative(t *testing.T) {
+	h := NewHistogram()
+	if err := h.Add(-1); err == nil {
+		t.Fatal("Add(-1) accepted")
+	}
+	if err := h.AddN(1, -2); err == nil {
+		t.Fatal("AddN with negative count accepted")
+	}
+	if err := h.AddN(-1, 2); err == nil {
+		t.Fatal("AddN with negative value accepted")
+	}
+}
+
+func TestHistogramZeroValueUsable(t *testing.T) {
+	var h Histogram
+	if err := h.Add(2); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count(2) != 1 {
+		t.Fatal("zero-value histogram unusable")
+	}
+	var h2 Histogram
+	if err := h2.AddN(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Total() != 5 {
+		t.Fatal("zero-value AddN failed")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	_ = a.AddN(0, 10)
+	_ = a.AddN(2, 1)
+	_ = b.AddN(0, 5)
+	_ = b.AddN(4, 2)
+	a.Merge(b)
+	if a.Count(0) != 15 || a.Count(2) != 1 || a.Count(4) != 2 || a.Total() != 18 {
+		t.Fatalf("merge wrong: %v", a)
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram()
+	_ = h.AddN(0, 2)
+	_ = h.AddN(3, 2)
+	if got := h.Mean(); got != 1.5 {
+		t.Fatalf("Mean = %v, want 1.5", got)
+	}
+	if NewHistogram().Mean() != 0 {
+		t.Fatal("empty Mean != 0")
+	}
+}
+
+func TestTailMetricCutsWithTail(t *testing.T) {
+	// Removing the extreme abort count must shrink the tail metric even if
+	// common-case counts grow.
+	long := NewHistogram()
+	_ = long.AddN(0, 100)
+	_ = long.AddN(1, 10)
+	_ = long.AddN(30, 1)
+	short := NewHistogram()
+	_ = short.AddN(0, 80)
+	_ = short.AddN(1, 40)
+	_ = short.AddN(2, 5)
+	if long.TailMetric() <= short.TailMetric() {
+		t.Fatalf("tail metric did not weight the tail: long=%v short=%v",
+			long.TailMetric(), short.TailMetric())
+	}
+}
+
+func TestTailImprovement(t *testing.T) {
+	mk := func(vals ...int) *Histogram {
+		h := NewHistogram()
+		for _, v := range vals {
+			_ = h.Add(v)
+		}
+		return h
+	}
+	base := []*Histogram{mk(0, 1, 4), mk(0, 2)}   // tails: 17, 4
+	guided := []*Histogram{mk(0, 1), mk(0, 1)}    // tails: 1, 1
+	got := TailImprovement(base, guided)          // (16/17 + 3/4)/2 * 100
+	want := ((16.0/17.0)*100 + (3.0/4.0)*100) / 2 //
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("TailImprovement = %v, want %v", got, want)
+	}
+	// Zero-tail baselines are skipped (ssca2 rows report 0).
+	if got := TailImprovement([]*Histogram{mk(0)}, []*Histogram{mk(0)}); got != 0 {
+		t.Fatalf("zero-tail TailImprovement = %v, want 0", got)
+	}
+}
+
+func TestHistogramValuesSortedProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		h := NewHistogram()
+		for _, v := range raw {
+			if err := h.Add(int(v)); err != nil {
+				return false
+			}
+		}
+		vs := h.Values()
+		for i := 1; i < len(vs); i++ {
+			if vs[i-1] >= vs[i] {
+				return false
+			}
+		}
+		var total int64
+		for _, v := range vs {
+			total += h.Count(v)
+		}
+		return total == int64(len(raw))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package stmds
+
+import "gstm/internal/tl2"
+
+// HashTable maps int64 keys to values using fixed-size bucketing with one
+// sorted List per bucket — STAMP's hashtable.c shape. Conflicts occur per
+// bucket chain, so tables sized well above the working set behave like the
+// original's low-contention dictionaries while a deliberately small table
+// produces hot buckets.
+type HashTable[V any] struct {
+	buckets []*List[V]
+	mask    uint64
+	size    *tl2.Var[int]
+}
+
+// NewHashTable returns a table with nbuckets rounded up to a power of two
+// (minimum 16).
+func NewHashTable[V any](nbuckets int) *HashTable[V] {
+	n := 16
+	for n < nbuckets {
+		n <<= 1
+	}
+	h := &HashTable[V]{
+		buckets: make([]*List[V], n),
+		mask:    uint64(n - 1),
+		size:    tl2.NewVar(0),
+	}
+	for i := range h.buckets {
+		h.buckets[i] = NewList[V]()
+	}
+	return h
+}
+
+func (h *HashTable[V]) bucket(k int64) *List[V] {
+	x := uint64(k)
+	// Fibonacci scrambling spreads sequential keys across buckets.
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	return h.buckets[x&h.mask]
+}
+
+// Insert adds k→v, reporting false when k already exists.
+func (h *HashTable[V]) Insert(tx *tl2.Tx, k int64, v V) bool {
+	if !h.bucket(k).Insert(tx, k, v) {
+		return false
+	}
+	tl2.Write(tx, h.size, tl2.Read(tx, h.size)+1)
+	return true
+}
+
+// InsertNoCount is Insert without maintaining the global size counter.
+// STAMP's genome builds its segment table this way to avoid serializing all
+// inserts on one counter; Len is then unavailable.
+func (h *HashTable[V]) InsertNoCount(tx *tl2.Tx, k int64, v V) bool {
+	return h.bucket(k).Insert(tx, k, v)
+}
+
+// Get returns the value stored under k.
+func (h *HashTable[V]) Get(tx *tl2.Tx, k int64) (V, bool) {
+	return h.bucket(k).Get(tx, k)
+}
+
+// Set updates an existing key, reporting whether it existed.
+func (h *HashTable[V]) Set(tx *tl2.Tx, k int64, v V) bool {
+	return h.bucket(k).Set(tx, k, v)
+}
+
+// Remove deletes k, reporting whether it was present. It only maintains the
+// size counter for keys inserted with Insert.
+func (h *HashTable[V]) Remove(tx *tl2.Tx, k int64) bool {
+	if !h.bucket(k).Remove(tx, k) {
+		return false
+	}
+	tl2.Write(tx, h.size, tl2.Read(tx, h.size)-1)
+	return true
+}
+
+// Contains reports whether k is present.
+func (h *HashTable[V]) Contains(tx *tl2.Tx, k int64) bool {
+	return h.bucket(k).Contains(tx, k)
+}
+
+// Len returns the number of Insert-ed elements.
+func (h *HashTable[V]) Len(tx *tl2.Tx) int { return tl2.Read(tx, h.size) }
+
+// NumBuckets returns the bucket count (for tests and sizing heuristics).
+func (h *HashTable[V]) NumBuckets() int { return len(h.buckets) }
+
+// RangeAll calls fn for every key/value pair, bucket by bucket, until fn
+// returns false. Order is unspecified but deterministic for a fixed table.
+func (h *HashTable[V]) RangeAll(tx *tl2.Tx, fn func(k int64, v V) bool) {
+	for _, b := range h.buckets {
+		stop := false
+		b.Range(tx, func(k int64, v V) bool {
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package stmds
+
+import (
+	"errors"
+
+	"gstm/internal/tl2"
+)
+
+// ErrHeapFull is returned by Heap.Push when the fixed capacity is
+// exhausted.
+var ErrHeapFull = errors.New("stmds: heap capacity exhausted")
+
+// Heap is a transactional binary heap of fixed capacity (STAMP's heap.c,
+// used by yada's work queue). Every slot is a transactional cell; pops
+// conflict at the root, the hottest location of the original benchmark.
+//
+// The ordering is defined by the less function supplied at construction:
+// less(a, b) true means a is popped before b.
+type Heap[V any] struct {
+	data *tl2.Array[V]
+	size *tl2.Var[int]
+	less func(a, b V) bool
+}
+
+// NewHeap returns an empty heap with the given capacity and ordering.
+func NewHeap[V any](capacity int, less func(a, b V) bool) *Heap[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Heap[V]{
+		data: tl2.NewArray[V](capacity),
+		size: tl2.NewVar(0),
+		less: less,
+	}
+}
+
+// Push inserts v, returning ErrHeapFull at capacity.
+func (h *Heap[V]) Push(tx *tl2.Tx, v V) error {
+	n := tl2.Read(tx, h.size)
+	if n >= h.data.Len() {
+		return ErrHeapFull
+	}
+	tl2.WriteAt(tx, h.data, n, v)
+	tl2.Write(tx, h.size, n+1)
+	// Sift up.
+	i := n
+	cur := v
+	for i > 0 {
+		parent := (i - 1) / 2
+		pv := tl2.ReadAt(tx, h.data, parent)
+		if !h.less(cur, pv) {
+			break
+		}
+		tl2.WriteAt(tx, h.data, i, pv)
+		tl2.WriteAt(tx, h.data, parent, cur)
+		i = parent
+	}
+	return nil
+}
+
+// Pop removes and returns the minimum element (per less); ok is false when
+// empty.
+func (h *Heap[V]) Pop(tx *tl2.Tx) (v V, ok bool) {
+	n := tl2.Read(tx, h.size)
+	if n == 0 {
+		var zero V
+		return zero, false
+	}
+	top := tl2.ReadAt(tx, h.data, 0)
+	last := tl2.ReadAt(tx, h.data, n-1)
+	n--
+	tl2.Write(tx, h.size, n)
+	if n == 0 {
+		return top, true
+	}
+	tl2.WriteAt(tx, h.data, 0, last)
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		sv := last
+		if l < n {
+			lv := tl2.ReadAt(tx, h.data, l)
+			if h.less(lv, sv) {
+				smallest, sv = l, lv
+			}
+		}
+		if r < n {
+			rv := tl2.ReadAt(tx, h.data, r)
+			if h.less(rv, sv) {
+				smallest, sv = r, rv
+			}
+		}
+		if smallest == i {
+			break
+		}
+		tl2.WriteAt(tx, h.data, i, sv)
+		tl2.WriteAt(tx, h.data, smallest, last)
+		i = smallest
+	}
+	return top, true
+}
+
+// Peek returns the minimum element without removing it.
+func (h *Heap[V]) Peek(tx *tl2.Tx) (v V, ok bool) {
+	if tl2.Read(tx, h.size) == 0 {
+		var zero V
+		return zero, false
+	}
+	return tl2.ReadAt(tx, h.data, 0), true
+}
+
+// Len returns the number of elements.
+func (h *Heap[V]) Len(tx *tl2.Tx) int { return tl2.Read(tx, h.size) }
+
+// Cap returns the fixed capacity.
+func (h *Heap[V]) Cap() int { return h.data.Len() }

@@ -1,0 +1,415 @@
+package synquake
+
+import (
+	"fmt"
+	"time"
+
+	"gstm/internal/libtm"
+	"gstm/internal/stamp"
+	"gstm/internal/txid"
+	"gstm/internal/xrand"
+)
+
+// cellSize is the side of one spatial-grid cell in map units. SynQuake uses
+// object-level consistency; the grid cell is the shared object players
+// contend on when they crowd the same area.
+const cellSize = 32
+
+// Player is a game entity. Values stored in a libtm.Obj are immutable
+// snapshots; transactions write modified copies.
+type Player struct {
+	X, Y  int32
+	HP    int32
+	Score int32 // kills
+	Items int32 // pickups collected
+	Quest int8  // assigned quest point (0..3)
+}
+
+// Config parameterizes a game run.
+type Config struct {
+	Threads    int
+	Players    int
+	Frames     int
+	MapSize    int32 // square map side, paper: 1024
+	Seed       uint64
+	Interleave int
+}
+
+// Normalize fills defaults (paper-scaled where affordable).
+func (c Config) Normalize() Config {
+	if c.Threads <= 0 {
+		c.Threads = 8
+	}
+	if c.Players <= 0 {
+		c.Players = 256
+	}
+	if c.Frames <= 0 {
+		c.Frames = 200
+	}
+	if c.MapSize <= 0 {
+		c.MapSize = 1024
+	}
+	return c
+}
+
+// Game is one run's world state over a LibTM runtime.
+type Game struct {
+	cfg     Config
+	quest   Quest
+	rt      *libtm.Runtime
+	players []*libtm.Obj[Player]
+	cells   []*libtm.Obj[[]int32] // player IDs per grid cell
+	items   []*libtm.Obj[int32]   // pickup count per grid cell
+	cellsW  int32
+	spawned int // items spawned so far (single-threaded phases only)
+}
+
+// Transaction sites (the paper's statically numbered TM_BEGIN IDs).
+const (
+	txnMove   txid.TxnID = 0
+	txnAttack txid.TxnID = 1
+	txnHeal   txid.TxnID = 2
+	txnPickup txid.TxnID = 3
+	txnSpawn  txid.TxnID = 4
+)
+
+// NewGame builds a world for the quest with players placed at their quest
+// points' surroundings.
+func NewGame(cfg Config, quest Quest, rt *libtm.Runtime) (*Game, error) {
+	cfg = cfg.Normalize()
+	if cfg.MapSize%cellSize != 0 {
+		return nil, fmt.Errorf("synquake: map size %d not a multiple of the cell size %d", cfg.MapSize, cellSize)
+	}
+	g := &Game{
+		cfg:    cfg,
+		quest:  quest,
+		rt:     rt,
+		cellsW: cfg.MapSize / cellSize,
+	}
+	g.cells = make([]*libtm.Obj[[]int32], g.cellsW*g.cellsW)
+	g.items = make([]*libtm.Obj[int32], g.cellsW*g.cellsW)
+	for i := range g.cells {
+		g.cells[i] = libtm.NewObj[[]int32](nil)
+		g.items[i] = libtm.NewObj[int32](0)
+	}
+	rng := xrand.New(cfg.Seed + 909)
+	points := quest.Points(0)
+	g.players = make([]*libtm.Obj[Player], cfg.Players)
+	membership := make(map[int32][]int32)
+	for id := range g.players {
+		q := int8(id % 4)
+		p := Player{
+			X:     clamp(points[q][0]+int32(rng.Intn(200))-100, 0, cfg.MapSize-1),
+			Y:     clamp(points[q][1]+int32(rng.Intn(200))-100, 0, cfg.MapSize-1),
+			HP:    100,
+			Quest: q,
+		}
+		g.players[id] = libtm.NewObj(p)
+		membership[g.cellIndex(p.X, p.Y)] = append(membership[g.cellIndex(p.X, p.Y)], int32(id))
+	}
+	for cell, ids := range membership {
+		g.cells[cell].Reset(ids)
+	}
+	return g, nil
+}
+
+func clamp(v, lo, hi int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func (g *Game) cellIndex(x, y int32) int32 {
+	return (y/cellSize)*g.cellsW + x/cellSize
+}
+
+// Result is one run's measurements.
+type Result struct {
+	// FrameTimes is each frame's processing wall-clock time (seconds) —
+	// the quantity whose variance Figures 11a/12a report.
+	FrameTimes []float64
+
+	Commits uint64
+	Aborts  uint64
+}
+
+// AbortRatio returns aborts per commit.
+func (r *Result) AbortRatio() float64 {
+	if r.Commits == 0 {
+		return 0
+	}
+	return float64(r.Aborts) / float64(r.Commits)
+}
+
+// TotalTime returns the summed frame time in seconds.
+func (r *Result) TotalTime() float64 {
+	t := 0.0
+	for _, f := range r.FrameTimes {
+		t += f
+	}
+	return t
+}
+
+// Run plays cfg.Frames frames, each processed by cfg.Threads server threads
+// inside a barrier, and returns per-frame processing times. "Because
+// multiple client frames are handled by threads and executed within
+// barriers, time variance per thread is not of significance" (Section
+// VIII) — the frame time is the reported quantity.
+func (g *Game) Run() (*Result, error) {
+	res := &Result{FrameTimes: make([]float64, 0, g.cfg.Frames)}
+	startCommits, startAborts := g.rt.Stats()
+	rngs := make([]*xrand.Rand, g.cfg.Threads)
+	for t := range rngs {
+		rngs[t] = xrand.NewThread(g.cfg.Seed, t)
+	}
+	for frame := 0; frame < g.cfg.Frames; frame++ {
+		points := g.quest.Points(frame)
+		if frame%4 == 0 {
+			if err := g.spawnItems(points); err != nil {
+				return nil, err
+			}
+		}
+		begin := time.Now()
+		_, err := stamp.RunThreads(g.cfg.Threads, func(t int) error {
+			lo := t * g.cfg.Players / g.cfg.Threads
+			hi := (t + 1) * g.cfg.Players / g.cfg.Threads
+			for id := lo; id < hi; id++ {
+				if err := g.processPlayer(txid.ThreadID(t), int32(id), points, rngs[t]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		res.FrameTimes = append(res.FrameTimes, time.Since(begin).Seconds())
+		if err != nil {
+			return nil, err
+		}
+	}
+	commits, aborts := g.rt.Stats()
+	res.Commits = commits - startCommits
+	res.Aborts = aborts - startAborts
+	return res, nil
+}
+
+// spawnItems drops one pickup at each quest point (single-threaded
+// between-frame phase, like SynQuake's server tick bookkeeping; it still
+// runs transactionally because player transactions from the previous frame
+// shape the same cells' versions).
+func (g *Game) spawnItems(points [4][2]int32) error {
+	for _, pt := range points {
+		cell := g.cellIndex(pt[0], pt[1])
+		if err := g.rt.Atomic(0, txnSpawn, func(tx *libtm.Tx) error {
+			libtm.Write(tx, g.items[cell], libtm.Read(tx, g.items[cell])+1)
+			return nil
+		}); err != nil {
+			return err
+		}
+		g.spawned++
+	}
+	return nil
+}
+
+// processPlayer executes one player's frame: a movement transaction that
+// updates the player and its spatial-grid membership, then — when the
+// player shares a cell with others — an attack transaction against a
+// neighbour scanning the 3×3 area of interest, an item pickup, and
+// occasionally a heal.
+func (g *Game) processPlayer(thread txid.ThreadID, id int32, points [4][2]int32, rng *xrand.Rand) error {
+	jx, jy := int32(rng.Intn(17))-8, int32(rng.Intn(17))-8
+	attackRoll := rng.Intn(100)
+
+	var cellAfter int32
+	if err := g.rt.Atomic(thread, txnMove, func(tx *libtm.Tx) error {
+		p := libtm.Read(tx, g.players[id])
+		oldCell := g.cellIndex(p.X, p.Y)
+		target := points[p.Quest]
+		p.X = clamp(p.X+step(target[0], p.X)+jx, 0, g.cfg.MapSize-1)
+		p.Y = clamp(p.Y+step(target[1], p.Y)+jy, 0, g.cfg.MapSize-1)
+		newCell := g.cellIndex(p.X, p.Y)
+		if oldCell != newCell {
+			libtm.Write(tx, g.cells[oldCell], removeID(libtm.Read(tx, g.cells[oldCell]), id))
+			libtm.Write(tx, g.cells[newCell], appendID(libtm.Read(tx, g.cells[newCell]), id))
+		}
+		libtm.Write(tx, g.players[id], p)
+		cellAfter = newCell
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if attackRoll < 30 {
+		if err := g.rt.Atomic(thread, txnAttack, func(tx *libtm.Tx) error {
+			// Prefer a victim in the player's own cell; widen to the 3×3
+			// area of interest only when it is empty, so the common-case
+			// transaction footprint stays one container (as in SynQuake,
+			// where range queries grow the footprint only when needed).
+			var victim int32 = -1
+			for _, m := range libtm.Read(tx, g.cells[cellAfter]) {
+				if m != id {
+					victim = m
+					break
+				}
+			}
+			if victim < 0 {
+				for _, cell := range g.areaOfInterest(cellAfter) {
+					if cell == cellAfter {
+						continue
+					}
+					for _, m := range libtm.Read(tx, g.cells[cell]) {
+						if m != id {
+							victim = m
+							break
+						}
+					}
+					if victim >= 0 {
+						break
+					}
+				}
+			}
+			if victim < 0 {
+				return nil
+			}
+			v := libtm.Read(tx, g.players[victim])
+			v.HP -= 10
+			if v.HP <= 0 {
+				v.HP = 100 // respawn in place
+				me := libtm.Read(tx, g.players[id])
+				me.Score++
+				libtm.Write(tx, g.players[id], me)
+			}
+			libtm.Write(tx, g.players[victim], v)
+			return nil
+		}); err != nil {
+			return err
+		}
+	} else if attackRoll < 40 {
+		// Try to grab a pickup from the current cell.
+		if err := g.rt.Atomic(thread, txnPickup, func(tx *libtm.Tx) error {
+			n := libtm.Read(tx, g.items[cellAfter])
+			if n <= 0 {
+				return nil
+			}
+			libtm.Write(tx, g.items[cellAfter], n-1)
+			p := libtm.Read(tx, g.players[id])
+			p.Items++
+			libtm.Write(tx, g.players[id], p)
+			return nil
+		}); err != nil {
+			return err
+		}
+	} else if attackRoll >= 95 {
+		if err := g.rt.Atomic(thread, txnHeal, func(tx *libtm.Tx) error {
+			p := libtm.Read(tx, g.players[id])
+			if p.HP < 100 {
+				p.HP += 5
+				if p.HP > 100 {
+					p.HP = 100
+				}
+				libtm.Write(tx, g.players[id], p)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// areaOfInterest returns the up-to-9 grid cells around (and including)
+// cell.
+func (g *Game) areaOfInterest(cell int32) []int32 {
+	out := make([]int32, 0, 9)
+	cx, cy := cell%g.cellsW, cell/g.cellsW
+	for dy := int32(-1); dy <= 1; dy++ {
+		for dx := int32(-1); dx <= 1; dx++ {
+			x, y := cx+dx, cy+dy
+			if x < 0 || y < 0 || x >= g.cellsW || y >= g.cellsW {
+				continue
+			}
+			out = append(out, y*g.cellsW+x)
+		}
+	}
+	return out
+}
+
+// step moves one coordinate toward the target at up to 12 map units.
+func step(target, cur int32) int32 {
+	d := target - cur
+	if d > 12 {
+		return 12
+	}
+	if d < -12 {
+		return -12
+	}
+	return d
+}
+
+func removeID(ids []int32, id int32) []int32 {
+	out := make([]int32, 0, len(ids))
+	for _, v := range ids {
+		if v != id {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func appendID(ids []int32, id int32) []int32 {
+	out := make([]int32, 0, len(ids)+1)
+	out = append(out, ids...)
+	return append(out, id)
+}
+
+// Validate checks world invariants after a run: every player is in bounds
+// with sane HP, and the spatial grid's membership exactly matches player
+// positions.
+func (g *Game) Validate() error {
+	seen := make(map[int32]int32) // player → cell from grid
+	for ci, cell := range g.cells {
+		for _, id := range cell.Peek() {
+			if prev, dup := seen[id]; dup {
+				return fmt.Errorf("synquake: player %d in cells %d and %d", id, prev, ci)
+			}
+			seen[id] = int32(ci)
+		}
+	}
+	if len(seen) != len(g.players) {
+		return fmt.Errorf("synquake: grid holds %d players, want %d", len(seen), len(g.players))
+	}
+	var held int64
+	for id, obj := range g.players {
+		p := obj.Peek()
+		if p.X < 0 || p.Y < 0 || p.X >= g.cfg.MapSize || p.Y >= g.cfg.MapSize {
+			return fmt.Errorf("synquake: player %d out of bounds (%d,%d)", id, p.X, p.Y)
+		}
+		if p.HP <= 0 || p.HP > 100 {
+			return fmt.Errorf("synquake: player %d has HP %d", id, p.HP)
+		}
+		if p.Items < 0 {
+			return fmt.Errorf("synquake: player %d has %d items", id, p.Items)
+		}
+		held += int64(p.Items)
+		if got := seen[int32(id)]; got != g.cellIndex(p.X, p.Y) {
+			return fmt.Errorf("synquake: player %d at (%d,%d) should be in cell %d, grid says %d",
+				id, p.X, p.Y, g.cellIndex(p.X, p.Y), got)
+		}
+	}
+	// Item conservation: spawned = still on the ground + picked up.
+	var ground int64
+	for i, it := range g.items {
+		n := it.Peek()
+		if n < 0 {
+			return fmt.Errorf("synquake: cell %d has %d items", i, n)
+		}
+		ground += int64(n)
+	}
+	if ground+held != int64(g.spawned) {
+		return fmt.Errorf("synquake: items %d on ground + %d held != %d spawned",
+			ground, held, g.spawned)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+// Package synquake is a from-scratch 2-D multiplayer game server in the
+// mould of SynQuake (Lupei et al., PPoPP'10), the Quake 3 derivative the
+// paper uses for its real-world evaluation (Section VIII). Players move on
+// a 1024×1024 map under quest attraction; server threads process players
+// frame by frame inside barriers, with every game-state mutation running as
+// a LibTM transaction (fully optimistic detection, abort-readers
+// resolution, as in the paper).
+//
+// The original's quest inputs are reproduced by name: 4worst_case and
+// 4moving train the model, 4quadrants and 4center_spread6 are measured.
+package synquake
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quest produces the map locations of the four high-interest points for a
+// given frame. Players are attracted to their assigned point, concentrating
+// them — and their transactional footprints — in small regions.
+type Quest interface {
+	// Name returns the artifact's quest name.
+	Name() string
+	// Points returns the four attraction points for the frame.
+	Points(frame int) [4][2]int32
+}
+
+// QuestByName returns one of the four paper quests for a map of the given
+// size.
+func QuestByName(name string, mapSize int32) (Quest, error) {
+	switch name {
+	case "4worst_case":
+		return worstCase{size: mapSize}, nil
+	case "4moving":
+		return moving{size: mapSize}, nil
+	case "4quadrants":
+		return quadrants{size: mapSize}, nil
+	case "4center_spread6":
+		return centerSpread{size: mapSize, spreadCells: 6}, nil
+	default:
+		return nil, fmt.Errorf("synquake: unknown quest %q (have 4worst_case, 4moving, 4quadrants, 4center_spread6)", name)
+	}
+}
+
+// TrainingQuests returns the two quests the paper trains on.
+func TrainingQuests(mapSize int32) []Quest {
+	return []Quest{worstCase{size: mapSize}, moving{size: mapSize}}
+}
+
+// TestQuests returns the two quests the paper measures.
+func TestQuests(mapSize int32) []Quest {
+	return []Quest{quadrants{size: mapSize}, centerSpread{size: mapSize, spreadCells: 6}}
+}
+
+// worstCase piles all four points onto the map centre: every player
+// converges on one spot, the maximum-contention input.
+type worstCase struct{ size int32 }
+
+func (worstCase) Name() string { return "4worst_case" }
+
+func (q worstCase) Points(int) [4][2]int32 {
+	c := q.size / 2
+	return [4][2]int32{{c, c}, {c + 8, c}, {c, c + 8}, {c + 8, c + 8}}
+}
+
+// moving orbits the four points slowly around the centre, dragging the
+// player crowd (and the contention locus) across the map.
+type moving struct{ size int32 }
+
+func (moving) Name() string { return "4moving" }
+
+func (q moving) Points(frame int) [4][2]int32 {
+	c := float64(q.size / 2)
+	r := float64(q.size) / 4
+	var out [4][2]int32
+	for i := 0; i < 4; i++ {
+		ang := float64(frame)/40 + float64(i)*math.Pi/2
+		out[i] = [2]int32{
+			int32(c + r*math.Cos(ang)),
+			int32(c + r*math.Sin(ang)),
+		}
+	}
+	return out
+}
+
+// quadrants places one point at the centre of each map quadrant, splitting
+// the crowd four ways.
+type quadrants struct{ size int32 }
+
+func (quadrants) Name() string { return "4quadrants" }
+
+func (q quadrants) Points(int) [4][2]int32 {
+	lo, hi := q.size/4, 3*q.size/4
+	return [4][2]int32{{lo, lo}, {hi, lo}, {lo, hi}, {hi, hi}}
+}
+
+// centerSpread spreads four points around the centre at a radius of
+// spreadCells grid cells — crowded but not piled onto one spot.
+type centerSpread struct {
+	size        int32
+	spreadCells int32
+}
+
+func (centerSpread) Name() string { return "4center_spread6" }
+
+func (q centerSpread) Points(int) [4][2]int32 {
+	c := q.size / 2
+	d := q.spreadCells * cellSize
+	return [4][2]int32{{c - d, c}, {c + d, c}, {c, c - d}, {c, c + d}}
+}

@@ -1,0 +1,218 @@
+package synquake
+
+import (
+	"testing"
+
+	"gstm/internal/libtm"
+)
+
+func TestCellIndexCoversGrid(t *testing.T) {
+	rt := libtm.New(libtm.Config{})
+	q, _ := QuestByName("4quadrants", 1024)
+	g, err := NewGame(Config{Threads: 1, Players: 4, Frames: 1, MapSize: 1024}, q, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int32]bool)
+	for y := int32(0); y < 1024; y += cellSize {
+		for x := int32(0); x < 1024; x += cellSize {
+			ci := g.cellIndex(x, y)
+			if ci < 0 || int(ci) >= len(g.cells) {
+				t.Fatalf("cellIndex(%d,%d) = %d out of range", x, y, ci)
+			}
+			if seen[ci] {
+				t.Fatalf("cell %d mapped twice", ci)
+			}
+			seen[ci] = true
+		}
+	}
+	if len(seen) != len(g.cells) {
+		t.Fatalf("covered %d cells of %d", len(seen), len(g.cells))
+	}
+	// Same cell for all positions within one cell.
+	if g.cellIndex(0, 0) != g.cellIndex(cellSize-1, cellSize-1) {
+		t.Fatal("positions within one cell map to different cells")
+	}
+}
+
+func TestStepClampsSpeed(t *testing.T) {
+	cases := []struct {
+		target, cur, want int32
+	}{
+		{100, 0, 12},
+		{0, 100, -12},
+		{5, 0, 5},
+		{0, 5, -5},
+		{7, 7, 0},
+	}
+	for _, c := range cases {
+		if got := step(c.target, c.cur); got != c.want {
+			t.Errorf("step(%d, %d) = %d, want %d", c.target, c.cur, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(-5, 0, 10) != 0 || clamp(15, 0, 10) != 10 || clamp(5, 0, 10) != 5 {
+		t.Fatal("clamp broken")
+	}
+}
+
+func TestRemoveAppendID(t *testing.T) {
+	ids := []int32{1, 2, 3}
+	got := removeID(ids, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("removeID = %v", got)
+	}
+	// Original must be untouched (copy-on-write).
+	if len(ids) != 3 || ids[1] != 2 {
+		t.Fatal("removeID mutated input")
+	}
+	got2 := appendID(ids, 9)
+	if len(got2) != 4 || got2[3] != 9 {
+		t.Fatalf("appendID = %v", got2)
+	}
+	if len(ids) != 3 {
+		t.Fatal("appendID mutated input")
+	}
+	// Removing an absent ID is a no-op copy.
+	if got3 := removeID(ids, 42); len(got3) != 3 {
+		t.Fatalf("removeID(absent) = %v", got3)
+	}
+}
+
+func TestInitialPlacementConsistent(t *testing.T) {
+	rt := libtm.New(libtm.Config{})
+	q, _ := QuestByName("4worst_case", 1024)
+	g, err := NewGame(Config{Threads: 2, Players: 100, Frames: 1, MapSize: 1024, Seed: 8}, q, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any frame runs, the grid must already be consistent.
+	if err := g.Validate(); err != nil {
+		t.Fatalf("initial world invalid: %v", err)
+	}
+}
+
+func TestCenterSpreadPointsInBounds(t *testing.T) {
+	q, _ := QuestByName("4center_spread6", 1024)
+	for _, p := range q.Points(0) {
+		if p[0] < 0 || p[0] >= 1024 || p[1] < 0 || p[1] >= 1024 {
+			t.Fatalf("point %v out of bounds", p)
+		}
+	}
+}
+
+func TestMovingQuestStaysInBounds(t *testing.T) {
+	q, _ := QuestByName("4moving", 1024)
+	for frame := 0; frame < 2000; frame += 37 {
+		for _, p := range q.Points(frame) {
+			if p[0] < 0 || p[0] >= 1024 || p[1] < 0 || p[1] >= 1024 {
+				t.Fatalf("frame %d point %v out of bounds", frame, p)
+			}
+		}
+	}
+}
+
+func TestFrameCountRespected(t *testing.T) {
+	rt := libtm.New(libtm.Config{Interleave: 4})
+	q, _ := QuestByName("4quadrants", 1024)
+	g, err := NewGame(Config{Threads: 2, Players: 32, Frames: 7, MapSize: 1024, Seed: 2}, q, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FrameTimes) != 7 {
+		t.Fatalf("frames = %d, want 7", len(res.FrameTimes))
+	}
+}
+
+func TestPlayersConvergeOnQuest(t *testing.T) {
+	rt := libtm.New(libtm.Config{})
+	q, _ := QuestByName("4worst_case", 1024)
+	cfg := Config{Threads: 2, Players: 64, Frames: 120, MapSize: 1024, Seed: 4}
+	g, err := NewGame(cfg, q, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// After many frames, players must be near the centre (the quest is
+	// there and movement is 12 units/frame with ±8 jitter).
+	centre := int32(512)
+	far := 0
+	for _, p := range g.players {
+		pl := p.Peek()
+		dx, dy := pl.X-centre, pl.Y-centre
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx+dy > 200 {
+			far++
+		}
+	}
+	if far > len(g.players)/4 {
+		t.Fatalf("%d of %d players never converged on the hotspot", far, len(g.players))
+	}
+}
+
+func TestItemsConservedUnderContention(t *testing.T) {
+	rt := libtm.New(libtm.Config{Interleave: 4})
+	q, _ := QuestByName("4worst_case", 1024)
+	g, err := NewGame(Config{Threads: 4, Players: 96, Frames: 60, MapSize: 1024, Seed: 6}, q, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if g.spawned == 0 {
+		t.Fatal("no items spawned")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("item conservation broken: %v", err)
+	}
+	// With everyone at the hotspot, at least some pickups must happen.
+	picked := int32(0)
+	for _, p := range g.players {
+		picked += p.Peek().Items
+	}
+	if picked == 0 {
+		t.Fatal("no items ever picked up; pickup path untested")
+	}
+}
+
+func TestAreaOfInterestShape(t *testing.T) {
+	rt := libtm.New(libtm.Config{})
+	q, _ := QuestByName("4quadrants", 1024)
+	g, err := NewGame(Config{Threads: 1, Players: 4, Frames: 1, MapSize: 1024}, q, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior cell: 9 neighbours; corner: 4; edge: 6.
+	interior := g.cellsW + 1 // (1,1)
+	if got := len(g.areaOfInterest(interior)); got != 9 {
+		t.Fatalf("interior AoI = %d, want 9", got)
+	}
+	if got := len(g.areaOfInterest(0)); got != 4 {
+		t.Fatalf("corner AoI = %d, want 4", got)
+	}
+	if got := len(g.areaOfInterest(1)); got != 6 {
+		t.Fatalf("edge AoI = %d, want 6", got)
+	}
+	// Every returned cell is in range and unique.
+	seen := map[int32]bool{}
+	for _, c := range g.areaOfInterest(interior) {
+		if c < 0 || int(c) >= len(g.cells) || seen[c] {
+			t.Fatalf("bad AoI cell %d", c)
+		}
+		seen[c] = true
+	}
+}

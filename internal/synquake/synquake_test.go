@@ -1,0 +1,175 @@
+package synquake
+
+import (
+	"testing"
+
+	"gstm/internal/guide"
+	"gstm/internal/libtm"
+	"gstm/internal/model"
+	"gstm/internal/trace"
+)
+
+func smallCfg() Config {
+	return Config{Threads: 4, Players: 64, Frames: 20, MapSize: 1024, Seed: 3, Interleave: 6}
+}
+
+func TestQuestByName(t *testing.T) {
+	for _, name := range []string{"4worst_case", "4moving", "4quadrants", "4center_spread6"} {
+		q, err := QuestByName(name, 1024)
+		if err != nil {
+			t.Fatalf("QuestByName(%q): %v", name, err)
+		}
+		if q.Name() != name {
+			t.Fatalf("Name = %q, want %q", q.Name(), name)
+		}
+		pts := q.Points(0)
+		for _, p := range pts {
+			if p[0] < 0 || p[0] >= 1024 || p[1] < 0 || p[1] >= 1024 {
+				t.Fatalf("%s point %v out of bounds", name, p)
+			}
+		}
+	}
+	if _, err := QuestByName("bogus", 1024); err == nil {
+		t.Fatal("unknown quest accepted")
+	}
+}
+
+func TestWorstCaseConcentratesPoints(t *testing.T) {
+	wc, _ := QuestByName("4worst_case", 1024)
+	qd, _ := QuestByName("4quadrants", 1024)
+	spreadOf := func(pts [4][2]int32) int32 {
+		var minX, maxX = pts[0][0], pts[0][0]
+		for _, p := range pts {
+			if p[0] < minX {
+				minX = p[0]
+			}
+			if p[0] > maxX {
+				maxX = p[0]
+			}
+		}
+		return maxX - minX
+	}
+	if spreadOf(wc.Points(0)) >= spreadOf(qd.Points(0)) {
+		t.Fatal("4worst_case should be more concentrated than 4quadrants")
+	}
+}
+
+func TestMovingQuestMoves(t *testing.T) {
+	q, _ := QuestByName("4moving", 1024)
+	if q.Points(0) == q.Points(100) {
+		t.Fatal("4moving points did not move")
+	}
+}
+
+func TestGameRunsAndValidates(t *testing.T) {
+	rt := libtm.New(libtm.Config{Interleave: 6})
+	q, _ := QuestByName("4quadrants", 1024)
+	g, err := NewGame(smallCfg(), q, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FrameTimes) != 20 {
+		t.Fatalf("frames = %d", len(res.FrameTimes))
+	}
+	for i, f := range res.FrameTimes {
+		if f <= 0 {
+			t.Fatalf("frame %d time %v", i, f)
+		}
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime() <= 0 || res.AbortRatio() < 0 {
+		t.Fatal("result accessors broken")
+	}
+}
+
+func TestWorstCaseContendsMoreThanQuadrants(t *testing.T) {
+	run := func(name string) float64 {
+		rt := libtm.New(libtm.Config{Interleave: 4})
+		q, _ := QuestByName(name, 1024)
+		cfg := smallCfg()
+		cfg.Frames = 40
+		cfg.Players = 128
+		g, err := NewGame(cfg, q, rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := g.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return res.AbortRatio()
+	}
+	wc := run("4worst_case")
+	qd := run("4quadrants")
+	if wc <= qd {
+		t.Fatalf("abort ratio: worst_case %.4f <= quadrants %.4f", wc, qd)
+	}
+}
+
+func TestGuidedGameStaysCorrect(t *testing.T) {
+	// Train on the training quests, then run 4center_spread6 guided.
+	cfg := smallCfg()
+	train := libtm.New(libtm.Config{Interleave: 6})
+	col := trace.NewCollector()
+	train.SetSink(col)
+	var traces []*trace.Trace
+	for _, q := range TrainingQuests(1024) {
+		g, err := NewGame(cfg, q, train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, col.Finalize())
+	}
+	m := model.BuildFromTraces(cfg.Threads, traces)
+	if m.NumStates() == 0 {
+		t.Fatal("empty model")
+	}
+	table := model.Compile(m, 2)
+	ctrl := guide.NewController(table)
+
+	guided := libtm.New(libtm.Config{Interleave: 6})
+	guided.SetSink(ctrl)
+	guided.SetGate(ctrl)
+	q, _ := QuestByName("4center_spread6", 1024)
+	g, err := NewGame(cfg, q, guided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("guided run broke invariants: %v", err)
+	}
+	passed, held, escaped := ctrl.GateStats()
+	if passed+held+escaped == 0 {
+		t.Fatal("gate made no decisions")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	rt := libtm.New(libtm.Config{})
+	q, _ := QuestByName("4quadrants", 1000) // 1000 % 32 != 0
+	if _, err := NewGame(Config{MapSize: 1000}, q, rt); err == nil {
+		t.Fatal("map size not multiple of cell size accepted")
+	}
+	cfg := Config{}.Normalize()
+	if cfg.Threads != 8 || cfg.Players != 256 || cfg.MapSize != 1024 {
+		t.Fatalf("Normalize defaults wrong: %+v", cfg)
+	}
+}

@@ -1,0 +1,77 @@
+// Package tl2 implements the Transactional Locking II software transactional
+// memory of Dice, Shalev and Shavit (DISC'06), the STM the paper builds its
+// guided execution on.
+//
+// The implementation follows the published algorithm:
+//
+//   - a global version clock, sampled into rv at transaction start;
+//   - per-location versioned lock words (version in the high bits, a lock
+//     bit in the low bit), checked on every transactional read;
+//   - lazy (commit-time) conflict detection: writes are buffered in a
+//     write-back redo log and only published after all written locations
+//     have been locked, a new write version wv has been drawn from the
+//     clock, and the read set has been validated against rv;
+//   - bounded spinning on locked words with scheduler yields, then abort.
+//
+// Two departures from the C original are deliberate and documented in
+// DESIGN.md: locations are object-granularity Vars holding an
+// atomic.Pointer (Go's memory model forbids the C version's racy word
+// loads), and the runtime exposes commit/abort event hooks plus a start
+// gate so the tracing and guided-execution layers (internal/trace,
+// internal/guide) can observe and steer execution — the paper's
+// instrumented TX_start/TX_abort/TX_commit.
+package tl2
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// clock is the global version clock. It starts at zero and is incremented
+// once per commit; the post-increment value is the commit's unique write
+// version wv.
+type clock struct {
+	_ [7]uint64 // pad to keep the hot word on its own cache line
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+// globalClock is the process-wide version clock, exactly as in the original
+// TL2 library (a single global counter shared by every transaction in the
+// process). Sharing it across Runtime instances means a Var written under
+// one Runtime is always readable under another: location versions can never
+// exceed the clock any transaction samples rv from.
+var globalClock clock
+
+// now returns the current clock value (the rv sample at transaction start).
+func (c *clock) now() uint64 { return c.v.Load() }
+
+// tick advances the clock and returns the new value, the write version wv
+// of the committing transaction.
+func (c *clock) tick() uint64 { return c.v.Add(1) }
+
+// A versioned lock word packs a version number and a lock bit:
+//
+//	word = version<<1 | lockedBit
+//
+// While a location is locked (mid-commit) the version field still carries
+// the pre-commit version, so concurrent readers spinning on the word can
+// tell how stale their view is once the lock is released.
+const lockedBit uint64 = 1
+
+func makeWord(version uint64, locked bool) uint64 {
+	w := version << 1
+	if locked {
+		w |= lockedBit
+	}
+	return w
+}
+
+func wordVersion(w uint64) uint64 { return w >> 1 }
+func wordLocked(w uint64) bool    { return w&lockedBit != 0 }
+
+// spinYield is called in bounded-spin loops. On the oversubscribed
+// single-core configuration this repository runs on, yielding to the Go
+// scheduler is what lets a mid-commit lock holder finish; busy-waiting
+// would deadlock the core.
+func spinYield() { runtime.Gosched() }

@@ -1,0 +1,265 @@
+package tl2
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gstm/internal/commitreg"
+	"gstm/internal/txid"
+)
+
+// Config parameterizes a Runtime. The zero value is usable; Normalize fills
+// in defaults.
+type Config struct {
+	// Interleave, when positive, makes each transactional operation yield
+	// the processor with probability 1/Interleave. It substitutes for true
+	// multi-core interleaving on the single-core test machine (DESIGN.md).
+	Interleave int
+
+	// MaxReadSpin bounds how many times a read spins on a locked location
+	// before declaring a conflict.
+	MaxReadSpin int
+
+	// MaxLockSpin bounds how many times commit-time lock acquisition spins
+	// per location before aborting, TL2's deadlock-avoidance rule.
+	MaxLockSpin int
+
+	// RegistryCapacity sizes the wv→committer attribution ring.
+	RegistryCapacity int
+
+	// EagerWriteLock switches conflict detection on writes from lazy
+	// (commit-time, the TL2 default the paper evaluates) to eager
+	// (encounter-time): the versioned lock is taken at the first Write, so
+	// write-write conflicts and writer/reader conflicts surface
+	// immediately. Section II argues results on lazy detection imply the
+	// eager case; this knob lets the ablation benches check that claim.
+	EagerWriteLock bool
+}
+
+// Normalize returns cfg with defaults applied to zero fields.
+func (cfg Config) Normalize() Config {
+	if cfg.MaxReadSpin <= 0 {
+		cfg.MaxReadSpin = 64
+	}
+	if cfg.MaxLockSpin <= 0 {
+		cfg.MaxLockSpin = 64
+	}
+	if cfg.RegistryCapacity <= 0 {
+		cfg.RegistryCapacity = 1 << 16
+	}
+	return cfg
+}
+
+// EventSink receives the instrumentation stream the paper adds to TL2
+// (TX_commit / TX_abort): every commit with its global sequence number wv,
+// and every abort with the commit that caused it when attribution
+// succeeded. Implementations must be safe for concurrent use.
+type EventSink interface {
+	// TxCommit reports that p committed with write version wv after
+	// aborting `aborts` times (its failed attempts). wv values are unique
+	// and drawn from a single global clock, so sorting commits by wv
+	// reconstructs the global commit order.
+	TxCommit(p txid.Pair, wv uint64, aborts int)
+
+	// TxAbort reports that p aborted an attempt. byWV identifies the
+	// invalidating commit; byKnown is false when attribution failed, in
+	// which case by holds the runtime's best-effort guess (the most recent
+	// commit) and byWV is that commit's wv.
+	TxAbort(p txid.Pair, byWV uint64, by txid.Pair, byKnown bool)
+}
+
+// Gate is consulted at every transaction start (the paper's modified
+// TM_BEGIN). Arrive may delay the calling goroutine to steer execution, and
+// must eventually return to guarantee progress.
+type Gate interface {
+	Arrive(p txid.Pair)
+}
+
+// Runtime is a TL2 STM instance: configuration and instrumentation hooks
+// shared by all transactions it executes. All Runtimes in the process share
+// the single global version clock (as in the original TL2 library), so Vars
+// may be created and populated under one Runtime and used under another.
+type Runtime struct {
+	cfg  Config
+	reg  *commitreg.Registry
+	sink atomic.Pointer[sinkBox]
+	gate atomic.Pointer[gateBox]
+	pool sync.Pool
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+type sinkBox struct{ s EventSink }
+type gateBox struct{ g Gate }
+
+// New returns a Runtime with cfg (zero fields defaulted).
+func New(cfg Config) *Runtime {
+	rt := &Runtime{cfg: cfg.Normalize()}
+	rt.reg = commitreg.New(rt.cfg.RegistryCapacity)
+	rt.pool.New = func() any { return &Tx{} }
+	return rt
+}
+
+// SetSink installs (or, with nil, removes) the instrumentation sink.
+// Safe to call while transactions run; events race benignly around the
+// switch point.
+func (rt *Runtime) SetSink(s EventSink) {
+	if s == nil {
+		rt.sink.Store(nil)
+		return
+	}
+	rt.sink.Store(&sinkBox{s: s})
+}
+
+// SetGate installs (or, with nil, removes) the transaction-start gate used
+// by guided execution.
+func (rt *Runtime) SetGate(g Gate) {
+	if g == nil {
+		rt.gate.Store(nil)
+		return
+	}
+	rt.gate.Store(&gateBox{g: g})
+}
+
+// clk returns the process-wide version clock.
+func (rt *Runtime) clk() *clock { return &globalClock }
+
+// Clock returns the current global version clock value: the total number of
+// commits in the process so far. Exported for tests and harnesses.
+func (rt *Runtime) Clock() uint64 { return rt.clk().now() }
+
+// Stats returns the cumulative number of committed transactions and of
+// aborted attempts.
+func (rt *Runtime) Stats() (commits, aborts uint64) {
+	return rt.commits.Load(), rt.aborts.Load()
+}
+
+// ResetStats zeroes the cumulative commit/abort counters (the clock is
+// never reset — versions must stay monotone).
+func (rt *Runtime) ResetStats() {
+	rt.commits.Store(0)
+	rt.aborts.Store(0)
+}
+
+// Atomic executes fn transactionally as transaction site txn on worker
+// thread. fn may be re-executed any number of times; it must not have side
+// effects outside transactional Reads/Writes. A non-nil error from fn
+// aborts the attempt, discards its writes and is returned without retry.
+//
+// Atomic must not be nested.
+func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
+	return rt.atomic(thread, txn, fn, false)
+}
+
+// AtomicRO executes fn as a read-only transaction: TL2's fast path, which
+// skips read-set bookkeeping entirely because reads are fully validated at
+// access time and a read-only commit validates nothing further. A Write
+// inside fn returns an error without retrying.
+func (rt *Runtime) AtomicRO(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
+	return rt.atomic(thread, txn, fn, true)
+}
+
+func (rt *Runtime) atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, readOnly bool) error {
+	self := txid.Pair{Txn: txn, Thread: thread}
+	tx := rt.pool.Get().(*Tx)
+	defer rt.pool.Put(tx)
+
+	for attempt := 0; ; attempt++ {
+		if gb := rt.gate.Load(); gb != nil {
+			gb.g.Arrive(self)
+		}
+		tx.reset(rt, self, attempt, readOnly)
+
+		err, conflict := runBody(tx, fn)
+		if conflict != nil {
+			tx.releaseLocks(0) // eager mode may hold encounter-time locks
+			rt.noteAbort(self, conflict.byWV)
+			backoff(attempt)
+			continue
+		}
+		if err != nil {
+			tx.releaseLocks(0)
+			return err
+		}
+		wv, byWV, ok := tx.commit()
+		if !ok {
+			rt.noteAbort(self, byWV)
+			backoff(attempt)
+			continue
+		}
+		rt.commits.Add(1)
+		if sb := rt.sink.Load(); sb != nil {
+			sb.s.TxCommit(self, wv, attempt)
+		}
+		return nil
+	}
+}
+
+// noteAbort counts an abort and reports it, resolving the invalidating
+// commit's identity through the registry. When attribution is impossible
+// (byWV == 0 or the registry slot was recycled) the most recent commit is
+// reported as a best-effort guess, flagged byKnown=false.
+func (rt *Runtime) noteAbort(self txid.Pair, byWV uint64) {
+	rt.aborts.Add(1)
+	sb := rt.sink.Load()
+	if sb == nil {
+		return
+	}
+	if byWV != 0 {
+		if by, ok := rt.reg.Lookup(byWV); ok {
+			sb.s.TxAbort(self, byWV, by, true)
+			return
+		}
+	}
+	guessWV := rt.clk().now()
+	by, ok := rt.reg.Lookup(guessWV)
+	if !ok {
+		by = txid.Pair{}
+	}
+	sb.s.TxAbort(self, guessWV, by, false)
+}
+
+// backoff applies bounded, contention-proportional backoff between retry
+// attempts: early retries just yield, persistent losers sleep briefly so
+// the winner's transaction can finish. Without it, high-contention sites
+// (queue heads, heap roots) churn on the oversubscribed test machine.
+func backoff(attempt int) {
+	// Yield-based only: timer sleeps have ~100µs OS granularity, orders of
+	// magnitude above a transaction, and their jitter would dominate the
+	// very execution-time variance these experiments measure. Yield counts
+	// grow with persistence so chronic losers step aside longer.
+	yields := 0
+	switch {
+	case attempt < 2:
+		// Retry immediately: most conflicts are transient.
+	case attempt < 8:
+		yields = 1
+	case attempt < 32:
+		yields = 4
+	default:
+		yields = 16
+	}
+	for i := 0; i < yields; i++ {
+		spinYield()
+	}
+}
+
+// runBody executes fn, converting a conflictSignal panic into a conflict
+// result while letting every other panic propagate.
+func runBody(tx *Tx, fn func(*Tx) error) (err error, conflict *conflictSignal) {
+	defer func() {
+		if r := recover(); r != nil {
+			if c, ok := r.(*conflictSignal); ok {
+				conflict = c
+				return
+			}
+			if e, ok := r.(errWriteInReadOnly); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn(tx), nil
+}

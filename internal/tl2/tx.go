@@ -1,0 +1,294 @@
+package tl2
+
+import (
+	"sync/atomic"
+
+	"gstm/internal/txid"
+)
+
+// rngSeq hands out distinct initial states for per-Tx yield generators.
+var rngSeq atomic.Uint64
+
+// conflictSignal is panicked by transactional reads/writes (and returned by
+// the commit protocol) when a conflict is detected. byWV is the write
+// version of the commit that invalidated this transaction, or 0 when the
+// invalidating commit could not be identified (e.g. the location stayed
+// locked past the spin bound).
+type conflictSignal struct {
+	byWV uint64
+}
+
+// Tx is a single attempt of a transaction. A Tx is only valid inside the
+// function passed to Runtime.Atomic and must not escape it or be shared
+// across goroutines.
+type Tx struct {
+	rt       *Runtime
+	self     txid.Pair
+	rv       uint64
+	reads    []*base
+	writes   map[*base]any // boxed *T redo values
+	lockIdx  []*base       // bases locked during commit, in acquisition order
+	lockPre  []uint64      // their pre-lock words, parallel to lockIdx
+	attempt  int
+	rng      uint64
+	ops      int
+	readOnly bool
+}
+
+// errWriteInReadOnly reports a Write inside a read-only transaction.
+type errWriteInReadOnly struct{}
+
+func (errWriteInReadOnly) Error() string {
+	return "tl2: Write inside a read-only transaction"
+}
+
+func (tx *Tx) reset(rt *Runtime, self txid.Pair, attempt int, readOnly bool) {
+	tx.rt = rt
+	tx.self = self
+	tx.readOnly = readOnly
+	tx.rv = rt.clk().now()
+	tx.reads = tx.reads[:0]
+	if tx.writes == nil {
+		tx.writes = make(map[*base]any, 8)
+	} else {
+		clear(tx.writes)
+	}
+	tx.lockIdx = tx.lockIdx[:0]
+	tx.lockPre = tx.lockPre[:0]
+	tx.attempt = attempt
+	// The yield generator is seeded once per Tx object and then evolves
+	// across transactions and attempts. Re-seeding per attempt would make
+	// the yield pattern a pure function of (pair, attempt): short
+	// transactions would then either always or never yield at the same
+	// operation, and on a single core "never" means transactions stop
+	// overlapping entirely.
+	if tx.rng == 0 {
+		tx.rng = rngSeq.Add(0x9e3779b97f4a7c15) | 1
+	}
+	tx.ops = 0
+}
+
+// Self returns the (transaction, thread) pair of this attempt.
+func (tx *Tx) Self() txid.Pair { return tx.self }
+
+// Attempt returns the zero-based retry count of this attempt.
+func (tx *Tx) Attempt() int { return tx.attempt }
+
+// maybeYield implements the Interleave knob: on the single-core test
+// machine, transactions would otherwise frequently run to completion
+// between preemptions and never conflict, so every STM operation has a
+// 1/Interleave chance of yielding the processor mid-transaction. This
+// substitutes for the paper's true multi-core interleaving (see DESIGN.md).
+func (tx *Tx) maybeYield() {
+	n := tx.rt.cfg.Interleave
+	if n <= 0 {
+		return
+	}
+	tx.ops++
+	tx.rng ^= tx.rng << 13
+	tx.rng ^= tx.rng >> 7
+	tx.rng ^= tx.rng << 17
+	if tx.rng%uint64(n) == 0 {
+		spinYield()
+	}
+}
+
+func (tx *Tx) conflict(byWV uint64) {
+	panic(&conflictSignal{byWV: byWV})
+}
+
+// readBase performs the TL2 post-validated read protocol on b and returns
+// the consistent value snapshot. It panics with a conflictSignal when the
+// location's version exceeds rv or the location stays locked.
+func (tx *Tx) readBase(b *base, load func() any) any {
+	tx.maybeYield()
+	if boxed, ok := tx.writes[b]; ok {
+		return boxed
+	}
+	for spins := 0; ; spins++ {
+		w1 := b.word.Load()
+		if wordLocked(w1) {
+			if spins < tx.rt.cfg.MaxReadSpin {
+				spinYield()
+				continue
+			}
+			// The lock holder is mid-commit and will bump the version past
+			// rv the moment it finishes; treat it as the invalidator but
+			// its wv is not yet knowable.
+			tx.conflict(0)
+		}
+		val := load()
+		w2 := b.word.Load()
+		if w1 != w2 {
+			// Raced with a commit; re-run the protocol.
+			continue
+		}
+		if v := wordVersion(w1); v > tx.rv {
+			tx.conflict(v)
+		}
+		// TL2's read-only fast path: reads are fully validated here
+		// against rv, and a read-only commit performs no further
+		// validation, so the read set need not be recorded at all.
+		if !tx.readOnly {
+			tx.reads = append(tx.reads, b)
+		}
+		return val
+	}
+}
+
+// Read returns the value of v inside the transaction, observing the
+// transaction's own buffered writes first.
+func Read[T any](tx *Tx, v *Var[T]) T {
+	boxed := tx.readBase(&v.b, func() any { return v.p.Load() })
+	return *(boxed.(*T))
+}
+
+// Write buffers val as the transaction's pending write to v. The write
+// becomes visible to other transactions only if this attempt commits.
+// Under eager detection (Config.EagerWriteLock) the location's versioned
+// lock is acquired here, at encounter time.
+func Write[T any](tx *Tx, v *Var[T], val T) {
+	if tx.readOnly {
+		panic(errWriteInReadOnly{})
+	}
+	tx.maybeYield()
+	b := &v.b
+	if tx.rt.cfg.EagerWriteLock {
+		if _, buffered := tx.writes[b]; !buffered {
+			tx.lockEager(b)
+		}
+	}
+	tx.writes[b] = &val
+}
+
+// lockEager acquires b's versioned lock at encounter time with bounded
+// spinning, validating the version against rv (a newer version means a
+// conflicting commit already happened).
+func (tx *Tx) lockEager(b *base) {
+	for spins := 0; ; spins++ {
+		w := b.word.Load()
+		if wordLocked(w) {
+			if spins >= tx.rt.cfg.MaxLockSpin {
+				tx.conflict(0)
+			}
+			spinYield()
+			continue
+		}
+		if v := wordVersion(w); v > tx.rv {
+			tx.conflict(v)
+		}
+		if b.word.CompareAndSwap(w, w|lockedBit) {
+			tx.lockIdx = append(tx.lockIdx, b)
+			tx.lockPre = append(tx.lockPre, w)
+			return
+		}
+	}
+}
+
+// ReadAt is shorthand for Read on an Array element.
+func ReadAt[T any](tx *Tx, a *Array[T], i int) T { return Read(tx, a.At(i)) }
+
+// WriteAt is shorthand for Write on an Array element.
+func WriteAt[T any](tx *Tx, a *Array[T], i int, val T) { Write(tx, a.At(i), val) }
+
+// lockWriteSet acquires the versioned lock of every written location with
+// bounded spinning. It reports failure (and releases everything acquired)
+// when some lock cannot be taken, the TL2 deadlock-avoidance rule.
+func (tx *Tx) lockWriteSet() bool {
+	for b := range tx.writes {
+		if _, mine := tx.ownedPre(b); mine {
+			continue // already taken at encounter time (eager mode)
+		}
+		acquired := false
+		for spins := 0; spins <= tx.rt.cfg.MaxLockSpin; spins++ {
+			w := b.word.Load()
+			if wordLocked(w) {
+				spinYield()
+				continue
+			}
+			if b.word.CompareAndSwap(w, w|lockedBit) {
+				tx.lockIdx = append(tx.lockIdx, b)
+				tx.lockPre = append(tx.lockPre, w)
+				acquired = true
+				break
+			}
+		}
+		if !acquired {
+			tx.releaseLocks(0)
+			return false
+		}
+	}
+	return true
+}
+
+// releaseLocks restores every acquired lock word. When wv is zero the
+// pre-lock words are restored (abort path); otherwise each location is
+// published at version wv (commit path).
+func (tx *Tx) releaseLocks(wv uint64) {
+	for i, b := range tx.lockIdx {
+		if wv == 0 {
+			b.word.Store(tx.lockPre[i])
+		} else {
+			b.word.Store(makeWord(wv, false))
+		}
+	}
+	tx.lockIdx = tx.lockIdx[:0]
+	tx.lockPre = tx.lockPre[:0]
+}
+
+// ownedPre returns the pre-lock word of b if this transaction holds its
+// lock.
+func (tx *Tx) ownedPre(b *base) (uint64, bool) {
+	for i, lb := range tx.lockIdx {
+		if lb == b {
+			return tx.lockPre[i], true
+		}
+	}
+	return 0, false
+}
+
+// commit runs the TL2 commit protocol. On success it returns the commit's
+// write version. On conflict it returns the invalidating write version (0
+// when unknown) and ok=false; all locks are released and no writes are
+// published.
+//
+// Read-only transactions also draw a write version: the clock tick gives
+// every commit — including read-only ones — a unique global sequence
+// number, which the tracing layer relies on to order the transaction
+// sequence. No location version is advanced, so TL2 semantics are
+// unaffected (see DESIGN.md).
+func (tx *Tx) commit() (wv uint64, byWV uint64, ok bool) {
+	if len(tx.writes) == 0 {
+		// Reads were validated against rv at access time; nothing to do.
+		return tx.rt.clk().tick(), 0, true
+	}
+	if !tx.lockWriteSet() {
+		return 0, 0, false
+	}
+	wv = tx.rt.clk().tick()
+	if wv != tx.rv+1 {
+		// Something committed since we sampled rv: validate the read set.
+		for _, b := range tx.reads {
+			w := b.word.Load()
+			if wordLocked(w) {
+				pre, mine := tx.ownedPre(b)
+				if !mine {
+					tx.releaseLocks(0)
+					return 0, 0, false
+				}
+				w = pre
+			}
+			if v := wordVersion(w); v > tx.rv {
+				tx.releaseLocks(0)
+				return 0, v, false
+			}
+		}
+	}
+	for b, boxed := range tx.writes {
+		b.apply(boxed)
+	}
+	// Publish attribution before the new version becomes observable.
+	tx.rt.reg.Record(wv, tx.self)
+	tx.releaseLocks(wv)
+	return wv, 0, true
+}

@@ -1,0 +1,81 @@
+package tl2
+
+import "sync/atomic"
+
+// base is the non-generic core of a transactional location: its versioned
+// lock word plus a type-erased store hook installed by the generic Var
+// constructor. Transactions track read and write sets as *base pointers so
+// the commit protocol never needs to know element types.
+type base struct {
+	word atomic.Uint64
+	// apply publishes a buffered write (a *T boxed in an any) into the
+	// location. Installed once by NewVar; never nil for a reachable base.
+	apply func(boxed any)
+}
+
+// Var is a transactional memory location holding a value of type T.
+// All access inside a transaction must go through Read/Write (or the
+// ReadVar/WriteVar methods on Tx for interface use); the initial value is
+// set at construction and may be reset outside any transaction with Reset.
+//
+// Values are published as immutable *T snapshots: a transactional Write
+// buffers a fresh pointer, and commit swings the atomic pointer. Mutating
+// the interior of a value previously read from a Var without writing a copy
+// back is a logic error, exactly as in any write-back STM.
+type Var[T any] struct {
+	b base
+	p atomic.Pointer[T]
+}
+
+// NewVar returns a transactional location initialized to val.
+func NewVar[T any](val T) *Var[T] {
+	v := &Var[T]{}
+	v.p.Store(&val)
+	v.b.apply = func(boxed any) { v.p.Store(boxed.(*T)) }
+	return v
+}
+
+// Reset stores val non-transactionally. It must only be used during
+// single-threaded setup or teardown phases (the paper's benchmarks
+// initialize shared data before the timed transactional region).
+func (v *Var[T]) Reset(val T) {
+	v.p.Store(&val)
+	v.b.word.Store(0)
+}
+
+// Peek loads the current value non-transactionally. Like Reset it is only
+// safe when no transactions are running; it exists for result verification
+// after a parallel phase completes.
+func (v *Var[T]) Peek() T { return *v.p.Load() }
+
+// Array is a fixed-length sequence of transactional locations of type T,
+// the analogue of a striped TL2 array: every element has its own versioned
+// lock word, so disjoint-index accesses never conflict.
+type Array[T any] struct {
+	cells []Var[T]
+}
+
+// NewArray returns an Array of n elements, each initialized to the zero
+// value of T.
+func NewArray[T any](n int) *Array[T] {
+	a := &Array[T]{cells: make([]Var[T], n)}
+	for i := range a.cells {
+		v := &a.cells[i]
+		var zero T
+		v.p.Store(&zero)
+		v.b.apply = func(boxed any) { v.p.Store(boxed.(*T)) }
+	}
+	return a
+}
+
+// Len returns the number of elements.
+func (a *Array[T]) Len() int { return len(a.cells) }
+
+// At returns the i'th element as a *Var for use with Read/Write.
+func (a *Array[T]) At(i int) *Var[T] { return &a.cells[i] }
+
+// Reset stores val into element i non-transactionally (setup only).
+func (a *Array[T]) Reset(i int, val T) { a.cells[i].Reset(val) }
+
+// Peek loads element i non-transactionally (verification only).
+func (a *Array[T]) Peek(i int) T { return a.cells[i].Peek() }

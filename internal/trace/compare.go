@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gstm/internal/stats"
+	"gstm/internal/txid"
+)
+
+// Comparison quantifies the difference between two groups of traces —
+// typically a default group and a guided group, the artifact's
+// ND_only-vs-ND_mcmc post-processing.
+type Comparison struct {
+	// NDA and NDB are the distinct-state counts of each group.
+	NDA, NDB int
+	// OnlyA and OnlyB count states exercised by exactly one group.
+	OnlyA, OnlyB int
+	// Shared counts states both groups exercised.
+	Shared int
+	// TailA and TailB are the per-thread abort tail metrics (merged over
+	// each group's runs), keyed by thread.
+	TailA, TailB map[txid.ThreadID]float64
+}
+
+// Compare builds the comparison between two groups of traces.
+func Compare(groupA, groupB []*Trace) *Comparison {
+	setA := stateSet(groupA)
+	setB := stateSet(groupB)
+	c := &Comparison{
+		NDA:   len(setA),
+		NDB:   len(setB),
+		TailA: tails(groupA),
+		TailB: tails(groupB),
+	}
+	for k := range setA {
+		if _, ok := setB[k]; ok {
+			c.Shared++
+		} else {
+			c.OnlyA++
+		}
+	}
+	c.OnlyB = len(setB) - c.Shared
+	return c
+}
+
+func stateSet(group []*Trace) map[Key]struct{} {
+	set := make(map[Key]struct{})
+	for _, t := range group {
+		for _, s := range t.Seq {
+			set[s.Key()] = struct{}{}
+		}
+	}
+	return set
+}
+
+func tails(group []*Trace) map[txid.ThreadID]float64 {
+	merged := make(map[txid.ThreadID]*stats.Histogram)
+	for _, t := range group {
+		for th, h := range t.AbortHist {
+			m := merged[th]
+			if m == nil {
+				m = stats.NewHistogram()
+				merged[th] = m
+			}
+			m.Merge(h)
+		}
+	}
+	out := make(map[txid.ThreadID]float64, len(merged))
+	for th, h := range merged {
+		out[th] = h.TailMetric()
+	}
+	return out
+}
+
+// NDReduction returns the percentage reduction in distinct states from
+// group A to group B (positive when B is more deterministic).
+func (c *Comparison) NDReduction() float64 {
+	return stats.PercentImprovement(float64(c.NDA), float64(c.NDB))
+}
+
+// MeanTailImprovement averages the per-thread tail-metric improvement from
+// A to B over threads present in both groups with a non-zero baseline.
+func (c *Comparison) MeanTailImprovement() float64 {
+	sum, n := 0.0, 0
+	for th, ta := range c.TailA {
+		tb, ok := c.TailB[th]
+		if !ok || ta == 0 {
+			continue
+		}
+		sum += stats.PercentImprovement(ta, tb)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Write renders the comparison.
+func (c *Comparison) Write(w io.Writer) {
+	fmt.Fprintf(w, "non-determinism: A=%d states, B=%d states (%.1f%% reduction)\n",
+		c.NDA, c.NDB, c.NDReduction())
+	fmt.Fprintf(w, "state overlap: %d shared, %d only in A, %d only in B\n",
+		c.Shared, c.OnlyA, c.OnlyB)
+	fmt.Fprintf(w, "abort tail improvement (mean over threads): %.1f%%\n", c.MeanTailImprovement())
+	threads := make([]int, 0, len(c.TailA))
+	for th := range c.TailA {
+		threads = append(threads, int(th))
+	}
+	sort.Ints(threads)
+	for _, th := range threads {
+		fmt.Fprintf(w, "  thread %2d: tail %g -> %g\n",
+			th, c.TailA[txid.ThreadID(th)], c.TailB[txid.ThreadID(th)])
+	}
+}
+
+// Dump renders a single trace: summary counters and the first maxStates
+// states in the paper's notation.
+func Dump(w io.Writer, t *Trace, maxStates int) {
+	fmt.Fprintf(w, "commits=%d aborts=%d unattributed=%d distinct-states=%d\n",
+		t.Commits, t.Aborts, t.Unattributed, t.DistinctStates())
+	threads := make([]int, 0, len(t.AbortHist))
+	for th := range t.AbortHist {
+		threads = append(threads, int(th))
+	}
+	sort.Ints(threads)
+	for _, th := range threads {
+		fmt.Fprintf(w, "thread %2d aborts: %s\n", th, t.AbortHist[txid.ThreadID(th)].String())
+	}
+	n := len(t.Seq)
+	if maxStates > 0 && n > maxStates {
+		n = maxStates
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(w, "%6d  %s\n", i, t.Seq[i].String())
+	}
+	if n < len(t.Seq) {
+		fmt.Fprintf(w, "... (%d more states)\n", len(t.Seq)-n)
+	}
+}

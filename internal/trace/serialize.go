@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"gstm/internal/stats"
+	"gstm/internal/txid"
+)
+
+// Binary trace format (the artifact's on-disk transaction-sequence logs,
+// which let profiling runs and model generation happen in separate
+// processes):
+//
+//	magic    "GSTQ"            4 bytes
+//	version  u8 (=1)
+//	commits  u64, aborts u64, unattributed u64
+//	nstates  u32
+//	states   nstates × { u16 nAborted, nAborted × u32 packed, u32 commit }
+//	nthreads u32
+//	threads  nthreads × { u16 thread, u32 nbuckets,
+//	                      nbuckets × { u32 value, u64 count } }
+//
+// All integers little-endian.
+
+var traceMagic = [4]byte{'G', 'S', 'T', 'Q'}
+
+const traceVersion = 1
+
+// Write serializes the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return err
+	}
+	for _, v := range []uint64{uint64(t.Commits), uint64(t.Aborts), uint64(t.Unattributed)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.Seq))); err != nil {
+		return err
+	}
+	for _, s := range t.Seq {
+		if len(s.Aborted) > 0xffff {
+			return fmt.Errorf("trace: state with %d aborts exceeds format limit", len(s.Aborted))
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(s.Aborted))); err != nil {
+			return err
+		}
+		for _, a := range s.Aborted {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(a)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(s.Commit)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.AbortHist))); err != nil {
+		return err
+	}
+	for th, h := range t.AbortHist {
+		if err := binary.Write(bw, binary.LittleEndian, uint16(th)); err != nil {
+			return err
+		}
+		vals := h.Values()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(vals))); err != nil {
+			return err
+		}
+		for _, v := range vals {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(v)); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, uint64(h.Count(v))); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by Write.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var got [4]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if got != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", got[:])
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	var counters [3]uint64
+	for i := range counters {
+		if err := binary.Read(br, binary.LittleEndian, &counters[i]); err != nil {
+			return nil, err
+		}
+	}
+	var nstates uint32
+	if err := binary.Read(br, binary.LittleEndian, &nstates); err != nil {
+		return nil, err
+	}
+	const maxStates = 1 << 28
+	if nstates > maxStates {
+		return nil, fmt.Errorf("trace: state count %d exceeds sanity limit", nstates)
+	}
+	t := &Trace{
+		Commits:      int(counters[0]),
+		Aborts:       int(counters[1]),
+		Unattributed: int(counters[2]),
+		Seq:          make([]State, 0, nstates),
+		AbortHist:    make(map[txid.ThreadID]*stats.Histogram),
+	}
+	for i := uint32(0); i < nstates; i++ {
+		var nab uint16
+		if err := binary.Read(br, binary.LittleEndian, &nab); err != nil {
+			return nil, err
+		}
+		st := State{}
+		if nab > 0 {
+			st.Aborted = make([]txid.Packed, nab)
+			for j := range st.Aborted {
+				var p uint32
+				if err := binary.Read(br, binary.LittleEndian, &p); err != nil {
+					return nil, err
+				}
+				st.Aborted[j] = txid.Packed(p)
+			}
+		}
+		var c uint32
+		if err := binary.Read(br, binary.LittleEndian, &c); err != nil {
+			return nil, err
+		}
+		st.Commit = txid.Packed(c)
+		t.Seq = append(t.Seq, st)
+	}
+	var nthreads uint32
+	if err := binary.Read(br, binary.LittleEndian, &nthreads); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nthreads; i++ {
+		var th uint16
+		if err := binary.Read(br, binary.LittleEndian, &th); err != nil {
+			return nil, err
+		}
+		var nbuckets uint32
+		if err := binary.Read(br, binary.LittleEndian, &nbuckets); err != nil {
+			return nil, err
+		}
+		h := stats.NewHistogram()
+		for j := uint32(0); j < nbuckets; j++ {
+			var v uint32
+			var c uint64
+			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(br, binary.LittleEndian, &c); err != nil {
+				return nil, err
+			}
+			if err := h.AddN(int(v), int64(c)); err != nil {
+				return nil, err
+			}
+		}
+		t.AbortHist[txid.ThreadID(th)] = h
+	}
+	return t, nil
+}
+
+// SaveTrace writes t to path.
+func SaveTrace(t *Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads a trace from path.
+func LoadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

@@ -1,0 +1,68 @@
+// Package txid defines the (thread, transaction) identifier pair used by
+// every layer of GSTM: the STM runtimes tag commit and abort events with a
+// Pair, the tracer folds pairs into thread transactional states, and the
+// guided-execution gate matches a starting transaction's Pair against the
+// model's destination states.
+//
+// The paper statically numbers each transactional site in the source
+// (TM_BEGIN(ID)); TxnID plays that role here. ThreadID identifies the worker
+// ("thread function") executing the transaction.
+package txid
+
+import "fmt"
+
+// ThreadID identifies a worker thread (goroutine) in an application.
+type ThreadID uint16
+
+// TxnID identifies a static transaction site in the program source,
+// mirroring the paper's TM_BEGIN(ID) instrumentation.
+type TxnID uint16
+
+// Pair is a (transaction site, thread) pair — the unit the paper
+// concatenates into state tuples, e.g. <a6> is transaction "a" on thread 6.
+type Pair struct {
+	Txn    TxnID
+	Thread ThreadID
+}
+
+// Packed is a Pair packed into a single comparable machine word:
+// Txn in the high 16 bits, Thread in the low 16 bits.
+type Packed uint32
+
+// Pack returns the packed representation of p.
+func (p Pair) Pack() Packed {
+	return Packed(uint32(p.Txn)<<16 | uint32(p.Thread))
+}
+
+// Unpack returns the Pair encoded in k.
+func (k Packed) Unpack() Pair {
+	return Pair{Txn: TxnID(k >> 16), Thread: ThreadID(k & 0xffff)}
+}
+
+// String renders the pair in the paper's notation: transaction site as a
+// letter sequence (a, b, ..., z, aa, ab, ...) concatenated with the thread
+// number, e.g. "a6".
+func (p Pair) String() string {
+	return txnLetters(p.Txn) + fmt.Sprintf("%d", p.Thread)
+}
+
+// String renders the packed pair like Pair.String.
+func (k Packed) String() string { return k.Unpack().String() }
+
+// txnLetters converts a transaction site number to a base-26 letter string:
+// 0→a, 1→b, ..., 25→z, 26→aa.
+func txnLetters(t TxnID) string {
+	// Bijective base-26 over 'a'..'z'.
+	n := int(t) + 1
+	buf := make([]byte, 0, 4)
+	for n > 0 {
+		n--
+		buf = append(buf, byte('a'+n%26))
+		n /= 26
+	}
+	// Reverse.
+	for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return string(buf)
+}

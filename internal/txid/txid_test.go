@@ -1,0 +1,61 @@
+package txid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(txn uint16, thread uint16) bool {
+		p := Pair{Txn: TxnID(txn), Thread: ThreadID(thread)}
+		return p.Pack().Unpack() == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackOrdering(t *testing.T) {
+	// Packing puts the transaction site in the high bits, so packed values
+	// sort primarily by transaction site.
+	a := Pair{Txn: 1, Thread: 65535}.Pack()
+	b := Pair{Txn: 2, Thread: 0}.Pack()
+	if a >= b {
+		t.Fatalf("Pack ordering broken: %v >= %v", a, b)
+	}
+}
+
+func TestPaperNotation(t *testing.T) {
+	cases := []struct {
+		p    Pair
+		want string
+	}{
+		{Pair{Txn: 0, Thread: 6}, "a6"},
+		{Pair{Txn: 1, Thread: 7}, "b7"},
+		{Pair{Txn: 2, Thread: 3}, "c3"},
+		{Pair{Txn: 3, Thread: 4}, "d4"},
+		{Pair{Txn: 25, Thread: 0}, "z0"},
+		{Pair{Txn: 26, Thread: 15}, "aa15"},
+		{Pair{Txn: 27, Thread: 1}, "ab1"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.p, got, c.want)
+		}
+		if got := c.p.Pack().String(); got != c.want {
+			t.Errorf("Packed String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestLettersDistinctProperty(t *testing.T) {
+	// Distinct transaction IDs must render to distinct letter strings.
+	seen := make(map[string]TxnID)
+	for i := 0; i < 1000; i++ {
+		s := txnLetters(TxnID(i))
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("txnLetters collision: %d and %d both map to %q", prev, i, s)
+		}
+		seen[s] = TxnID(i)
+	}
+}

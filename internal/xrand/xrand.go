@@ -1,0 +1,68 @@
+// Package xrand provides a tiny, fast, deterministic pseudo-random
+// generator (xoshiro-style splitmix/xorshift) for the workload generators.
+// Each worker thread owns one generator seeded from (benchmark seed, thread
+// id), making every run's *input sequence* reproducible while the STM
+// interleaving remains the source of non-determinism the paper studies.
+package xrand
+
+// Rand is a small xorshift* generator. Not safe for concurrent use; give
+// each goroutine its own.
+type Rand struct {
+	s uint64
+}
+
+// New returns a generator seeded with seed (0 is remapped so the state is
+// never stuck at zero).
+func New(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	// splitmix the seed once to decorrelate close seeds.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &Rand{s: z ^ (z >> 31) | 1}
+}
+
+// NewThread returns a generator for a worker thread, decorrelated from
+// other threads of the same run.
+func NewThread(seed uint64, thread int) *Rand {
+	return New(seed*0x100000001b3 + uint64(thread)*0x9e3779b97f4a7c15 + 1)
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform int in [0, n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative int64.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

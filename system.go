@@ -1,0 +1,274 @@
+package gstm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gstm/internal/guide"
+	"gstm/internal/model"
+	"gstm/internal/tl2"
+	"gstm/internal/trace"
+)
+
+// Config parameterizes a System.
+type Config struct {
+	// Threads is the number of worker threads the application will use.
+	// It is metadata recorded in models trained on this system; Atomic
+	// accepts any ThreadID regardless.
+	Threads int
+
+	// Interleave, when positive, makes each transactional operation yield
+	// the processor with probability 1/Interleave, forcing realistic
+	// transaction interleaving on machines with fewer cores than worker
+	// threads (see DESIGN.md). Zero disables forced yields.
+	Interleave int
+
+	// MaxReadSpin / MaxLockSpin bound the TL2 spin loops; zero means the
+	// engine defaults.
+	MaxReadSpin int
+	MaxLockSpin int
+
+	// EagerWriteLock selects encounter-time write locking instead of TL2's
+	// default commit-time (lazy) locking. See tl2.Config.EagerWriteLock.
+	EagerWriteLock bool
+}
+
+// GuidanceOptions tunes guided execution.
+type GuidanceOptions struct {
+	// Tfactor divides the highest outbound probability to obtain the
+	// destination-set threshold. Zero means the paper's default of 4.
+	Tfactor float64
+
+	// GateRetries is the paper's k: how many times a held-back thread is
+	// re-checked before being forced through. Zero means the default.
+	GateRetries int
+}
+
+// System is an STM instance together with its instrumentation and
+// (optionally) a guidance controller — the paper's modified TL2 library.
+type System struct {
+	cfg Config
+	rt  *tl2.Runtime
+
+	mu        sync.Mutex
+	collector *trace.Collector // non-nil while profiling/measuring
+	ctrl      *guide.Controller
+	schedGate tl2.Gate      // non-guidance scheduler, if any
+	schedSink tl2.EventSink // its observer, if any
+}
+
+// Scheduler is consulted at every transaction start and may delay the
+// caller; it must eventually return. Guided execution is one Scheduler;
+// contention-manager policies (internal/cm) are others.
+type Scheduler = tl2.Gate
+
+// Observer receives the commit/abort event stream (see tl2.EventSink).
+type Observer = tl2.EventSink
+
+// NewSystem returns a System with cfg.
+func NewSystem(cfg Config) *System {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	rt := tl2.New(tl2.Config{
+		Interleave:     cfg.Interleave,
+		MaxReadSpin:    cfg.MaxReadSpin,
+		MaxLockSpin:    cfg.MaxLockSpin,
+		EagerWriteLock: cfg.EagerWriteLock,
+	})
+	return &System{cfg: cfg, rt: rt}
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Atomic executes fn transactionally as transaction site txn on worker
+// thread. fn may be re-executed after conflicts; a non-nil error from fn
+// aborts the attempt without retry and is returned.
+func (s *System) Atomic(thread ThreadID, txn TxnID, fn func(*Tx) error) error {
+	return s.rt.Atomic(thread, txn, fn)
+}
+
+// StartProfiling begins capturing the transaction sequence. It composes
+// with guidance: when a guidance controller is installed the collector
+// receives events through it, so guided runs can be measured too.
+func (s *System) StartProfiling() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.collector = trace.NewCollector()
+	s.installSinks()
+}
+
+// StopProfiling finalizes and returns the trace captured since
+// StartProfiling, or nil when profiling was not active.
+func (s *System) StopProfiling() *Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.collector == nil {
+		return nil
+	}
+	tr := s.collector.Finalize()
+	s.collector = nil
+	s.installSinks()
+	return tr
+}
+
+// ErrUnguidable is returned by EnableGuidance when the model fails the
+// analyzer's validation and Force is not used.
+var ErrUnguidable = errors.New("gstm: model rejected by analyzer")
+
+// EnableGuidance validates m, compiles it into a guide table and installs
+// the guided-execution gate. It returns ErrUnguidable (wrapped with the
+// analyzer's reason) when the model fails validation.
+func (s *System) EnableGuidance(m *Model, opts GuidanceOptions) error {
+	an := model.DefaultAnalyzer()
+	if opts.Tfactor > 0 {
+		an.Tfactor = opts.Tfactor
+	}
+	rep := an.Analyze(m)
+	if !rep.Guidable {
+		return fmt.Errorf("%w: %s", ErrUnguidable, rep.Reason)
+	}
+	s.ForceGuidance(m, opts)
+	return nil
+}
+
+// ForceGuidance installs guidance without analyzer validation, for
+// experiments that deliberately guide unguidable workloads (the paper's
+// ssca2 degradation measurements).
+func (s *System) ForceGuidance(m *Model, opts GuidanceOptions) {
+	table := model.Compile(m, opts.Tfactor)
+	var gopts []guide.Option
+	if opts.GateRetries > 0 {
+		gopts = append(gopts, guide.WithGateRetries(opts.GateRetries))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctrl = guide.NewController(table, gopts...)
+	s.schedGate, s.schedSink = nil, nil
+	s.installSinks()
+	s.rt.SetGate(s.ctrl)
+}
+
+// DisableGuidance removes the guided-execution gate.
+func (s *System) DisableGuidance() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctrl = nil
+	s.rt.SetGate(nil)
+	s.installSinks()
+}
+
+// SetScheduler installs a custom transaction-start scheduler (for example
+// a contention-manager policy) with an optional event observer. It
+// replaces any guidance controller; pass (nil, nil) to remove. Profiling
+// composes: the observer and an active collector both receive events.
+func (s *System) SetScheduler(gate Scheduler, obs Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctrl = nil
+	s.schedGate = gate
+	s.schedSink = obs
+	if gate == nil {
+		s.rt.SetGate(nil)
+	} else {
+		s.rt.SetGate(gate)
+	}
+	s.installSinks()
+}
+
+// Guided reports whether a guidance controller is installed.
+func (s *System) Guided() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl != nil
+}
+
+// installSinks wires the event stream: the active scheduler's observer (a
+// guidance controller needs events for state tracking) first, then the
+// collector when profiling. Called with mu held.
+func (s *System) installSinks() {
+	first := s.schedSink
+	if s.ctrl != nil {
+		first = s.ctrl
+	}
+	switch {
+	case first != nil && s.collector != nil:
+		s.rt.SetSink(teeSink{first: first, col: s.collector})
+	case first != nil:
+		s.rt.SetSink(first)
+	case s.collector != nil:
+		s.rt.SetSink(s.collector)
+	default:
+		s.rt.SetSink(nil)
+	}
+}
+
+// teeSink feeds the scheduler's observer first (online state tracking),
+// then the collector (measurement).
+type teeSink struct {
+	first tl2.EventSink
+	col   *trace.Collector
+}
+
+func (t teeSink) TxCommit(p Pair, wv uint64, aborts int) {
+	t.first.TxCommit(p, wv, aborts)
+	t.col.TxCommit(p, wv, aborts)
+}
+
+func (t teeSink) TxAbort(p Pair, byWV uint64, by Pair, known bool) {
+	t.first.TxAbort(p, byWV, by, known)
+	t.col.TxAbort(p, byWV, by, known)
+}
+
+// Stats returns cumulative committed transactions and aborted attempts.
+func (s *System) Stats() (commits, aborts uint64) { return s.rt.Stats() }
+
+// ResetStats zeroes the cumulative counters.
+func (s *System) ResetStats() { s.rt.ResetStats() }
+
+// GateStats reports guided-execution gate decisions (passed immediately,
+// held at least once, forced through after k retries). All zeros when
+// guidance is off.
+func (s *System) GateStats() (passed, held, escaped uint64) {
+	s.mu.Lock()
+	ctrl := s.ctrl
+	s.mu.Unlock()
+	if ctrl == nil {
+		return 0, 0, 0
+	}
+	return ctrl.GateStats()
+}
+
+// AdaptiveGuidance is the online-learning guidance controller returned by
+// EnableAdaptiveGuidance; it exposes the live model's size and snapshot.
+type AdaptiveGuidance = guide.Adaptive
+
+// EnableAdaptiveGuidance installs guidance that keeps learning the Thread
+// State Automaton from the live event stream, recompiling its guide table
+// every recompileEvery state changes (0 selects the default). seed may be
+// nil for a cold start — the gate then passes everything until evidence
+// accumulates. This is an extension beyond the paper, whose models are
+// trained strictly offline.
+func (s *System) EnableAdaptiveGuidance(seed *Model, opts GuidanceOptions, recompileEvery int) *AdaptiveGuidance {
+	var gopts []guide.Option
+	if opts.GateRetries > 0 {
+		gopts = append(gopts, guide.WithGateRetries(opts.GateRetries))
+	}
+	a := guide.NewAdaptive(s.cfg.Threads, seed, opts.Tfactor, recompileEvery, gopts...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctrl = a.Controller
+	s.schedGate, s.schedSink = nil, nil
+	s.installSinks()
+	s.rt.SetGate(a.Controller)
+	return a
+}
+
+// AtomicRO executes fn as a read-only transaction — TL2's fast path, which
+// skips read-set bookkeeping. A Write inside fn returns an error without
+// retrying.
+func (s *System) AtomicRO(thread ThreadID, txn TxnID, fn func(*Tx) error) error {
+	return s.rt.AtomicRO(thread, txn, fn)
+}
