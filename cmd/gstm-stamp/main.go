@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"gstm"
 	"gstm/internal/harness"
 	"gstm/internal/stamp"
 )
@@ -33,6 +34,7 @@ func main() {
 		csvOut     = flag.String("csv", "", "also write a machine-readable CSV of all results to this path")
 		fig        = flag.Int("fig", 0, "print only this figure (4, 5, 6, 7, 9 or 10); 0 prints everything")
 		procs      = flag.Int("gomaxprocs", 1, "GOMAXPROCS for the experiment (1 gives the least timing noise on one core)")
+		watchdog   = flag.Bool("watchdog", false, "arm the guidance watchdog on the guided side (default thresholds); the RESILIENCE report section then records degraded-mode transitions")
 	)
 	flag.Parse()
 	runtime.GOMAXPROCS(*procs)
@@ -43,6 +45,11 @@ func main() {
 	exitOn(err)
 	threadCounts, err := parseThreads(*threads)
 	exitOn(err)
+
+	var wdOpts *gstm.WatchdogOptions
+	if *watchdog {
+		wdOpts = &gstm.WatchdogOptions{} // zero value = sound defaults
+	}
 
 	var workloads []stamp.Workload
 	if *benchFlag == "all" {
@@ -68,6 +75,7 @@ func main() {
 				Tfactor:     *tfactor,
 				GateRetries: *gateK,
 				Seed:        *seed,
+				Watchdog:    wdOpts,
 			})
 			exitOn(err)
 			suite.Add(res)

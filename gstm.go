@@ -38,7 +38,10 @@
 package gstm
 
 import (
+	"context"
+
 	"gstm/internal/model"
+	"gstm/internal/retry"
 	"gstm/internal/tl2"
 	"gstm/internal/trace"
 	"gstm/internal/txid"
@@ -115,3 +118,17 @@ func SaveModel(m *Model, path string) error { return m.Save(path) }
 
 // LoadModel reads a model written by SaveModel.
 func LoadModel(path string) (*Model, error) { return model.Load(path) }
+
+// ErrRetryBudgetExceeded is returned by AtomicCtx when the transaction's
+// last budgeted attempt (see WithRetryBudget) also aborted on a conflict.
+// No partial effects are visible; the call may be retried with a fresh
+// budget.
+var ErrRetryBudgetExceeded = retry.ErrBudgetExceeded
+
+// WithRetryBudget returns a context carrying a per-call attempt budget for
+// AtomicCtx: a budget of n allows the initial attempt plus n-1 retries.
+// attempts <= 0 removes the budget (unlimited retries, the classic STM
+// contract).
+func WithRetryBudget(ctx context.Context, attempts int) context.Context {
+	return retry.WithBudget(ctx, attempts)
+}

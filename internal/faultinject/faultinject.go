@@ -1,0 +1,190 @@
+// Package faultinject is a deterministic, seeded fault injector for the
+// STM engines' chaos tests. It implements the engines' FaultInjector hook
+// (spurious aborts, delayed commits) and provides wrappers that degrade
+// the instrumentation plane (stalled event sinks, starved gates).
+//
+// Every decision is a pure function of (seed, pair, attempt): fault
+// schedules replay identically regardless of goroutine interleaving, so a
+// failing chaos run can be reproduced from its seed alone. The injector
+// deliberately has no mutable decision state — only observation counters.
+package faultinject
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"gstm/internal/txid"
+)
+
+// Config parameterizes an Injector. Zero probabilities disable the
+// corresponding fault point.
+type Config struct {
+	// Seed keys every decision; two injectors with the same Seed and
+	// probabilities produce the same fault schedule.
+	Seed uint64
+
+	// SpuriousAbortProb is the probability that a cleanly-executed attempt
+	// is forced to abort and retry before its commit protocol runs.
+	SpuriousAbortProb float64
+
+	// CommitDelayProb is the probability that a commit holds its write
+	// locks for CommitDelayYields extra scheduler yields before
+	// publishing, widening the mid-commit window.
+	CommitDelayProb float64
+
+	// CommitDelayYields is the delay length; zero selects 4.
+	CommitDelayYields int
+}
+
+// Injector implements tl2.FaultInjector and libtm.FaultInjector (the
+// interfaces are structurally identical).
+type Injector struct {
+	cfg Config
+
+	aborts atomic.Uint64
+	delays atomic.Uint64
+}
+
+// New returns an Injector for cfg.
+func New(cfg Config) *Injector {
+	if cfg.CommitDelayYields <= 0 {
+		cfg.CommitDelayYields = 4
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Decision salts: distinct fault points must draw independent rolls.
+const (
+	saltAbort = 0x5bd1e995
+	saltDelay = 0x27d4eb2f
+)
+
+// mix is the splitmix64 finalizer: a full-avalanche 64-bit hash.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// roll returns a deterministic uniform sample in [0,1) for the decision
+// identified by (salt, p, attempt).
+func (i *Injector) roll(salt uint64, p txid.Pair, attempt int) float64 {
+	h := mix(i.cfg.Seed ^ salt ^ uint64(p.Pack())<<20 ^ uint64(uint32(attempt)))
+	return float64(h>>11) / (1 << 53)
+}
+
+// SpuriousAbort implements the engines' pre-commit fault point.
+func (i *Injector) SpuriousAbort(p txid.Pair, attempt int) bool {
+	if i.cfg.SpuriousAbortProb <= 0 {
+		return false
+	}
+	if i.roll(saltAbort, p, attempt) < i.cfg.SpuriousAbortProb {
+		i.aborts.Add(1)
+		return true
+	}
+	return false
+}
+
+// CommitDelay implements the engines' mid-commit fault point.
+func (i *Injector) CommitDelay(p txid.Pair, attempt int) int {
+	if i.cfg.CommitDelayProb <= 0 {
+		return 0
+	}
+	if i.roll(saltDelay, p, attempt) < i.cfg.CommitDelayProb {
+		i.delays.Add(1)
+		return i.cfg.CommitDelayYields
+	}
+	return 0
+}
+
+// Counts reports how many faults of each kind were actually injected.
+// Chaos tests assert these are nonzero — a chaos run whose injector never
+// fired proves nothing.
+func (i *Injector) Counts() (spuriousAborts, commitDelays uint64) {
+	return i.aborts.Load(), i.delays.Load()
+}
+
+// Sink mirrors tl2.EventSink / libtm.EventSink structurally so the
+// wrappers below satisfy both.
+type Sink interface {
+	TxCommit(p txid.Pair, wv uint64, aborts int)
+	TxAbort(p txid.Pair, byWV uint64, by txid.Pair, byKnown bool)
+}
+
+// Gate mirrors tl2.Gate / libtm.Gate.
+type Gate interface {
+	Arrive(p txid.Pair)
+}
+
+// StallingSink delays every event delivery by a fixed number of scheduler
+// yields before forwarding to the inner sink — a slow observer. The STM
+// must keep making progress; only measurement latency may suffer.
+type StallingSink struct {
+	inner  Sink
+	yields int
+	events atomic.Uint64
+}
+
+// NewStallingSink wraps inner with the given per-event stall.
+func NewStallingSink(inner Sink, yields int) *StallingSink {
+	return &StallingSink{inner: inner, yields: yields}
+}
+
+// Events returns how many events passed through the stall.
+func (s *StallingSink) Events() uint64 { return s.events.Load() }
+
+func (s *StallingSink) stall() {
+	s.events.Add(1)
+	for i := 0; i < s.yields; i++ {
+		runtime.Gosched()
+	}
+}
+
+// TxCommit implements Sink.
+func (s *StallingSink) TxCommit(p txid.Pair, wv uint64, aborts int) {
+	s.stall()
+	if s.inner != nil {
+		s.inner.TxCommit(p, wv, aborts)
+	}
+}
+
+// TxAbort implements Sink.
+func (s *StallingSink) TxAbort(p txid.Pair, byWV uint64, by txid.Pair, byKnown bool) {
+	s.stall()
+	if s.inner != nil {
+		s.inner.TxAbort(p, byWV, by, byKnown)
+	}
+}
+
+// StarvingGate holds every arrival for a fixed number of scheduler yields
+// before (optionally) delegating to an inner gate — an adversarially slow
+// scheduler. Transactions must still complete, just later.
+type StarvingGate struct {
+	inner    Gate
+	yields   int
+	arrivals atomic.Uint64
+}
+
+// NewStarvingGate wraps inner (which may be nil) with the given per-arrival
+// starvation.
+func NewStarvingGate(inner Gate, yields int) *StarvingGate {
+	return &StarvingGate{inner: inner, yields: yields}
+}
+
+// Arrivals returns how many arrivals were starved.
+func (g *StarvingGate) Arrivals() uint64 { return g.arrivals.Load() }
+
+// Arrive implements Gate.
+func (g *StarvingGate) Arrive(p txid.Pair) {
+	g.arrivals.Add(1)
+	for i := 0; i < g.yields; i++ {
+		runtime.Gosched()
+	}
+	if g.inner != nil {
+		g.inner.Arrive(p)
+	}
+}

@@ -148,12 +148,33 @@ func (c *Controller) Arrive(p txid.Pair) {
 		// every other runnable worker once, which is exactly one "round" of
 		// other threads' progress; sleeping would over-hold (the OS timer
 		// granularity dwarfs a transaction) and serialize the program.
-		runtime.Gosched()
+		// Yield counts follow tl2.backoff's tiers so chronically held
+		// threads step aside longer instead of busy-spinning a single
+		// Gosched on oversubscribed machines.
+		heldYield(i)
 	}
 	if heldOnce {
 		c.held.Add(1)
 	} else {
 		c.passed.Add(1)
+	}
+}
+
+// heldYield yields the processor with the same tiered schedule as
+// tl2.backoff (minimum one yield per re-check round, or the held thread
+// would busy-spin the gate loop).
+func heldYield(round int) {
+	yields := 1
+	switch {
+	case round < 8:
+		yields = 1
+	case round < 32:
+		yields = 4
+	default:
+		yields = 16
+	}
+	for i := 0; i < yields; i++ {
+		runtime.Gosched()
 	}
 }
 

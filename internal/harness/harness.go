@@ -29,6 +29,11 @@ type Config struct {
 	Tfactor     float64 // destination-set divisor (paper: 4)
 	GateRetries int     // the paper's k
 	Seed        uint64
+
+	// Watchdog, when non-nil, arms the guidance watchdog on the guided
+	// side; the result then records the degraded-mode transitions it
+	// observed (see Result.GuidedHealth and Suite.WriteResilience).
+	Watchdog *gstm.WatchdogOptions
 }
 
 // Normalize fills defaults matching the paper's protocol.
@@ -95,6 +100,11 @@ type Result struct {
 	Report  gstm.Report
 	Default SideResult
 	Guided  SideResult
+
+	// GuidedHealth is the guided system's resilience snapshot taken after
+	// its measured runs: gate decision counts and, when Config.Watchdog
+	// armed a watchdog, its state, trip/re-arm counts and window rates.
+	GuidedHealth gstm.Health
 }
 
 // VarianceImprovement returns the per-thread percentage reduction in
@@ -162,12 +172,14 @@ func RunBenchmark(w stamp.Workload, cfg Config) (*Result, error) {
 	guidedSys.ForceGuidance(res.Model, gstm.GuidanceOptions{
 		Tfactor:     cfg.Tfactor,
 		GateRetries: cfg.GateRetries,
+		Watchdog:    cfg.Watchdog,
 	})
 	g, err := measureSide(guidedSys, w, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: guided side: %w", w.Name(), err)
 	}
 	res.Guided = *g
+	res.GuidedHealth = guidedSys.Health()
 	return res, nil
 }
 

@@ -156,6 +156,32 @@ func (s *Suite) WriteSlowdownFigure(w io.Writer) {
 	s.writePerApp(w, func(r *Result) string { return fmt.Sprintf("%.2fx", r.Slowdown()) })
 }
 
+// WriteResilience prints each guided run's resilience outcome: gate
+// decision counts and — when a watchdog was armed — its final state, the
+// degraded-mode transitions (trips to pass-through, re-arms back) and the
+// window rates it last sampled.
+func (s *Suite) WriteResilience(w io.Writer) {
+	fmt.Fprintln(w, "RESILIENCE (guided side): watchdog state, degraded-mode transitions, gate/abort rates")
+	for _, th := range s.threadCounts() {
+		for _, app := range s.apps() {
+			r := s.Get(app, th)
+			if r == nil {
+				continue
+			}
+			h := r.GuidedHealth
+			fmt.Fprintf(w, "%-12s %2dt gate(pass/held/esc)=%d/%d/%d", app, th,
+				h.GatePassed, h.GateHeld, h.GateEscaped)
+			if !h.WatchdogEnabled {
+				fmt.Fprintln(w, " watchdog=off")
+				continue
+			}
+			fmt.Fprintf(w, " watchdog=%s trips=%d rearms=%d esc=%.2f hold=%.2f abort=%.2f\n",
+				h.Watchdog.State, h.Watchdog.Trips, h.Watchdog.Rearms,
+				h.Watchdog.EscapeRate, h.Watchdog.HoldRate, h.Watchdog.AbortRate)
+		}
+	}
+}
+
 // WriteSummary prints one compact line per result: the headline numbers of
 // the whole experiment.
 func (s *Suite) WriteSummary(w io.Writer) {
@@ -198,6 +224,8 @@ func (s *Suite) FormatAll() string {
 	s.WriteNonDeterminismFigure(&b)
 	b.WriteByte('\n')
 	s.WriteSlowdownFigure(&b)
+	b.WriteByte('\n')
+	s.WriteResilience(&b)
 	b.WriteByte('\n')
 	s.WriteSummary(&b)
 	return b.String()

@@ -105,6 +105,17 @@ type Gate interface {
 	Arrive(p txid.Pair)
 }
 
+// FaultInjector mirrors tl2.FaultInjector: the chaos-testing hook
+// implemented by internal/faultinject. One injector value satisfies both
+// engines' interfaces structurally.
+type FaultInjector interface {
+	// SpuriousAbort forces a cleanly-executed attempt to abort and retry.
+	SpuriousAbort(p txid.Pair, attempt int) bool
+	// CommitDelay returns extra scheduler yields inserted while the commit
+	// holds its write locks.
+	CommitDelay(p txid.Pair, attempt int) int
+}
+
 // seq is the package-global commit sequence for libtm runtimes (the
 // analogue of tl2's global version clock; libtm itself versions objects per
 // commit and only needs a global order for the event stream).

@@ -42,6 +42,16 @@ func (o *Obj[T]) Peek() T { return *o.p.Load() }
 // Reset stores val non-transactionally (setup only).
 func (o *Obj[T]) Reset(val T) { o.p.Store(&val) }
 
+// LockState reports whether a writer currently holds the object and how
+// many readers are registered. It is a diagnostic for tests and
+// fault-injection sweeps: at any quiescent point both must be zero, or an
+// abort path leaked a lock or registration.
+func (o *Obj[T]) LockState() (writerHeld bool, readers int) {
+	o.b.mu.Lock()
+	defer o.b.mu.Unlock()
+	return o.b.writer != nil, len(o.b.readers)
+}
+
 // registerReader adds tx to the object's visible-reader list. In
 // pessimistic read mode it refuses while a writer holds the object.
 func (b *objBase) registerReader(tx *txState, pessimistic bool) (ok bool) {

@@ -1,28 +1,37 @@
 package libtm
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"gstm/internal/commitreg"
+	"gstm/internal/retry"
 	"gstm/internal/txid"
 )
 
 // Runtime is a LibTM STM instance.
 type Runtime struct {
-	cfg  Config
-	reg  *commitreg.Registry
-	sink atomic.Pointer[sinkBox]
-	gate atomic.Pointer[gateBox]
-	pool sync.Pool
+	cfg   Config
+	reg   *commitreg.Registry
+	sink  atomic.Pointer[sinkBox]
+	gate  atomic.Pointer[gateBox]
+	fault atomic.Pointer[faultBox]
+	pool  sync.Pool
 
 	commits atomic.Uint64
 	aborts  atomic.Uint64
+
+	// Resilience counters: whole-transaction policy outcomes, separate
+	// from the per-attempt abort count.
+	budgetExceeded atomic.Uint64
+	canceled       atomic.Uint64
 }
 
 type sinkBox struct{ s EventSink }
 type gateBox struct{ g Gate }
+type faultBox struct{ f FaultInjector }
 
 // New returns a Runtime with cfg (zero fields defaulted: the paper's fully
 // optimistic detection with abort-readers resolution).
@@ -54,6 +63,24 @@ func (rt *Runtime) SetGate(g Gate) {
 	rt.gate.Store(&gateBox{g: g})
 }
 
+// SetFaultInjector installs (or removes, with nil) the chaos-testing fault
+// injector (see tl2.FaultInjector; the interface is structurally shared).
+func (rt *Runtime) SetFaultInjector(f FaultInjector) {
+	if f == nil {
+		rt.fault.Store(nil)
+		return
+	}
+	rt.fault.Store(&faultBox{f: f})
+}
+
+// injector returns the installed fault injector, or nil.
+func (rt *Runtime) injector() FaultInjector {
+	if fb := rt.fault.Load(); fb != nil {
+		return fb.f
+	}
+	return nil
+}
+
 // Stats returns cumulative committed transactions and aborted attempts.
 func (rt *Runtime) Stats() (commits, aborts uint64) {
 	return rt.commits.Load(), rt.aborts.Load()
@@ -63,17 +90,56 @@ func (rt *Runtime) Stats() (commits, aborts uint64) {
 func (rt *Runtime) ResetStats() {
 	rt.commits.Store(0)
 	rt.aborts.Store(0)
+	rt.budgetExceeded.Store(0)
+	rt.canceled.Store(0)
+}
+
+// ResilienceStats returns how many transactions were abandoned on a spent
+// retry budget and on context cancellation (see tl2.Runtime.ResilienceStats).
+func (rt *Runtime) ResilienceStats() (budgetExceeded, canceled uint64) {
+	return rt.budgetExceeded.Load(), rt.canceled.Load()
 }
 
 // Atomic executes fn transactionally as transaction site txn on worker
 // thread, retrying on conflicts. A non-nil error from fn aborts the attempt
 // and is returned without retry. Atomic must not be nested.
 func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
+	return rt.atomic(nil, thread, txn, fn)
+}
+
+// AtomicCtx is Atomic honoring ctx: cancellation/deadline is checked
+// between retry attempts and surfaces as ctx.Err(); a per-call attempt
+// budget attached with retry.WithBudget bounds retries, returning
+// retry.ErrBudgetExceeded when spent. Either way every write lock and
+// reader registration has been released.
+func (rt *Runtime) AtomicCtx(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
+	return rt.atomic(ctx, thread, txn, fn)
+}
+
+func (rt *Runtime) atomic(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
 	self := txid.Pair{Txn: txn, Thread: thread}
 	tx := rt.pool.Get().(*Tx)
-	defer rt.pool.Put(tx)
+	defer func() {
+		if r := recover(); r != nil {
+			// A panic escaped the user's transaction body: release write
+			// locks and reader registrations, scrub the write set, pool a
+			// clean Tx, and let the panic continue.
+			tx.cleanup()
+			tx.scrub()
+			rt.pool.Put(tx)
+			panic(r)
+		}
+		rt.pool.Put(tx)
+	}()
 
+	budget := retry.Budget(ctx)
 	for attempt := 0; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				rt.canceled.Add(1)
+				return err
+			}
+		}
 		if gb := rt.gate.Load(); gb != nil {
 			gb.g.Arrive(self)
 		}
@@ -83,6 +149,9 @@ func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) err
 		if c != nil {
 			tx.cleanup()
 			rt.noteAbort(self, c)
+			if rt.budgetSpent(budget, attempt) {
+				return retry.ErrBudgetExceeded
+			}
 			backoff(attempt)
 			continue
 		}
@@ -90,10 +159,22 @@ func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) err
 			tx.cleanup()
 			return err
 		}
+		if fi := rt.injector(); fi != nil && fi.SpuriousAbort(self, attempt) {
+			tx.cleanup()
+			rt.noteAbort(self, &conflict{})
+			if rt.budgetSpent(budget, attempt) {
+				return retry.ErrBudgetExceeded
+			}
+			backoff(attempt)
+			continue
+		}
 		wv, c, ok := tx.commit()
 		if !ok {
 			tx.cleanup()
 			rt.noteAbort(self, c)
+			if rt.budgetSpent(budget, attempt) {
+				return retry.ErrBudgetExceeded
+			}
 			backoff(attempt)
 			continue
 		}
@@ -103,6 +184,16 @@ func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) err
 		}
 		return nil
 	}
+}
+
+// budgetSpent reports whether the aborted attempt was the last budgeted
+// one, counting the exhaustion when it was.
+func (rt *Runtime) budgetSpent(budget, attempt int) bool {
+	if budget > 0 && attempt+1 >= budget {
+		rt.budgetExceeded.Add(1)
+		return true
+	}
+	return false
 }
 
 // noteAbort counts and reports an abort. Dooming gives exact attribution;

@@ -168,6 +168,14 @@ func (tx *Tx) cleanup() {
 	tx.reads = tx.reads[:0]
 }
 
+// scrub clears the write set after cleanup so a Tx abandoned on a user
+// panic pools clean (cleanup already emptied the read/lock slices).
+func (tx *Tx) scrub() {
+	if tx.writes != nil {
+		clear(tx.writes)
+	}
+}
+
 // commit runs the LibTM commit protocol: acquire outstanding write locks,
 // draw the commit sequence number, resolve readers per the configured
 // policy, re-check our own doom flag, publish, release.
@@ -188,6 +196,12 @@ func (tx *Tx) commit() (wv uint64, c *conflict, ok bool) {
 			if !tx.tryLockBounded(b) {
 				return 0, &conflict{}, false
 			}
+		}
+	}
+	if fi := tx.rt.injector(); fi != nil {
+		// Fault point: hold the write locks longer before publishing.
+		for i, n := 0, fi.CommitDelay(tx.st.self, tx.attempt); i < n; i++ {
+			runtime.Gosched()
 		}
 	}
 	wv = seq.Add(1)

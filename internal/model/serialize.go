@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"gstm/internal/trace"
@@ -78,6 +79,13 @@ func (m *TSA) Write(w io.Writer) error {
 }
 
 // Read deserializes a model written by Write.
+//
+// Read is hardened against truncated and corrupt inputs: every decode path
+// returns a wrapped error describing where decoding failed — it never
+// panics and never silently succeeds on a short read. Corruption that a
+// well-formed file cannot exhibit (duplicate state keys, edge counts
+// exceeding the state count, frequencies overflowing int64) is rejected
+// even when structurally decodable.
 func Read(r io.Reader) (*TSA, error) {
 	br := bufio.NewReader(r)
 	var got [4]byte
@@ -89,34 +97,47 @@ func Read(r io.Reader) (*TSA, error) {
 	}
 	ver, err := br.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("model: reading format version: %w", err)
 	}
 	if ver != formatVersion {
 		return nil, fmt.Errorf("model: unsupported format version %d", ver)
 	}
 	threads, err := readU32(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("model: reading thread count: %w", err)
+	}
+	const maxThreads = 1 << 20
+	if threads > maxThreads {
+		return nil, fmt.Errorf("model: thread count %d exceeds sanity limit", threads)
 	}
 	nstates, err := readU32(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("model: reading state count: %w", err)
 	}
 	const maxStates = 1 << 26
 	if nstates > maxStates {
 		return nil, fmt.Errorf("model: state count %d exceeds sanity limit", nstates)
 	}
-	keys := make([]trace.Key, nstates)
-	for i := range keys {
+	// Grow incrementally rather than trusting the declared count: a corrupt
+	// header must not be able to force a huge up-front allocation before
+	// the (truncated) key table fails to decode.
+	keys := make([]trace.Key, 0, min(nstates, 4096))
+	seen := make(map[trace.Key]struct{}, min(nstates, 4096))
+	for i := uint32(0); i < nstates; i++ {
 		var klen uint16
 		if err := binary.Read(br, binary.LittleEndian, &klen); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("model: reading key %d length: %w", i, err)
 		}
 		buf := make([]byte, klen)
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("model: reading key %d (%d bytes): %w", i, klen, err)
 		}
-		keys[i] = trace.Key(buf)
+		k := trace.Key(buf)
+		if _, dup := seen[k]; dup {
+			return nil, fmt.Errorf("model: duplicate state key at index %d", i)
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
 	}
 	m := New(int(threads))
 	for i := range keys {
@@ -126,19 +147,29 @@ func Read(r io.Reader) (*TSA, error) {
 		n := m.nodes[keys[i]]
 		nedges, err := readU32(br)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("model: reading edge count of state %d: %w", i, err)
+		}
+		if nedges > nstates {
+			// A well-formed file has at most one edge per destination.
+			return nil, fmt.Errorf("model: state %d edge count %d exceeds state count %d", i, nedges, nstates)
 		}
 		for e := uint32(0); e < nedges; e++ {
 			to, err := readU32(br)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("model: reading edge %d of state %d: %w", e, i, err)
 			}
 			if to >= nstates {
-				return nil, fmt.Errorf("model: edge index %d out of range", to)
+				return nil, fmt.Errorf("model: state %d edge %d index %d out of range", i, e, to)
 			}
 			var freq uint64
 			if err := binary.Read(br, binary.LittleEndian, &freq); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("model: reading edge %d frequency of state %d: %w", e, i, err)
+			}
+			if freq > math.MaxInt64 {
+				return nil, fmt.Errorf("model: state %d edge %d frequency %d overflows int64", i, e, freq)
+			}
+			if n.Total > math.MaxInt64-int64(freq) {
+				return nil, fmt.Errorf("model: state %d outbound total overflows int64", i)
 			}
 			n.Out[keys[to]] += int64(freq)
 			n.Total += int64(freq)
@@ -167,7 +198,11 @@ func Load(path string) (*TSA, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return Read(f)
+	m, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	return m, nil
 }
 
 func writeU32(w io.Writer, v uint32) error {

@@ -1,0 +1,42 @@
+// Package retry carries per-call transaction retry budgets through a
+// context.Context, shared by both STM engines (internal/tl2 and
+// internal/libtm) and re-exported by the public gstm API.
+//
+// A budget bounds the number of *attempts* a single Atomic call may make:
+// a budget of 1 means "no retries", a budget of 5 allows the initial
+// attempt plus four retries. A zero or negative budget means unlimited,
+// the classic STM contract.
+package retry
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrBudgetExceeded is returned by AtomicCtx when a transaction's last
+// budgeted attempt also aborted on a conflict. It marks a policy decision,
+// not data corruption: no partial effects are visible and the call may be
+// safely retried with a fresh budget.
+var ErrBudgetExceeded = errors.New("stm: transaction retry budget exceeded")
+
+type budgetKey struct{}
+
+// WithBudget returns a context carrying a per-call attempt budget for
+// AtomicCtx. attempts <= 0 removes any budget (unlimited retries).
+func WithBudget(ctx context.Context, attempts int) context.Context {
+	if attempts <= 0 {
+		attempts = 0
+	}
+	return context.WithValue(ctx, budgetKey{}, attempts)
+}
+
+// Budget extracts the attempt budget from ctx; 0 means unlimited.
+func Budget(ctx context.Context) int {
+	if ctx == nil {
+		return 0
+	}
+	if n, ok := ctx.Value(budgetKey{}).(int); ok {
+		return n
+	}
+	return 0
+}

@@ -1,10 +1,12 @@
 package tl2
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"gstm/internal/commitreg"
+	"gstm/internal/retry"
 	"gstm/internal/txid"
 )
 
@@ -75,23 +77,47 @@ type Gate interface {
 	Arrive(p txid.Pair)
 }
 
+// FaultInjector is the engine's chaos-testing hook (internal/faultinject
+// implements it). Decisions must be deterministic functions of their
+// arguments plus the injector's seed so fault schedules replay identically
+// regardless of goroutine interleaving. A nil injector (the default)
+// disables all fault points.
+type FaultInjector interface {
+	// SpuriousAbort, consulted after the body ran cleanly and before the
+	// commit protocol, forces the attempt to abort and retry as if a
+	// conflict had been detected.
+	SpuriousAbort(p txid.Pair, attempt int) bool
+
+	// CommitDelay returns extra scheduler yields to insert while the
+	// commit holds the write-set locks, widening the mid-commit window
+	// other transactions observe as locked words.
+	CommitDelay(p txid.Pair, attempt int) int
+}
+
 // Runtime is a TL2 STM instance: configuration and instrumentation hooks
 // shared by all transactions it executes. All Runtimes in the process share
 // the single global version clock (as in the original TL2 library), so Vars
 // may be created and populated under one Runtime and used under another.
 type Runtime struct {
-	cfg  Config
-	reg  *commitreg.Registry
-	sink atomic.Pointer[sinkBox]
-	gate atomic.Pointer[gateBox]
-	pool sync.Pool
+	cfg   Config
+	reg   *commitreg.Registry
+	sink  atomic.Pointer[sinkBox]
+	gate  atomic.Pointer[gateBox]
+	fault atomic.Pointer[faultBox]
+	pool  sync.Pool
 
 	commits atomic.Uint64
 	aborts  atomic.Uint64
+
+	// Resilience counters: transactions that gave up for policy reasons,
+	// counted separately from the aborts (which count failed attempts).
+	budgetExceeded atomic.Uint64
+	canceled       atomic.Uint64
 }
 
 type sinkBox struct{ s EventSink }
 type gateBox struct{ g Gate }
+type faultBox struct{ f FaultInjector }
 
 // New returns a Runtime with cfg (zero fields defaulted).
 func New(cfg Config) *Runtime {
@@ -122,6 +148,25 @@ func (rt *Runtime) SetGate(g Gate) {
 	rt.gate.Store(&gateBox{g: g})
 }
 
+// SetFaultInjector installs (or, with nil, removes) the chaos-testing fault
+// injector. Production systems never call this; the fault points reduce to
+// one atomic load when no injector is set.
+func (rt *Runtime) SetFaultInjector(f FaultInjector) {
+	if f == nil {
+		rt.fault.Store(nil)
+		return
+	}
+	rt.fault.Store(&faultBox{f: f})
+}
+
+// injector returns the installed fault injector, or nil.
+func (rt *Runtime) injector() FaultInjector {
+	if fb := rt.fault.Load(); fb != nil {
+		return fb.f
+	}
+	return nil
+}
+
 // clk returns the process-wide version clock.
 func (rt *Runtime) clk() *clock { return &globalClock }
 
@@ -140,6 +185,17 @@ func (rt *Runtime) Stats() (commits, aborts uint64) {
 func (rt *Runtime) ResetStats() {
 	rt.commits.Store(0)
 	rt.aborts.Store(0)
+	rt.budgetExceeded.Store(0)
+	rt.canceled.Store(0)
+}
+
+// ResilienceStats returns the cumulative number of transactions abandoned
+// because their per-call retry budget ran out, and abandoned because their
+// context was canceled or its deadline passed. Both are whole-transaction
+// outcomes; the per-attempt aborts they incurred along the way are counted
+// by Stats as usual.
+func (rt *Runtime) ResilienceStats() (budgetExceeded, canceled uint64) {
+	return rt.budgetExceeded.Load(), rt.canceled.Load()
 }
 
 // Atomic executes fn transactionally as transaction site txn on worker
@@ -149,7 +205,7 @@ func (rt *Runtime) ResetStats() {
 //
 // Atomic must not be nested.
 func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.atomic(thread, txn, fn, false)
+	return rt.atomic(nil, thread, txn, fn, false)
 }
 
 // AtomicRO executes fn as a read-only transaction: TL2's fast path, which
@@ -157,15 +213,49 @@ func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) err
 // access time and a read-only commit validates nothing further. A Write
 // inside fn returns an error without retrying.
 func (rt *Runtime) AtomicRO(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.atomic(thread, txn, fn, true)
+	return rt.atomic(nil, thread, txn, fn, true)
 }
 
-func (rt *Runtime) atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, readOnly bool) error {
+// AtomicCtx is Atomic honoring ctx: cancellation or deadline expiry is
+// checked between retry attempts (never mid-attempt — an attempt either
+// aborts cleanly or commits) and surfaces as ctx.Err(). A per-call attempt
+// budget attached with retry.WithBudget bounds retries; when the last
+// budgeted attempt aborts, AtomicCtx returns retry.ErrBudgetExceeded. In
+// both cases no locks remain held and no writes were published.
+func (rt *Runtime) AtomicCtx(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
+	return rt.atomic(ctx, thread, txn, fn, false)
+}
+
+// AtomicROCtx is AtomicRO honoring ctx like AtomicCtx.
+func (rt *Runtime) AtomicROCtx(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
+	return rt.atomic(ctx, thread, txn, fn, true)
+}
+
+func (rt *Runtime) atomic(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, readOnly bool) error {
 	self := txid.Pair{Txn: txn, Thread: thread}
 	tx := rt.pool.Get().(*Tx)
-	defer rt.pool.Put(tx)
+	defer func() {
+		if r := recover(); r != nil {
+			// A panic escaped the user's transaction body. Release every
+			// lock this attempt still holds (eager mode takes them at
+			// encounter time) and scrub the read/write sets so a clean Tx
+			// goes back to the pool, then let the panic continue.
+			tx.releaseLocks(0)
+			tx.scrub()
+			rt.pool.Put(tx)
+			panic(r)
+		}
+		rt.pool.Put(tx)
+	}()
 
+	budget := retry.Budget(ctx)
 	for attempt := 0; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				rt.canceled.Add(1)
+				return err
+			}
+		}
 		if gb := rt.gate.Load(); gb != nil {
 			gb.g.Arrive(self)
 		}
@@ -175,6 +265,9 @@ func (rt *Runtime) atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) err
 		if conflict != nil {
 			tx.releaseLocks(0) // eager mode may hold encounter-time locks
 			rt.noteAbort(self, conflict.byWV)
+			if rt.budgetSpent(budget, attempt) {
+				return retry.ErrBudgetExceeded
+			}
 			backoff(attempt)
 			continue
 		}
@@ -182,9 +275,21 @@ func (rt *Runtime) atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) err
 			tx.releaseLocks(0)
 			return err
 		}
+		if fi := rt.injector(); fi != nil && fi.SpuriousAbort(self, attempt) {
+			tx.releaseLocks(0)
+			rt.noteAbort(self, 0)
+			if rt.budgetSpent(budget, attempt) {
+				return retry.ErrBudgetExceeded
+			}
+			backoff(attempt)
+			continue
+		}
 		wv, byWV, ok := tx.commit()
 		if !ok {
 			rt.noteAbort(self, byWV)
+			if rt.budgetSpent(budget, attempt) {
+				return retry.ErrBudgetExceeded
+			}
 			backoff(attempt)
 			continue
 		}
@@ -194,6 +299,16 @@ func (rt *Runtime) atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) err
 		}
 		return nil
 	}
+}
+
+// budgetSpent reports whether the aborted attempt was the last one the
+// call's budget allows, counting the exhaustion when it was.
+func (rt *Runtime) budgetSpent(budget, attempt int) bool {
+	if budget > 0 && attempt+1 >= budget {
+		rt.budgetExceeded.Add(1)
+		return true
+	}
+	return false
 }
 
 // noteAbort counts an abort and reports it, resolving the invalidating

@@ -236,6 +236,18 @@ func (tx *Tx) releaseLocks(wv uint64) {
 	tx.lockPre = tx.lockPre[:0]
 }
 
+// scrub clears the attempt's read/write bookkeeping so a Tx abandoned on a
+// user panic can be pooled without retaining the dead attempt's sets.
+// Releasing any held locks is the caller's job (releaseLocks).
+func (tx *Tx) scrub() {
+	tx.reads = tx.reads[:0]
+	if tx.writes != nil {
+		clear(tx.writes)
+	}
+	tx.lockIdx = tx.lockIdx[:0]
+	tx.lockPre = tx.lockPre[:0]
+}
+
 // ownedPre returns the pre-lock word of b if this transaction holds its
 // lock.
 func (tx *Tx) ownedPre(b *base) (uint64, bool) {
@@ -264,6 +276,13 @@ func (tx *Tx) commit() (wv uint64, byWV uint64, ok bool) {
 	}
 	if !tx.lockWriteSet() {
 		return 0, 0, false
+	}
+	if fi := tx.rt.injector(); fi != nil {
+		// Fault point: hold the write-set locks longer, widening the
+		// mid-commit window other transactions see as locked words.
+		for i, n := 0, fi.CommitDelay(tx.self, tx.attempt); i < n; i++ {
+			spinYield()
+		}
 	}
 	wv = tx.rt.clk().tick()
 	if wv != tx.rv+1 {

@@ -48,6 +48,15 @@ func (v *Var[T]) Reset(val T) {
 // after a parallel phase completes.
 func (v *Var[T]) Peek() T { return *v.p.Load() }
 
+// LockState reports v's versioned lock word split into version and lock
+// bit. It is a diagnostic for tests and fault-injection sweeps: at any
+// quiescent point every location must report locked == false, or an abort
+// path leaked a lock.
+func (v *Var[T]) LockState() (version uint64, locked bool) {
+	w := v.b.word.Load()
+	return wordVersion(w), wordLocked(w)
+}
+
 // Array is a fixed-length sequence of transactional locations of type T,
 // the analogue of a striped TL2 array: every element has its own versioned
 // lock word, so disjoint-index accesses never conflict.

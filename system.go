@@ -1,6 +1,7 @@
 package gstm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -43,7 +44,24 @@ type GuidanceOptions struct {
 	// GateRetries is the paper's k: how many times a held-back thread is
 	// re-checked before being forced through. Zero means the default.
 	GateRetries int
+
+	// Watchdog, when non-nil, arms the guidance watchdog: a circuit
+	// breaker that samples gate escape/hold rates and the abort rate over
+	// sliding windows and trips guidance into pass-through mode when the
+	// model is degrading execution — the runtime analogue of the
+	// analyzer's offline rejection. See WatchdogOptions for thresholds and
+	// the optional re-arm cooldown; System.Health reports its state.
+	Watchdog *WatchdogOptions
 }
+
+// WatchdogOptions configures the guidance watchdog (see
+// guide.WatchdogConfig for field semantics; the zero value selects sound
+// defaults).
+type WatchdogOptions = guide.WatchdogConfig
+
+// WatchdogSnapshot is a point-in-time view of the watchdog, reported by
+// System.Health.
+type WatchdogSnapshot = guide.WatchdogSnapshot
 
 // System is an STM instance together with its instrumentation and
 // (optionally) a guidance controller — the paper's modified TL2 library.
@@ -54,8 +72,9 @@ type System struct {
 	mu        sync.Mutex
 	collector *trace.Collector // non-nil while profiling/measuring
 	ctrl      *guide.Controller
-	schedGate tl2.Gate      // non-guidance scheduler, if any
-	schedSink tl2.EventSink // its observer, if any
+	dog       *guide.Watchdog // non-nil when guidance runs under a watchdog
+	schedGate tl2.Gate        // non-guidance scheduler, if any
+	schedSink tl2.EventSink   // its observer, if any
 }
 
 // Scheduler is consulted at every transaction start and may delay the
@@ -88,6 +107,22 @@ func (s *System) Config() Config { return s.cfg }
 // aborts the attempt without retry and is returned.
 func (s *System) Atomic(thread ThreadID, txn TxnID, fn func(*Tx) error) error {
 	return s.rt.Atomic(thread, txn, fn)
+}
+
+// AtomicCtx is Atomic honoring ctx: cancellation or deadline expiry is
+// checked between retry attempts (an in-flight attempt always finishes
+// aborting or committing first) and surfaced as ctx.Err() with no locks
+// held and no writes published. A per-call retry budget attached with
+// WithRetryBudget bounds the number of attempts; when the last budgeted
+// attempt aborts, AtomicCtx returns ErrRetryBudgetExceeded. Both outcomes
+// are counted separately from conflict aborts — see Health.
+func (s *System) AtomicCtx(ctx context.Context, thread ThreadID, txn TxnID, fn func(*Tx) error) error {
+	return s.rt.AtomicCtx(ctx, thread, txn, fn)
+}
+
+// AtomicROCtx is AtomicRO honoring ctx like AtomicCtx.
+func (s *System) AtomicROCtx(ctx context.Context, thread ThreadID, txn TxnID, fn func(*Tx) error) error {
+	return s.rt.AtomicROCtx(ctx, thread, txn, fn)
 }
 
 // StartProfiling begins capturing the transaction sequence. It composes
@@ -146,16 +181,25 @@ func (s *System) ForceGuidance(m *Model, opts GuidanceOptions) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ctrl = guide.NewController(table, gopts...)
+	s.dog = nil
+	if opts.Watchdog != nil {
+		s.dog = guide.NewWatchdog(s.ctrl, *opts.Watchdog)
+	}
 	s.schedGate, s.schedSink = nil, nil
 	s.installSinks()
-	s.rt.SetGate(s.ctrl)
+	if s.dog != nil {
+		s.rt.SetGate(s.dog)
+	} else {
+		s.rt.SetGate(s.ctrl)
+	}
 }
 
-// DisableGuidance removes the guided-execution gate.
+// DisableGuidance removes the guided-execution gate (and its watchdog).
 func (s *System) DisableGuidance() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ctrl = nil
+	s.dog = nil
 	s.rt.SetGate(nil)
 	s.installSinks()
 }
@@ -168,6 +212,7 @@ func (s *System) SetScheduler(gate Scheduler, obs Observer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ctrl = nil
+	s.dog = nil
 	s.schedGate = gate
 	s.schedSink = obs
 	if gate == nil {
@@ -186,12 +231,16 @@ func (s *System) Guided() bool {
 }
 
 // installSinks wires the event stream: the active scheduler's observer (a
-// guidance controller needs events for state tracking) first, then the
+// guidance controller needs events for state tracking; a watchdog wraps
+// the controller and must see events for its windows) first, then the
 // collector when profiling. Called with mu held.
 func (s *System) installSinks() {
 	first := s.schedSink
 	if s.ctrl != nil {
 		first = s.ctrl
+	}
+	if s.dog != nil {
+		first = s.dog
 	}
 	switch {
 	case first != nil && s.collector != nil:
@@ -260,6 +309,7 @@ func (s *System) EnableAdaptiveGuidance(seed *Model, opts GuidanceOptions, recom
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ctrl = a.Controller
+	s.dog = nil
 	s.schedGate, s.schedSink = nil, nil
 	s.installSinks()
 	s.rt.SetGate(a.Controller)
@@ -271,4 +321,56 @@ func (s *System) EnableAdaptiveGuidance(seed *Model, opts GuidanceOptions, recom
 // retrying.
 func (s *System) AtomicRO(thread ThreadID, txn TxnID, fn func(*Tx) error) error {
 	return s.rt.AtomicRO(thread, txn, fn)
+}
+
+// Health is a point-in-time view of the system's runtime resilience state:
+// cumulative work counters, policy-abandonment counters, gate decision
+// counts, and — when guidance runs under a watchdog — the breaker state.
+type Health struct {
+	// Commits and Aborts mirror Stats.
+	Commits, Aborts uint64
+
+	// RetryBudgetExceeded counts transactions abandoned because their
+	// per-call retry budget ran out; ContextCanceled counts transactions
+	// abandoned on context cancellation or deadline expiry. Both are
+	// whole-transaction outcomes, separate from the per-attempt Aborts.
+	RetryBudgetExceeded uint64
+	ContextCanceled     uint64
+
+	// Guided reports whether a guidance controller is installed;
+	// GatePassed/GateHeld/GateEscaped mirror GateStats.
+	Guided                            bool
+	GatePassed, GateHeld, GateEscaped uint64
+
+	// WatchdogEnabled reports whether guidance runs under a watchdog;
+	// Watchdog is its snapshot (zero value when disabled).
+	WatchdogEnabled bool
+	Watchdog        WatchdogSnapshot
+}
+
+// Degraded reports whether the system is currently running in degraded
+// (pass-through) mode: guidance is installed but its watchdog has tripped.
+func (h Health) Degraded() bool {
+	return h.WatchdogEnabled && h.Watchdog.State == guide.WatchdogTripped
+}
+
+// Health returns the system's current resilience snapshot. It is safe to
+// call concurrently with running transactions.
+func (s *System) Health() Health {
+	s.mu.Lock()
+	ctrl, dog := s.ctrl, s.dog
+	s.mu.Unlock()
+
+	var h Health
+	h.Commits, h.Aborts = s.rt.Stats()
+	h.RetryBudgetExceeded, h.ContextCanceled = s.rt.ResilienceStats()
+	if ctrl != nil {
+		h.Guided = true
+		h.GatePassed, h.GateHeld, h.GateEscaped = ctrl.GateStats()
+	}
+	if dog != nil {
+		h.WatchdogEnabled = true
+		h.Watchdog = dog.Snapshot()
+	}
+	return h
 }
