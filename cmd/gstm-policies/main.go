@@ -12,6 +12,7 @@ import (
 	"os"
 	"runtime"
 
+	"gstm"
 	"gstm/internal/harness"
 	"gstm/internal/stamp"
 )
@@ -27,9 +28,20 @@ func main() {
 		gateK      = flag.Int("k", 16, "guided row's gate re-check bound")
 		seed       = flag.Uint64("seed", 11, "experiment seed")
 		procs      = flag.Int("gomaxprocs", 1, "GOMAXPROCS for the experiment")
+		metrics    = flag.String("metrics-addr", "", "serve live telemetry on this address (e.g. :9100 or :0): /metrics (Prometheus), /debug/vars (JSON), /debug/pprof")
 	)
 	flag.Parse()
 	runtime.GOMAXPROCS(*procs)
+
+	if *metrics != "" {
+		srv, err := gstm.ServeTelemetry(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gstm-policies:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.BoundAddr)
+		defer srv.Close()
+	}
 
 	w, err := stamp.ByName(*bench)
 	if err != nil {

@@ -35,9 +35,17 @@ func main() {
 		fig        = flag.Int("fig", 0, "print only this figure (4, 5, 6, 7, 9 or 10); 0 prints everything")
 		procs      = flag.Int("gomaxprocs", 1, "GOMAXPROCS for the experiment (1 gives the least timing noise on one core)")
 		watchdog   = flag.Bool("watchdog", false, "arm the guidance watchdog on the guided side (default thresholds); the RESILIENCE report section then records degraded-mode transitions")
+		metrics    = flag.String("metrics-addr", "", "serve live telemetry on this address (e.g. :9100 or :0 for an ephemeral port): /metrics (Prometheus), /debug/vars (JSON), /debug/pprof")
 	)
 	flag.Parse()
 	runtime.GOMAXPROCS(*procs)
+
+	if *metrics != "" {
+		srv, err := gstm.ServeTelemetry(*metrics)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.BoundAddr)
+		defer srv.Close()
+	}
 
 	trainSz, err := parseSize(*trainSize)
 	exitOn(err)

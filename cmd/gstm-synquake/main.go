@@ -11,6 +11,7 @@ import (
 	"os"
 	"runtime"
 
+	"gstm"
 	"gstm/internal/harness"
 )
 
@@ -29,9 +30,20 @@ func main() {
 		table       = flag.Int("table", 0, "print only Table 5 when set to 5")
 		fig         = flag.Int("fig", 0, "print only Figure 11 or 12 when set")
 		procs       = flag.Int("gomaxprocs", 1, "GOMAXPROCS for the experiment")
+		metrics     = flag.String("metrics-addr", "", "serve live telemetry on this address (e.g. :9100 or :0): /metrics (Prometheus), /debug/vars (JSON), /debug/pprof")
 	)
 	flag.Parse()
 	runtime.GOMAXPROCS(*procs)
+
+	if *metrics != "" {
+		srv, err := gstm.ServeTelemetry(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gstm-synquake:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.BoundAddr)
+		defer srv.Close()
+	}
 
 	fmt.Fprintf(os.Stderr, "training on 4worst_case+4moving (%d runs x %d frames), measuring 4quadrants and 4center_spread6 (%d frames)...\n",
 		*trainRuns, *trainFrames, *testFrames)

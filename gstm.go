@@ -42,6 +42,7 @@ import (
 
 	"gstm/internal/model"
 	"gstm/internal/retry"
+	"gstm/internal/telemetry"
 	"gstm/internal/tl2"
 	"gstm/internal/trace"
 	"gstm/internal/txid"
@@ -118,6 +119,27 @@ func SaveModel(m *Model, path string) error { return m.Save(path) }
 
 // LoadModel reads a model written by SaveModel.
 func LoadModel(path string) (*Model, error) { return model.Load(path) }
+
+// TelemetrySnapshot is a point-in-time view of the runtime telemetry layer:
+// transaction lifecycle counters, sampled commit/validation latency
+// histograms with p50/p95/p99, per-automaton-state gate telemetry, and the
+// recent diagnostic event ring. See System.TelemetrySnapshot.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TelemetryHist is one latency histogram inside a TelemetrySnapshot.
+type TelemetryHist = telemetry.HistSnapshot
+
+// GatherTelemetry merges the telemetry of every live runtime in the process
+// into one snapshot — the view the -metrics-addr HTTP endpoint serves.
+func GatherTelemetry() TelemetrySnapshot { return telemetry.Gather() }
+
+// ServeTelemetry starts the observability HTTP endpoint on addr (":0" picks
+// a free port), serving /metrics (Prometheus text format), /debug/vars
+// (JSON) and /debug/pprof for the whole process. It returns the bound
+// address; shut the server down with its Close or Shutdown method.
+func ServeTelemetry(addr string) (*telemetry.Server, error) {
+	return telemetry.ServeAddr(addr)
+}
 
 // ErrRetryBudgetExceeded is returned by AtomicCtx when the transaction's
 // last budgeted attempt (see WithRetryBudget) also aborted on a conflict.

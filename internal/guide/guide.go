@@ -15,8 +15,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gstm/internal/model"
+	"gstm/internal/telemetry"
 	"gstm/internal/trace"
 	"gstm/internal/txid"
 )
@@ -46,6 +48,10 @@ type Controller struct {
 	held    atomic.Uint64 // gate decisions that delayed a thread
 	passed  atomic.Uint64 // gate decisions that let a thread through at once
 	escaped atomic.Uint64 // gate decisions forced through after K retries
+
+	// tel, when set (WithTelemetry), receives per-state gate telemetry and
+	// hold-time samples. Nil-safe: all record calls no-op without it.
+	tel *telemetry.Metrics
 }
 
 type stateBox struct{ key trace.Key }
@@ -84,6 +90,13 @@ func WithInnerSink(s innerSink) Option {
 // adaptive controller uses it to learn transitions online.
 func WithStateCallback(fn func(trace.Key)) Option {
 	return func(c *Controller) { c.onState = fn }
+}
+
+// WithTelemetry routes per-state gate telemetry (visits, holds, escapes,
+// hold-time samples, watchdog events) into m — typically the guided
+// runtime's own Metrics so gate and engine telemetry land in one snapshot.
+func WithTelemetry(m *telemetry.Metrics) Option {
+	return func(c *Controller) { c.tel = m }
 }
 
 // NewController returns a Controller over a compiled guide table.
@@ -128,19 +141,26 @@ func (c *Controller) GateStats() (passed, held, escaped uint64) {
 func (c *Controller) Arrive(p txid.Pair) {
 	pk := p.Pack()
 	heldOnce := false
+	var stateKey string
+	var t0 time.Time // first-hold timestamp; hold time spans all re-checks
 	for i := 0; ; i++ {
 		b := c.cur.Load()
 		if b == nil {
 			// No state observed yet: execution has just begun.
 			break
 		}
+		stateKey = string(b.key)
 		allowed, known := c.table.Load().Allowed(b.key, pk)
 		if !known || allowed {
 			break
 		}
 		if i >= c.retries {
 			c.escaped.Add(1)
+			c.tel.GateArrival(stateKey, telemetry.GateEscape, uint64(p.Thread), time.Since(t0))
 			return
+		}
+		if !heldOnce {
+			t0 = time.Now()
 		}
 		heldOnce = true
 		// Step aside so a thread that *is* in the destination set can run
@@ -155,8 +175,10 @@ func (c *Controller) Arrive(p txid.Pair) {
 	}
 	if heldOnce {
 		c.held.Add(1)
+		c.tel.GateArrival(stateKey, telemetry.GateHold, uint64(p.Thread), time.Since(t0))
 	} else {
 		c.passed.Add(1)
+		c.tel.GateArrival(stateKey, telemetry.GatePass, uint64(p.Thread), 0)
 	}
 }
 

@@ -1,8 +1,11 @@
 package guide
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gstm/internal/txid"
 )
@@ -50,6 +53,10 @@ type WatchdogConfig struct {
 	// pass-through mode, giving the model another chance (the workload may
 	// have left the phase that confused it). Zero means a trip is final.
 	Cooldown int
+
+	// Clock supplies the timestamps stamped onto trip reasons. Nil selects
+	// time.Now; tests inject a fake clock for deterministic reasons.
+	Clock func() time.Time
 }
 
 func (c WatchdogConfig) normalize() WatchdogConfig {
@@ -62,7 +69,43 @@ func (c WatchdogConfig) normalize() WatchdogConfig {
 	if c.MaxEscapeRate == 0 {
 		c.MaxEscapeRate = DefaultMaxEscapeRate
 	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
 	return c
+}
+
+// TripReason is the full diagnostic record of one watchdog trip: the window
+// rates at the moment of the trip, the thresholds they were judged against,
+// and which checks fired. Retrieved via WatchdogSnapshot.LastTrip.
+type TripReason struct {
+	// At is the trip time per the configured Clock.
+	At time.Time
+
+	// Window and GateSamples size the evidence: how many commit/abort
+	// events the closed window held and how many gate decisions fell in it.
+	Window      int
+	GateSamples int
+
+	// Observed window rates (see WatchdogSnapshot).
+	EscapeRate float64
+	HoldRate   float64
+	AbortRate  float64
+
+	// Configured thresholds the rates were compared to (≤0 = check disabled).
+	MaxEscapeRate float64
+	MaxHoldRate   float64
+	MaxAbortRate  float64
+
+	// Causes lists the checks that fired, e.g. "escape-rate 0.40>0.25".
+	// At least one entry; multiple when several thresholds tripped at once.
+	Causes []string
+}
+
+// String renders the reason compactly for logs and ring events.
+func (r TripReason) String() string {
+	return fmt.Sprintf("%s (window=%d gate=%d)",
+		strings.Join(r.Causes, ", "), r.Window, r.GateSamples)
 }
 
 // WatchdogState is the breaker position.
@@ -95,6 +138,10 @@ type WatchdogSnapshot struct {
 	EscapeRate float64 // escaped / gate decisions
 	HoldRate   float64 // (held + escaped) / gate decisions
 	AbortRate  float64 // aborts / events
+
+	// LastTrip is the diagnostic record of the most recent trip, nil until
+	// the first trip. The pointee is immutable once published.
+	LastTrip *TripReason
 }
 
 // Watchdog wraps a Controller as a circuit breaker: it stays on the gate
@@ -122,6 +169,7 @@ type Watchdog struct {
 	trips        uint64
 	rearms       uint64
 	cooldownLeft int
+	lastTrip     *TripReason
 }
 
 // NewWatchdog returns a Watchdog guarding ctrl under cfg (zero fields
@@ -149,6 +197,7 @@ func (w *Watchdog) Snapshot() WatchdogSnapshot {
 		EscapeRate: w.escRate,
 		HoldRate:   w.holdRate,
 		AbortRate:  w.abortRate,
+		LastTrip:   w.lastTrip,
 	}
 	if w.tripped.Load() {
 		s.State = WatchdogTripped
@@ -209,24 +258,38 @@ func (w *Watchdog) evaluateLocked() {
 	gateTotal := dp + dh + de
 
 	w.abortRate = float64(w.winAborts) / float64(w.winEvents)
-	trip := false
+	var causes []string
 	if gateTotal >= uint64(w.cfg.MinGateSamples) {
 		w.escRate = float64(de) / float64(gateTotal)
 		w.holdRate = float64(dh+de) / float64(gateTotal)
 		if w.cfg.MaxEscapeRate > 0 && w.escRate > w.cfg.MaxEscapeRate {
-			trip = true
+			causes = append(causes, fmt.Sprintf("escape-rate %.2f>%.2f", w.escRate, w.cfg.MaxEscapeRate))
 		}
 		if w.cfg.MaxHoldRate > 0 && w.holdRate > w.cfg.MaxHoldRate {
-			trip = true
+			causes = append(causes, fmt.Sprintf("hold-rate %.2f>%.2f", w.holdRate, w.cfg.MaxHoldRate))
 		}
 	}
 	if w.cfg.MaxAbortRate > 0 && w.abortRate > w.cfg.MaxAbortRate {
-		trip = true
+		causes = append(causes, fmt.Sprintf("abort-rate %.2f>%.2f", w.abortRate, w.cfg.MaxAbortRate))
 	}
-	if trip {
+	if len(causes) > 0 {
+		reason := &TripReason{
+			At:            w.cfg.Clock(),
+			Window:        w.winEvents,
+			GateSamples:   int(gateTotal),
+			EscapeRate:    w.escRate,
+			HoldRate:      w.holdRate,
+			AbortRate:     w.abortRate,
+			MaxEscapeRate: w.cfg.MaxEscapeRate,
+			MaxHoldRate:   w.cfg.MaxHoldRate,
+			MaxAbortRate:  w.cfg.MaxAbortRate,
+			Causes:        causes,
+		}
 		w.tripped.Store(true)
 		w.trips++
 		w.cooldownLeft = w.cfg.Cooldown
+		w.lastTrip = reason
+		w.ctrl.tel.WatchdogTrip(w.currentStateKey(), reason.String())
 	}
 	w.winEvents, w.winAborts = 0, 0
 	w.basePassed, w.baseHeld, w.baseEscaped = p, h, e
@@ -239,4 +302,15 @@ func (w *Watchdog) rearmLocked() {
 	w.rearms++
 	w.winEvents, w.winAborts = 0, 0
 	w.basePassed, w.baseHeld, w.baseEscaped = w.ctrl.GateStats()
+	w.ctrl.tel.WatchdogRearm(w.currentStateKey())
+}
+
+// currentStateKey returns the controller's tracked state key for event
+// annotation, or "" before the first commit.
+func (w *Watchdog) currentStateKey() string {
+	k, ok := w.ctrl.CurrentState()
+	if !ok {
+		return ""
+	}
+	return string(k)
 }

@@ -1,9 +1,12 @@
 package guide
 
 import (
+	"strings"
 	"testing"
+	"time"
 
 	"gstm/internal/model"
+	"gstm/internal/telemetry"
 	"gstm/internal/trace"
 	"gstm/internal/txid"
 )
@@ -172,5 +175,104 @@ func TestWatchdogHealthyModelStaysArmed(t *testing.T) {
 	}
 	if s := dog.Snapshot(); s.EscapeRate != 0 || s.Trips != 0 {
 		t.Fatalf("snapshot = %+v, want zero escapes and trips", s)
+	}
+}
+
+// TestWatchdogTripReason verifies the typed trip-reason record: window
+// rates, thresholds, firing causes, and the injected-clock timestamp.
+func TestWatchdogTripReason(t *testing.T) {
+	a, b, c := pairOf(0, 0), pairOf(1, 1), pairOf(2, 2)
+	ctrl := NewController(adversarialTable([]txid.Pair{a, b, c}, pairOf(9, 9)), WithGateRetries(1))
+	fakeNow := time.Date(2024, 5, 1, 12, 0, 0, 0, time.UTC)
+	dog := NewWatchdog(ctrl, WatchdogConfig{
+		Window:         4,
+		MinGateSamples: 1,
+		MaxEscapeRate:  0.5,
+		MaxAbortRate:   0.1,
+		Clock:          func() time.Time { return fakeNow },
+	})
+
+	if dog.Snapshot().LastTrip != nil {
+		t.Fatal("LastTrip non-nil before any trip")
+	}
+	wv := uint64(0)
+	commit := func(p txid.Pair) { wv++; dog.TxCommit(p, wv, 0) }
+	commit(a)
+	commit(b)
+	dog.Arrive(c) // escapes (retries=1)
+	dog.TxAbort(c, wv, b, true)
+	commit(b) // closes the 4-event window: escape rate 1.0, abort rate 0.25
+
+	if !dog.Tripped() {
+		t.Fatal("watchdog did not trip")
+	}
+	r := dog.Snapshot().LastTrip
+	if r == nil {
+		t.Fatal("LastTrip nil after trip")
+	}
+	if !r.At.Equal(fakeNow) {
+		t.Fatalf("At = %v, want injected clock %v", r.At, fakeNow)
+	}
+	if r.Window != 4 || r.GateSamples != 1 {
+		t.Fatalf("window/samples = %d/%d, want 4/1", r.Window, r.GateSamples)
+	}
+	if r.EscapeRate != 1.0 || r.AbortRate != 0.25 {
+		t.Fatalf("escape/abort rate = %v/%v, want 1.0/0.25", r.EscapeRate, r.AbortRate)
+	}
+	if r.MaxEscapeRate != 0.5 || r.MaxAbortRate != 0.1 {
+		t.Fatalf("thresholds = %v/%v", r.MaxEscapeRate, r.MaxAbortRate)
+	}
+	if len(r.Causes) != 2 {
+		t.Fatalf("causes = %v, want escape-rate and abort-rate", r.Causes)
+	}
+	s := r.String()
+	for _, want := range []string{"escape-rate 1.00>0.50", "abort-rate 0.25>0.10", "window=4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// TestWatchdogTelemetryEvents verifies trips and re-arms land in the
+// attached Metrics: counters plus ring events carrying the trip reason.
+func TestWatchdogTelemetryEvents(t *testing.T) {
+	a, b, c := pairOf(0, 0), pairOf(1, 1), pairOf(2, 2)
+	tel := telemetry.NewDetached("guide-test")
+	ctrl := NewController(adversarialTable([]txid.Pair{a, b, c}, pairOf(9, 9)),
+		WithGateRetries(1), WithTelemetry(tel))
+	dog := NewWatchdog(ctrl, WatchdogConfig{Window: 4, MinGateSamples: 1, MaxEscapeRate: 0.5, Cooldown: 3})
+
+	wv := uint64(0)
+	commit := func(p txid.Pair) { wv++; dog.TxCommit(p, wv, 0) }
+	commit(a)
+	commit(b)
+	for i := 0; i < 2; i++ {
+		dog.Arrive(c)
+		commit(b)
+	}
+	for i := 0; i < 3; i++ { // cooldown → re-arm
+		commit(b)
+	}
+	snap := tel.Snapshot()
+	if snap.WatchdogTrips != 1 || snap.WatchdogRearms != 1 {
+		t.Fatalf("telemetry trips/rearms = %d/%d, want 1/1", snap.WatchdogTrips, snap.WatchdogRearms)
+	}
+	if snap.GateEscaped != 2 {
+		t.Fatalf("gate escapes = %d, want 2", snap.GateEscaped)
+	}
+	if snap.GateHoldTime.Count != 2 {
+		t.Fatalf("gate hold-time samples = %d, want 2 (escapes were first held)", snap.GateHoldTime.Count)
+	}
+	if len(snap.GateStates) == 0 {
+		t.Fatal("no per-state gate telemetry recorded")
+	}
+	var sawTrip bool
+	for _, ev := range snap.Events {
+		if ev.Kind == telemetry.KindWatchdogTrip && strings.Contains(ev.Detail, "escape-rate") {
+			sawTrip = true
+		}
+	}
+	if !sawTrip {
+		t.Fatalf("no trip event with reason in ring: %+v", snap.Events)
 	}
 }

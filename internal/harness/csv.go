@@ -21,6 +21,8 @@ func (s *Suite) WriteCSV(w io.Writer) error {
 		"mean_variance_improvement_pct",
 		"default_abort_ratio", "guided_abort_ratio",
 		"default_mean_time_s", "guided_mean_time_s", "slowdown_x",
+		"default_commit_p50_ns", "default_commit_p95_ns", "default_commit_p99_ns",
+		"guided_commit_p50_ns", "guided_commit_p95_ns", "guided_commit_p99_ns",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -48,6 +50,12 @@ func (s *Suite) WriteCSV(w io.Writer) error {
 				fmt.Sprintf("%.6f", r.Default.MeanProgramTime()),
 				fmt.Sprintf("%.6f", r.Guided.MeanProgramTime()),
 				fmt.Sprintf("%.3f", r.Slowdown()),
+				fmt.Sprintf("%d", r.Default.Telemetry.CommitLatency.P50.Nanoseconds()),
+				fmt.Sprintf("%d", r.Default.Telemetry.CommitLatency.P95.Nanoseconds()),
+				fmt.Sprintf("%d", r.Default.Telemetry.CommitLatency.P99.Nanoseconds()),
+				fmt.Sprintf("%d", r.Guided.Telemetry.CommitLatency.P50.Nanoseconds()),
+				fmt.Sprintf("%d", r.Guided.Telemetry.CommitLatency.P95.Nanoseconds()),
+				fmt.Sprintf("%d", r.Guided.Telemetry.CommitLatency.P99.Nanoseconds()),
 			}
 			if err := cw.Write(row); err != nil {
 				return err

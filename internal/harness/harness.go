@@ -15,6 +15,7 @@ import (
 	"gstm"
 	"gstm/internal/stamp"
 	"gstm/internal/stats"
+	"gstm/internal/telemetry"
 	"gstm/internal/trace"
 )
 
@@ -79,6 +80,11 @@ type SideResult struct {
 	NonDeterminism int
 
 	Commits, Aborts uint64
+
+	// Telemetry is the side's runtime-telemetry snapshot taken after its
+	// measured runs: sampled commit/validation latency quantiles, gate
+	// telemetry by automaton state, and the diagnostic event ring.
+	Telemetry telemetry.Snapshot
 }
 
 // MeanProgramTime returns the mean wall-clock time of the configuration.
@@ -222,6 +228,7 @@ func measureSide(sys *gstm.System, w stamp.Workload, cfg Config) (*SideResult, e
 	}
 	side.NonDeterminism = trace.DistinctStatesAcross(traces)
 	side.Commits, side.Aborts = sys.Stats()
+	side.Telemetry = sys.TelemetrySnapshot()
 	return side, nil
 }
 

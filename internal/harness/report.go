@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"gstm/internal/telemetry"
 )
 
 // Suite is a set of benchmark results keyed by (app, threads), holding
@@ -182,6 +184,48 @@ func (s *Suite) WriteResilience(w io.Writer) {
 	}
 }
 
+// WriteTelemetry prints each side's runtime telemetry: sampled commit and
+// validation latency quantiles, gate hold-time quantiles, the hottest
+// automaton states at the gate, and any diagnostic events the ring caught.
+func (s *Suite) WriteTelemetry(w io.Writer) {
+	fmt.Fprintln(w, "TELEMETRY (per app/threads): sampled latency quantiles, hot gate states, diagnostic events")
+	for _, th := range s.threadCounts() {
+		for _, app := range s.apps() {
+			r := s.Get(app, th)
+			if r == nil {
+				continue
+			}
+			for _, side := range []struct {
+				name string
+				snap telemetry.Snapshot
+			}{{"default", r.Default.Telemetry}, {"guided", r.Guided.Telemetry}} {
+				t := side.snap
+				fmt.Fprintf(w, "%-12s %2dt %-7s commit p50/p95/p99=%v/%v/%v (n=%d) validation p99=%v (n=%d)\n",
+					app, th, side.name,
+					t.CommitLatency.P50, t.CommitLatency.P95, t.CommitLatency.P99, t.CommitLatency.Count,
+					t.ValidationLatency.P99, t.ValidationLatency.Count)
+				if t.GateHoldTime.Count > 0 {
+					fmt.Fprintf(w, "%-12s %2dt %-7s gate hold p50/p99=%v/%v (n=%d)\n",
+						app, th, side.name, t.GateHoldTime.P50, t.GateHoldTime.P99, t.GateHoldTime.Count)
+				}
+				for i, g := range t.GateStates {
+					if i >= 3 { // hottest three states suffice for the report
+						fmt.Fprintf(w, "%-12s %2dt %-7s   ... %d more states\n", app, th, side.name, len(t.GateStates)-i)
+						break
+					}
+					fmt.Fprintf(w, "%-12s %2dt %-7s   state %-24q visits=%d holds=%d escapes=%d\n",
+						app, th, side.name, g.State, g.Visits, g.Holds, g.Escapes)
+				}
+				for _, ev := range t.Events {
+					if ev.Kind == telemetry.KindWatchdogTrip {
+						fmt.Fprintf(w, "%-12s %2dt %-7s   event %s: %s\n", app, th, side.name, ev.Kind, ev.Detail)
+					}
+				}
+			}
+		}
+	}
+}
+
 // WriteSummary prints one compact line per result: the headline numbers of
 // the whole experiment.
 func (s *Suite) WriteSummary(w io.Writer) {
@@ -226,6 +270,8 @@ func (s *Suite) FormatAll() string {
 	s.WriteSlowdownFigure(&b)
 	b.WriteByte('\n')
 	s.WriteResilience(&b)
+	b.WriteByte('\n')
+	s.WriteTelemetry(&b)
 	b.WriteByte('\n')
 	s.WriteSummary(&b)
 	return b.String()

@@ -154,7 +154,7 @@ func RunSynQuake(cfg SynQuakeConfig) (*SynQuakeResult, error) {
 			for rep := 0; rep < cfg.MeasureRuns; rep++ {
 				rt := libtm.New(libtm.Config{Interleave: cfg.Interleave})
 				if guided {
-					var opts []guide.Option
+					opts := []guide.Option{guide.WithTelemetry(rt.Telemetry())}
 					if cfg.GateRetries > 0 {
 						opts = append(opts, guide.WithGateRetries(cfg.GateRetries))
 					}

@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gstm/internal/commitreg"
 	"gstm/internal/retry"
+	"gstm/internal/telemetry"
 	"gstm/internal/txid"
 )
 
@@ -20,13 +22,9 @@ type Runtime struct {
 	fault atomic.Pointer[faultBox]
 	pool  sync.Pool
 
-	commits atomic.Uint64
-	aborts  atomic.Uint64
-
-	// Resilience counters: whole-transaction policy outcomes, separate
-	// from the per-attempt abort count.
-	budgetExceeded atomic.Uint64
-	canceled       atomic.Uint64
+	// tel holds all runtime counters and latency histograms (sharded by
+	// worker thread), registered in the process-wide telemetry registry.
+	tel *telemetry.Metrics
 }
 
 type sinkBox struct{ s EventSink }
@@ -36,11 +34,15 @@ type faultBox struct{ f FaultInjector }
 // New returns a Runtime with cfg (zero fields defaulted: the paper's fully
 // optimistic detection with abort-readers resolution).
 func New(cfg Config) *Runtime {
-	rt := &Runtime{cfg: cfg.Normalize()}
+	rt := &Runtime{cfg: cfg.Normalize(), tel: telemetry.New("libtm")}
 	rt.reg = commitreg.New(rt.cfg.RegistryCapacity)
 	rt.pool.New = func() any { return &Tx{} }
 	return rt
 }
+
+// Telemetry returns this runtime's metrics: sharded lifecycle counters,
+// sampled latency histograms, and the diagnostic event ring.
+func (rt *Runtime) Telemetry() *telemetry.Metrics { return rt.tel }
 
 // Config returns the runtime's configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
@@ -83,21 +85,19 @@ func (rt *Runtime) injector() FaultInjector {
 
 // Stats returns cumulative committed transactions and aborted attempts.
 func (rt *Runtime) Stats() (commits, aborts uint64) {
-	return rt.commits.Load(), rt.aborts.Load()
+	return rt.tel.Commits.Load(), rt.tel.Aborts.Load()
 }
 
-// ResetStats zeroes the counters.
+// ResetStats zeroes the cumulative telemetry — counters, latency
+// histograms and the event ring.
 func (rt *Runtime) ResetStats() {
-	rt.commits.Store(0)
-	rt.aborts.Store(0)
-	rt.budgetExceeded.Store(0)
-	rt.canceled.Store(0)
+	rt.tel.Reset()
 }
 
 // ResilienceStats returns how many transactions were abandoned on a spent
 // retry budget and on context cancellation (see tl2.Runtime.ResilienceStats).
 func (rt *Runtime) ResilienceStats() (budgetExceeded, canceled uint64) {
-	return rt.budgetExceeded.Load(), rt.canceled.Load()
+	return rt.tel.RetryBudgetExceeded.Load(), rt.tel.ContextCanceled.Load()
 }
 
 // Atomic executes fn transactionally as transaction site txn on worker
@@ -133,23 +133,25 @@ func (rt *Runtime) atomic(ctx context.Context, thread txid.ThreadID, txn txid.Tx
 	}()
 
 	budget := retry.Budget(ctx)
+	shard := uint64(thread)
 	for attempt := 0; ; attempt++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
-				rt.canceled.Add(1)
+				rt.tel.TxCanceled(shard)
 				return err
 			}
 		}
 		if gb := rt.gate.Load(); gb != nil {
 			gb.g.Arrive(self)
 		}
+		sampled := rt.tel.TxStart(shard)
 		tx.reset(rt, self, attempt)
 
 		err, c := runBody(tx, fn)
 		if c != nil {
 			tx.cleanup()
 			rt.noteAbort(self, c)
-			if rt.budgetSpent(budget, attempt) {
+			if rt.budgetSpent(shard, budget, attempt) {
 				return retry.ErrBudgetExceeded
 			}
 			backoff(attempt)
@@ -162,23 +164,32 @@ func (rt *Runtime) atomic(ctx context.Context, thread txid.ThreadID, txn txid.Tx
 		if fi := rt.injector(); fi != nil && fi.SpuriousAbort(self, attempt) {
 			tx.cleanup()
 			rt.noteAbort(self, &conflict{})
-			if rt.budgetSpent(budget, attempt) {
+			if rt.budgetSpent(shard, budget, attempt) {
 				return retry.ErrBudgetExceeded
 			}
 			backoff(attempt)
 			continue
+		}
+		var t0 time.Time
+		if sampled {
+			t0 = time.Now()
 		}
 		wv, c, ok := tx.commit()
 		if !ok {
 			tx.cleanup()
 			rt.noteAbort(self, c)
-			if rt.budgetSpent(budget, attempt) {
+			if rt.budgetSpent(shard, budget, attempt) {
 				return retry.ErrBudgetExceeded
 			}
 			backoff(attempt)
 			continue
 		}
-		rt.commits.Add(1)
+		if sampled {
+			// LibTM's visible readers validate at access time; there is no
+			// commit-time read-set validation phase to time separately.
+			rt.tel.ObserveCommit(shard, time.Since(t0), 0, false)
+		}
+		rt.tel.TxCommit(shard)
 		if sb := rt.sink.Load(); sb != nil {
 			sb.s.TxCommit(self, wv, attempt)
 		}
@@ -188,9 +199,9 @@ func (rt *Runtime) atomic(ctx context.Context, thread txid.ThreadID, txn txid.Tx
 
 // budgetSpent reports whether the aborted attempt was the last budgeted
 // one, counting the exhaustion when it was.
-func (rt *Runtime) budgetSpent(budget, attempt int) bool {
+func (rt *Runtime) budgetSpent(shard uint64, budget, attempt int) bool {
 	if budget > 0 && attempt+1 >= budget {
-		rt.budgetExceeded.Add(1)
+		rt.tel.TxBudgetExceeded(shard)
 		return true
 	}
 	return false
@@ -199,7 +210,7 @@ func (rt *Runtime) budgetSpent(budget, attempt int) bool {
 // noteAbort counts and reports an abort. Dooming gives exact attribution;
 // lock-wait conflicts fall back to the most recent commit.
 func (rt *Runtime) noteAbort(self txid.Pair, c *conflict) {
-	rt.aborts.Add(1)
+	rt.tel.TxAbort(uint64(self.Thread))
 	sb := rt.sink.Load()
 	if sb == nil {
 		return

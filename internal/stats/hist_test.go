@@ -155,3 +155,52 @@ func TestHistogramValuesSortedProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHistogramZeroValueReady(t *testing.T) {
+	// The doc comment promises "the zero value is an empty histogram ready
+	// for use": every path that writes the lazily-made counts map, and every
+	// reader, must tolerate a Histogram that never went through NewHistogram.
+	var h Histogram
+	if h.Total() != 0 || h.Count(0) != 0 || h.MaxValue() != -1 {
+		t.Fatalf("zero value not empty: total=%d count0=%d max=%d", h.Total(), h.Count(0), h.MaxValue())
+	}
+	if vs := h.Values(); len(vs) != 0 {
+		t.Fatalf("zero-value Values = %v", vs)
+	}
+	if h.Mean() != 0 || h.TailMetric() != 0 || h.String() != "" {
+		t.Fatalf("zero-value reads: mean=%v tail=%v str=%q", h.Mean(), h.TailMetric(), h.String())
+	}
+
+	var a Histogram
+	if err := a.Add(3); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count(3) != 1 || a.Total() != 1 {
+		t.Fatalf("Add on zero value: %v", a.String())
+	}
+
+	var b Histogram
+	if err := b.AddN(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if b.Count(2) != 5 || b.Total() != 5 {
+		t.Fatalf("AddN on zero value: %v", b.String())
+	}
+
+	var c Histogram
+	c.Merge(&b)
+	if c.Count(2) != 5 || c.Total() != 5 {
+		t.Fatalf("Merge into zero value: %v", c.String())
+	}
+	c.Merge(nil) // nil other is a no-op
+	if c.Total() != 5 {
+		t.Fatalf("Merge(nil) changed the histogram: %v", c.String())
+	}
+
+	// Merging a zero-value source must not disturb the destination.
+	var empty Histogram
+	c.Merge(&empty)
+	if c.Total() != 5 {
+		t.Fatalf("merging empty source changed totals: %v", c.String())
+	}
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkTelemetryOverhead measures the record-path cost the engines pay
+// per transaction. The acceptance budget: zero allocations everywhere, and
+// the counter path within a small constant of a plain atomic add.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("baseline-atomic-add", func(b *testing.B) {
+		var n atomic.Uint64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n.Add(1)
+		}
+	})
+
+	b.Run("counter-inc", func(b *testing.B) {
+		var c Counter
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc(uint64(i) & 7)
+		}
+	})
+
+	b.Run("counter-inc-parallel", func(b *testing.B) {
+		var c Counter
+		var next atomic.Uint64
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			thread := next.Add(1)
+			for pb.Next() {
+				c.Inc(thread)
+			}
+		})
+	})
+
+	b.Run("txstart-txcommit", func(b *testing.B) {
+		m := NewDetached("bench")
+		m.TxCommit(0) // retire the one-time first-commit sample
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.TxStart(1)
+			m.TxCommit(1)
+		}
+	})
+
+	b.Run("histogram-observe", func(b *testing.B) {
+		var h Histogram
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(uint64(i)&3, time.Duration(500+i%1000))
+		}
+	})
+
+	b.Run("observe-commit-sampled", func(b *testing.B) {
+		// The full per-commit cost when the attempt is the 1-in-SampleEvery
+		// sampled one: two clock reads plus two histogram observations.
+		m := NewDetached("bench")
+		m.TxCommit(0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			m.ObserveCommit(1, time.Since(t0), time.Since(t0), true)
+		}
+	})
+
+	b.Run("gate-arrival", func(b *testing.B) {
+		m := NewDetached("bench")
+		m.GateArrival("s0/w2", GatePass, 0, 0) // pre-create the state cell
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.GateArrival("s0/w2", GatePass, uint64(i)&7, 0)
+		}
+	})
+
+	b.Run("snapshot", func(b *testing.B) {
+		m := NewDetached("bench")
+		for i := 0; i < 1000; i++ {
+			m.TxStart(uint64(i))
+			m.TxCommit(uint64(i))
+			m.ObserveCommit(uint64(i), time.Duration(i), 0, false)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = m.Snapshot()
+		}
+	})
+}

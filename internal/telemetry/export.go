@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// maxExportedGateStates bounds the per-state series the Prometheus encoding
+// emits (states are sorted by visits, so the hottest survive the cut).
+const maxExportedGateStates = 16
+
+// WriteJSON writes s as indented JSON.
+func WriteJSON(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes s in the Prometheus text exposition format
+// (version 0.0.4): counters as *_total, latency histograms as conventional
+// cumulative-bucket histogram families in seconds, and per-state gate
+// telemetry as labeled series (top states by visits).
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	bw := &errWriter{w: w}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("gstm_tx_starts_total", "Transaction attempt starts, including retries.", s.Starts)
+	counter("gstm_tx_commits_total", "Committed transactions.", s.Commits)
+	counter("gstm_tx_aborts_total", "Aborted transaction attempts.", s.Aborts)
+	counter("gstm_tx_retry_budget_exceeded_total", "Transactions abandoned on a spent retry budget.", s.RetryBudgetExceeded)
+	counter("gstm_tx_context_canceled_total", "Transactions abandoned on context cancellation.", s.ContextCanceled)
+	counter("gstm_watchdog_trips_total", "Guidance watchdog armed-to-tripped transitions.", s.WatchdogTrips)
+	counter("gstm_watchdog_rearms_total", "Guidance watchdog tripped-to-armed transitions.", s.WatchdogRearms)
+
+	fmt.Fprintf(bw, "# HELP gstm_gate_decisions_total Guidance-gate arrival outcomes.\n# TYPE gstm_gate_decisions_total counter\n")
+	fmt.Fprintf(bw, "gstm_gate_decisions_total{outcome=\"passed\"} %d\n", s.GatePassed)
+	fmt.Fprintf(bw, "gstm_gate_decisions_total{outcome=\"held\"} %d\n", s.GateHeld)
+	fmt.Fprintf(bw, "gstm_gate_decisions_total{outcome=\"escaped\"} %d\n", s.GateEscaped)
+
+	histogram(bw, "gstm_commit_latency_seconds", "Commit protocol latency (sampled).", s.CommitLatency)
+	histogram(bw, "gstm_validation_latency_seconds", "Read-set validation latency when validation ran (sampled).", s.ValidationLatency)
+	histogram(bw, "gstm_gate_hold_seconds", "Time held arrivals spent delayed at the guidance gate.", s.GateHoldTime)
+	histogram(bw, "gstm_time_to_first_commit_seconds", "Time from runtime creation or reset to its first commit.", s.TimeToFirstCommit)
+
+	if len(s.GateStates) > 0 {
+		fmt.Fprintf(bw, "# HELP gstm_gate_state_visits_total Gate arrivals per automaton state (top states).\n# TYPE gstm_gate_state_visits_total counter\n")
+		top := s.GateStates
+		if len(top) > maxExportedGateStates {
+			top = top[:maxExportedGateStates]
+		}
+		for _, g := range top {
+			fmt.Fprintf(bw, "gstm_gate_state_visits_total{state=%s} %d\n", promQuote(g.State), g.Visits)
+		}
+		fmt.Fprintf(bw, "# HELP gstm_gate_state_holds_total Gate holds per automaton state (top states).\n# TYPE gstm_gate_state_holds_total counter\n")
+		for _, g := range top {
+			fmt.Fprintf(bw, "gstm_gate_state_holds_total{state=%s} %d\n", promQuote(g.State), g.Holds)
+		}
+		fmt.Fprintf(bw, "# HELP gstm_gate_state_escapes_total Gate K-exhausted escapes per automaton state (top states).\n# TYPE gstm_gate_state_escapes_total counter\n")
+		for _, g := range top {
+			fmt.Fprintf(bw, "gstm_gate_state_escapes_total{state=%s} %d\n", promQuote(g.State), g.Escapes)
+		}
+	}
+	return bw.err
+}
+
+// histogram writes one histogram family with cumulative buckets in seconds.
+func histogram(w io.Writer, name, help string, h HistSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatSeconds(b.Le.Seconds()), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatSeconds(h.Sum.Seconds()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+}
+
+// formatSeconds renders a seconds value compactly without exponent noise
+// for the common sub-second range.
+func formatSeconds(v float64) string {
+	return strconv.FormatFloat(v, 'g', 9, 64)
+}
+
+// promQuote renders a label value with Prometheus escaping.
+func promQuote(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// errWriter latches the first write error so the exposition code can stay
+// free of per-line error plumbing.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}

@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+)
+
+// Handler returns the telemetry endpoint: an http.Handler serving
+//
+//	/metrics     — Prometheus text exposition of src()
+//	/debug/vars  — expvar-shaped JSON: cmdline, memstats and the snapshot
+//	/debug/pprof — the standard net/http/pprof profile endpoints
+//
+// src is called per request; pass Gather for the process-wide view or a
+// specific (*Metrics).Snapshot for one component.
+func Handler(src func() Snapshot) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, src())
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"cmdline":  os.Args,
+			"memstats": ms,
+			"gstm":     src(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the telemetry endpoint on addr (":0" picks a free port) and
+// returns the server and its bound address. The server runs until Close or
+// Shutdown; serving errors after startup are dropped (the endpoint is
+// auxiliary to the workload, never the other way round).
+func Serve(addr string, src func() Snapshot) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(src)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}
+
+// Server is a running telemetry endpoint: the underlying http.Server plus
+// the address it actually bound (which differs from the requested one for
+// ":0").
+type Server struct {
+	*http.Server
+	BoundAddr net.Addr
+}
+
+// ServeAddr starts the process-wide telemetry endpoint (backed by Gather)
+// on addr. It is the one-call form the -metrics-addr command-line flags use.
+func ServeAddr(addr string) (*Server, error) {
+	srv, bound, err := Serve(addr, Gather)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{Server: srv, BoundAddr: bound}, nil
+}

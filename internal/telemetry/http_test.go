@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	m := NewDetached("test")
+	m.TxStart(0)
+	m.TxCommit(0)
+	m.ObserveCommit(0, time.Microsecond, 0, false)
+
+	srv := httptest.NewServer(Handler(m.Snapshot))
+	defer srv.Close()
+
+	code, body, ctype := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(ctype, "text/plain") || !strings.Contains(ctype, "0.0.4") {
+		t.Fatalf("/metrics content-type = %q", ctype)
+	}
+	if !strings.Contains(body, "gstm_tx_commits_total 1") {
+		t.Fatalf("/metrics body missing commit counter:\n%s", body)
+	}
+
+	code, body, ctype = get(t, srv.URL+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/debug/vars content-type = %q", ctype)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	for _, key := range []string{"cmdline", "memstats", "gstm"} {
+		if _, ok := vars[key]; !ok {
+			t.Fatalf("/debug/vars missing %q", key)
+		}
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(vars["gstm"], &snap); err != nil {
+		t.Fatalf("/debug/vars gstm not a Snapshot: %v", err)
+	}
+	if snap.Commits != 1 {
+		t.Fatalf("/debug/vars gstm commits = %d", snap.Commits)
+	}
+
+	code, body, _ = get(t, srv.URL+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index unexpected:\n%s", body)
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	m := NewDetached("test")
+	m.TxCommit(0)
+	srv, addr, err := Serve("127.0.0.1:0", m.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.Contains(addr.String(), ":") || strings.HasSuffix(addr.String(), ":0") {
+		t.Fatalf("bound addr = %q, want a real port", addr)
+	}
+	code, body, _ := get(t, "http://"+addr.String()+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "gstm_tx_commits_total 1") {
+		t.Fatalf("scrape via Serve failed: %d\n%s", code, body)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, _, err := Serve("256.0.0.1:bad", Gather); err == nil {
+		t.Fatal("want listen error")
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gstm/internal/commitreg"
 	"gstm/internal/retry"
+	"gstm/internal/telemetry"
 	"gstm/internal/txid"
 )
 
@@ -106,13 +108,9 @@ type Runtime struct {
 	fault atomic.Pointer[faultBox]
 	pool  sync.Pool
 
-	commits atomic.Uint64
-	aborts  atomic.Uint64
-
-	// Resilience counters: transactions that gave up for policy reasons,
-	// counted separately from the aborts (which count failed attempts).
-	budgetExceeded atomic.Uint64
-	canceled       atomic.Uint64
+	// tel holds all runtime counters and latency histograms (sharded by
+	// worker thread), registered in the process-wide telemetry registry.
+	tel *telemetry.Metrics
 }
 
 type sinkBox struct{ s EventSink }
@@ -121,11 +119,15 @@ type faultBox struct{ f FaultInjector }
 
 // New returns a Runtime with cfg (zero fields defaulted).
 func New(cfg Config) *Runtime {
-	rt := &Runtime{cfg: cfg.Normalize()}
+	rt := &Runtime{cfg: cfg.Normalize(), tel: telemetry.New("tl2")}
 	rt.reg = commitreg.New(rt.cfg.RegistryCapacity)
 	rt.pool.New = func() any { return &Tx{} }
 	return rt
 }
+
+// Telemetry returns this runtime's metrics: sharded lifecycle counters,
+// sampled latency histograms, and the diagnostic event ring.
+func (rt *Runtime) Telemetry() *telemetry.Metrics { return rt.tel }
 
 // SetSink installs (or, with nil, removes) the instrumentation sink.
 // Safe to call while transactions run; events race benignly around the
@@ -177,16 +179,14 @@ func (rt *Runtime) Clock() uint64 { return rt.clk().now() }
 // Stats returns the cumulative number of committed transactions and of
 // aborted attempts.
 func (rt *Runtime) Stats() (commits, aborts uint64) {
-	return rt.commits.Load(), rt.aborts.Load()
+	return rt.tel.Commits.Load(), rt.tel.Aborts.Load()
 }
 
-// ResetStats zeroes the cumulative commit/abort counters (the clock is
-// never reset — versions must stay monotone).
+// ResetStats zeroes the cumulative telemetry — counters, latency
+// histograms, gate tallies and the event ring (the clock is never reset —
+// versions must stay monotone).
 func (rt *Runtime) ResetStats() {
-	rt.commits.Store(0)
-	rt.aborts.Store(0)
-	rt.budgetExceeded.Store(0)
-	rt.canceled.Store(0)
+	rt.tel.Reset()
 }
 
 // ResilienceStats returns the cumulative number of transactions abandoned
@@ -195,7 +195,7 @@ func (rt *Runtime) ResetStats() {
 // outcomes; the per-attempt aborts they incurred along the way are counted
 // by Stats as usual.
 func (rt *Runtime) ResilienceStats() (budgetExceeded, canceled uint64) {
-	return rt.budgetExceeded.Load(), rt.canceled.Load()
+	return rt.tel.RetryBudgetExceeded.Load(), rt.tel.ContextCanceled.Load()
 }
 
 // Atomic executes fn transactionally as transaction site txn on worker
@@ -249,23 +249,26 @@ func (rt *Runtime) atomic(ctx context.Context, thread txid.ThreadID, txn txid.Tx
 	}()
 
 	budget := retry.Budget(ctx)
+	shard := uint64(thread)
 	for attempt := 0; ; attempt++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
-				rt.canceled.Add(1)
+				rt.tel.TxCanceled(shard)
 				return err
 			}
 		}
 		if gb := rt.gate.Load(); gb != nil {
 			gb.g.Arrive(self)
 		}
+		sampled := rt.tel.TxStart(shard)
 		tx.reset(rt, self, attempt, readOnly)
+		tx.measure = sampled
 
 		err, conflict := runBody(tx, fn)
 		if conflict != nil {
 			tx.releaseLocks(0) // eager mode may hold encounter-time locks
 			rt.noteAbort(self, conflict.byWV)
-			if rt.budgetSpent(budget, attempt) {
+			if rt.budgetSpent(shard, budget, attempt) {
 				return retry.ErrBudgetExceeded
 			}
 			backoff(attempt)
@@ -278,22 +281,29 @@ func (rt *Runtime) atomic(ctx context.Context, thread txid.ThreadID, txn txid.Tx
 		if fi := rt.injector(); fi != nil && fi.SpuriousAbort(self, attempt) {
 			tx.releaseLocks(0)
 			rt.noteAbort(self, 0)
-			if rt.budgetSpent(budget, attempt) {
+			if rt.budgetSpent(shard, budget, attempt) {
 				return retry.ErrBudgetExceeded
 			}
 			backoff(attempt)
 			continue
+		}
+		var t0 time.Time
+		if sampled {
+			t0 = time.Now()
 		}
 		wv, byWV, ok := tx.commit()
 		if !ok {
 			rt.noteAbort(self, byWV)
-			if rt.budgetSpent(budget, attempt) {
+			if rt.budgetSpent(shard, budget, attempt) {
 				return retry.ErrBudgetExceeded
 			}
 			backoff(attempt)
 			continue
 		}
-		rt.commits.Add(1)
+		if sampled {
+			rt.tel.ObserveCommit(shard, time.Since(t0), tx.valDur, tx.validated)
+		}
+		rt.tel.TxCommit(shard)
 		if sb := rt.sink.Load(); sb != nil {
 			sb.s.TxCommit(self, wv, attempt)
 		}
@@ -303,9 +313,9 @@ func (rt *Runtime) atomic(ctx context.Context, thread txid.ThreadID, txn txid.Tx
 
 // budgetSpent reports whether the aborted attempt was the last one the
 // call's budget allows, counting the exhaustion when it was.
-func (rt *Runtime) budgetSpent(budget, attempt int) bool {
+func (rt *Runtime) budgetSpent(shard uint64, budget, attempt int) bool {
 	if budget > 0 && attempt+1 >= budget {
-		rt.budgetExceeded.Add(1)
+		rt.tel.TxBudgetExceeded(shard)
 		return true
 	}
 	return false
@@ -316,7 +326,7 @@ func (rt *Runtime) budgetSpent(budget, attempt int) bool {
 // (byWV == 0 or the registry slot was recycled) the most recent commit is
 // reported as a best-effort guess, flagged byKnown=false.
 func (rt *Runtime) noteAbort(self txid.Pair, byWV uint64) {
-	rt.aborts.Add(1)
+	rt.tel.TxAbort(uint64(self.Thread))
 	sb := rt.sink.Load()
 	if sb == nil {
 		return

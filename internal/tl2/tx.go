@@ -2,6 +2,7 @@ package tl2
 
 import (
 	"sync/atomic"
+	"time"
 
 	"gstm/internal/txid"
 )
@@ -33,6 +34,13 @@ type Tx struct {
 	rng      uint64
 	ops      int
 	readOnly bool
+
+	// Latency-sampling state: when measure is set (1 in telemetry.SampleEvery
+	// commits per shard) the commit protocol times its read-set validation
+	// phase into valDur; validated records whether validation ran at all.
+	measure   bool
+	valDur    time.Duration
+	validated bool
 }
 
 // errWriteInReadOnly reports a Write inside a read-only transaction.
@@ -50,12 +58,18 @@ func (tx *Tx) reset(rt *Runtime, self txid.Pair, attempt int, readOnly bool) {
 	tx.reads = tx.reads[:0]
 	if tx.writes == nil {
 		tx.writes = make(map[*base]any, 8)
-	} else {
+	} else if len(tx.writes) != 0 {
+		// Guarded: read-only and read-heavy transactions recycle the Tx with
+		// an already-empty write map, and clearing an empty map still costs a
+		// runtime call on what is otherwise the minimal hot path.
 		clear(tx.writes)
 	}
 	tx.lockIdx = tx.lockIdx[:0]
 	tx.lockPre = tx.lockPre[:0]
 	tx.attempt = attempt
+	tx.measure = false
+	tx.valDur = 0
+	tx.validated = false
 	// The yield generator is seeded once per Tx object and then evolves
 	// across transactions and attempts. Re-seeding per attempt would make
 	// the yield pattern a pure function of (pair, attempt): short
@@ -241,7 +255,7 @@ func (tx *Tx) releaseLocks(wv uint64) {
 // Releasing any held locks is the caller's job (releaseLocks).
 func (tx *Tx) scrub() {
 	tx.reads = tx.reads[:0]
-	if tx.writes != nil {
+	if len(tx.writes) != 0 {
 		clear(tx.writes)
 	}
 	tx.lockIdx = tx.lockIdx[:0]
@@ -287,6 +301,10 @@ func (tx *Tx) commit() (wv uint64, byWV uint64, ok bool) {
 	wv = tx.rt.clk().tick()
 	if wv != tx.rv+1 {
 		// Something committed since we sampled rv: validate the read set.
+		var vt0 time.Time
+		if tx.measure {
+			vt0 = time.Now()
+		}
 		for _, b := range tx.reads {
 			w := b.word.Load()
 			if wordLocked(w) {
@@ -301,6 +319,10 @@ func (tx *Tx) commit() (wv uint64, byWV uint64, ok bool) {
 				tx.releaseLocks(0)
 				return 0, v, false
 			}
+		}
+		if tx.measure {
+			tx.valDur = time.Since(vt0)
+			tx.validated = true
 		}
 	}
 	for b, boxed := range tx.writes {

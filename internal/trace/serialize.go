@@ -117,11 +117,19 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if nstates > maxStates {
 		return nil, fmt.Errorf("trace: state count %d exceeds sanity limit", nstates)
 	}
+	// Cap the preallocation: nstates comes straight off the wire, and a
+	// corrupt header must not let a 4-byte field commit gigabytes before a
+	// single state has been decoded. Growth past the cap falls back to
+	// append's normal doubling, paced by actual bytes read.
+	prealloc := nstates
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
 	t := &Trace{
 		Commits:      int(counters[0]),
 		Aborts:       int(counters[1]),
 		Unattributed: int(counters[2]),
-		Seq:          make([]State, 0, nstates),
+		Seq:          make([]State, 0, prealloc),
 		AbortHist:    make(map[txid.ThreadID]*stats.Histogram),
 	}
 	for i := uint32(0); i < nstates; i++ {
@@ -151,6 +159,10 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if err := binary.Read(br, binary.LittleEndian, &nthreads); err != nil {
 		return nil, err
 	}
+	// thread IDs are u16, so more than 65536 entries is necessarily corrupt.
+	if nthreads > 1<<16 {
+		return nil, fmt.Errorf("trace: thread count %d exceeds format limit", nthreads)
+	}
 	for i := uint32(0); i < nthreads; i++ {
 		var th uint16
 		if err := binary.Read(br, binary.LittleEndian, &th); err != nil {
@@ -159,6 +171,13 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		var nbuckets uint32
 		if err := binary.Read(br, binary.LittleEndian, &nbuckets); err != nil {
 			return nil, err
+		}
+		// Bucket values are distinct u32 abort counts; a histogram cannot
+		// legitimately hold more distinct values than profiling could have
+		// produced, and an absurd count here is a corrupt stream.
+		const maxBuckets = 1 << 24
+		if nbuckets > maxBuckets {
+			return nil, fmt.Errorf("trace: thread %d bucket count %d exceeds sanity limit", th, nbuckets)
 		}
 		h := stats.NewHistogram()
 		for j := uint32(0); j < nbuckets; j++ {

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"gstm/internal/txid"
+)
+
+// validTraceBytes serializes a small but fully populated trace — states
+// with and without aborts plus per-thread abort histograms — for use as a
+// fuzz seed and as the base of the truncation tests.
+func validTraceBytes(t testing.TB) []byte {
+	t.Helper()
+	c := NewCollector()
+	t1 := txid.Pair{Txn: 0, Thread: 1}
+	t2 := txid.Pair{Txn: 1, Thread: 2}
+	c.TxAbort(t1, 5, t2, true)
+	c.TxCommit(t2, 5, 0)
+	c.TxCommit(t1, 9, 1)
+	var buf bytes.Buffer
+	if err := c.Finalize().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// corruptHeader builds a stream with a valid magic/version/counters prefix
+// followed by the given section counts, to probe the reader's sanity caps.
+func corruptHeader(nstates uint32, body func(*bytes.Buffer)) []byte {
+	var buf bytes.Buffer
+	buf.Write(traceMagic[:])
+	buf.WriteByte(traceVersion)
+	for i := 0; i < 3; i++ {
+		binary.Write(&buf, binary.LittleEndian, uint64(0))
+	}
+	binary.Write(&buf, binary.LittleEndian, nstates)
+	if body != nil {
+		body(&buf)
+	}
+	return buf.Bytes()
+}
+
+func TestReadTraceTruncated(t *testing.T) {
+	full := validTraceBytes(t)
+	if _, err := ReadTrace(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full stream rejected: %v", err)
+	}
+	// The format has no trailing marker, but every section is mandatory,
+	// so any strict prefix must fail a required read — cleanly, not by
+	// panicking or fabricating a trace.
+	for n := 0; n < len(full); n++ {
+		if _, err := ReadTrace(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("accepted %d-byte prefix of a %d-byte trace", n, len(full))
+		}
+	}
+}
+
+func TestReadTraceRejectsInsaneCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"nstates over cap", corruptHeader(1<<28+1, nil)},
+		{"nthreads over cap", corruptHeader(0, func(b *bytes.Buffer) {
+			binary.Write(b, binary.LittleEndian, uint32(1<<16+1))
+		})},
+		{"nbuckets over cap", corruptHeader(0, func(b *bytes.Buffer) {
+			binary.Write(b, binary.LittleEndian, uint32(1)) // nthreads
+			binary.Write(b, binary.LittleEndian, uint16(0)) // thread id
+			binary.Write(b, binary.LittleEndian, uint32(1<<24+1))
+		})},
+	}
+	for _, tc := range cases {
+		if _, err := ReadTrace(bytes.NewReader(tc.data)); err == nil {
+			t.Errorf("%s: accepted corrupt stream", tc.name)
+		}
+	}
+}
+
+func TestReadTraceHugeClaimedStatesNoOverAlloc(t *testing.T) {
+	// nstates under the sanity cap but wildly larger than the stream: the
+	// capped preallocation must keep this from committing gigabytes before
+	// the inevitable EOF.
+	data := corruptHeader(1<<27, nil)
+	if _, err := ReadTrace(bytes.NewReader(data)); err == nil {
+		t.Fatal("accepted truncated stream claiming 1<<27 states")
+	}
+}
+
+func FuzzTraceLoad(f *testing.F) {
+	f.Add(validTraceBytes(f))
+	f.Add([]byte("GSTQ"))
+	f.Add([]byte("GSTQ\x01"))
+	f.Add(corruptHeader(3, nil))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything the reader accepts must survive a write/read round trip
+		// with identical structure.
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("re-serialize of accepted trace failed: %v", err)
+		}
+		got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of re-serialized trace failed: %v", err)
+		}
+		if got.Commits != tr.Commits || got.Aborts != tr.Aborts || got.Unattributed != tr.Unattributed {
+			t.Fatalf("counters drifted: %d/%d/%d vs %d/%d/%d",
+				got.Commits, got.Aborts, got.Unattributed, tr.Commits, tr.Aborts, tr.Unattributed)
+		}
+		if len(got.Seq) != len(tr.Seq) {
+			t.Fatalf("seq length drifted: %d vs %d", len(got.Seq), len(tr.Seq))
+		}
+		for i := range tr.Seq {
+			if got.Seq[i].Key() != tr.Seq[i].Key() {
+				t.Fatalf("state %d drifted", i)
+			}
+		}
+		if len(got.AbortHist) != len(tr.AbortHist) {
+			t.Fatalf("hist thread count drifted: %d vs %d", len(got.AbortHist), len(tr.AbortHist))
+		}
+	})
+}

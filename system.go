@@ -8,6 +8,7 @@ import (
 
 	"gstm/internal/guide"
 	"gstm/internal/model"
+	"gstm/internal/telemetry"
 	"gstm/internal/tl2"
 	"gstm/internal/trace"
 )
@@ -174,7 +175,7 @@ func (s *System) EnableGuidance(m *Model, opts GuidanceOptions) error {
 // ssca2 degradation measurements).
 func (s *System) ForceGuidance(m *Model, opts GuidanceOptions) {
 	table := model.Compile(m, opts.Tfactor)
-	var gopts []guide.Option
+	gopts := []guide.Option{guide.WithTelemetry(s.rt.Telemetry())}
 	if opts.GateRetries > 0 {
 		gopts = append(gopts, guide.WithGateRetries(opts.GateRetries))
 	}
@@ -274,6 +275,15 @@ func (t teeSink) TxAbort(p Pair, byWV uint64, by Pair, known bool) {
 // Stats returns cumulative committed transactions and aborted attempts.
 func (s *System) Stats() (commits, aborts uint64) { return s.rt.Stats() }
 
+// Telemetry returns the system's live metrics: sharded lifecycle counters,
+// sampled commit/validation latency histograms, per-state gate telemetry
+// and the diagnostic event ring. The same object feeds the process-wide
+// exporter (telemetry.Gather).
+func (s *System) Telemetry() *telemetry.Metrics { return s.rt.Telemetry() }
+
+// TelemetrySnapshot returns a point-in-time view of the system's metrics.
+func (s *System) TelemetrySnapshot() TelemetrySnapshot { return s.rt.Telemetry().Snapshot() }
+
 // ResetStats zeroes the cumulative counters.
 func (s *System) ResetStats() { s.rt.ResetStats() }
 
@@ -301,7 +311,7 @@ type AdaptiveGuidance = guide.Adaptive
 // accumulates. This is an extension beyond the paper, whose models are
 // trained strictly offline.
 func (s *System) EnableAdaptiveGuidance(seed *Model, opts GuidanceOptions, recompileEvery int) *AdaptiveGuidance {
-	var gopts []guide.Option
+	gopts := []guide.Option{guide.WithTelemetry(s.rt.Telemetry())}
 	if opts.GateRetries > 0 {
 		gopts = append(gopts, guide.WithGateRetries(opts.GateRetries))
 	}

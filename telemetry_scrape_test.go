@@ -1,0 +1,143 @@
+package gstm_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gstm"
+	"gstm/internal/harness"
+	"gstm/internal/stamp"
+)
+
+// scrape fetches one telemetry endpoint and returns the body.
+func scrape(t *testing.T, base, path string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return string(body), resp
+}
+
+// promValue extracts the value of an unlabeled sample from Prometheus text.
+func promValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+		if err != nil {
+			t.Fatalf("parsing %s sample %q: %v", name, line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in exposition:\n%s", name, text)
+	return 0
+}
+
+// TestServeTelemetryScrapeMatchesHarness is the end-to-end check that the
+// exporter and the harness agree: it runs a small benchmark, scrapes the
+// live endpoint, and asserts the process-wide counters cover both measured
+// sides and that sampled commit latencies actually accumulated.
+func TestServeTelemetryScrapeMatchesHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full small benchmark")
+	}
+	before := gstm.GatherTelemetry()
+
+	w, err := stamp.ByName("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := harness.RunBenchmark(w, harness.Config{
+		Threads:   2,
+		TrainRuns: 2,
+		Runs:      2,
+		TrainSize: stamp.Small,
+		TestSize:  stamp.Small,
+		Tfactor:   4,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := res.Default.Commits + res.Guided.Commits
+	if measured == 0 {
+		t.Fatal("benchmark committed nothing")
+	}
+
+	srv, err := gstm.ServeTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := fmt.Sprintf("http://%s", srv.BoundAddr)
+
+	// /metrics: the process-wide commit counter must cover every commit the
+	// harness reported for its two measured sides (the registry also holds
+	// training-side runtimes, so >= rather than ==).
+	metrics, resp := scrape(t, base, "/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	commits := promValue(t, metrics, "gstm_tx_commits_total")
+	delta := commits - float64(before.Commits)
+	if delta < float64(measured) {
+		t.Fatalf("scraped commit delta %.0f < harness measured commits %d", delta, measured)
+	}
+	if got := promValue(t, metrics, "gstm_commit_latency_seconds_count"); got <= float64(before.CommitLatency.Count) {
+		t.Fatalf("commit latency count did not grow: %.0f <= %d", got, before.CommitLatency.Count)
+	}
+
+	// The harness's own per-side snapshots must agree with what it counted.
+	for side, s := range map[string]harness.SideResult{"default": res.Default, "guided": res.Guided} {
+		if s.Telemetry.Commits != s.Commits {
+			t.Errorf("%s side: telemetry commits %d != harness commits %d", side, s.Telemetry.Commits, s.Commits)
+		}
+		if s.Telemetry.CommitLatency.Count == 0 {
+			t.Errorf("%s side: no sampled commit latencies", side)
+		}
+	}
+
+	// /debug/vars: the gstm key is a full Snapshot and must agree with the
+	// Prometheus exposition scraped moments ago (counters only grow).
+	vars, resp := scrape(t, base, "/debug/vars")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/debug/vars content-type = %q", ct)
+	}
+	var payload struct {
+		Cmdline []string               `json:"cmdline"`
+		Gstm    gstm.TelemetrySnapshot `json:"gstm"`
+	}
+	if err := json.Unmarshal([]byte(vars), &payload); err != nil {
+		t.Fatalf("unmarshal /debug/vars: %v", err)
+	}
+	if len(payload.Cmdline) == 0 {
+		t.Fatal("/debug/vars missing cmdline")
+	}
+	if float64(payload.Gstm.Commits) < commits {
+		t.Fatalf("/debug/vars commits %d < /metrics commits %.0f", payload.Gstm.Commits, commits)
+	}
+
+	// /debug/pprof/: the index must be up.
+	if body, _ := scrape(t, base, "/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatal("/debug/pprof/ index missing profile listing")
+	}
+}
