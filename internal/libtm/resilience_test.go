@@ -30,8 +30,8 @@ func TestPanicReleasesLocksAndReaders(t *testing.T) {
 			}
 		}()
 		_ = rt.Atomic(0, 0, func(tx *Tx) error {
-			_ = Read(tx, r)    // registers as visible reader
-			Write(tx, o, 1)    // takes encounter-time write lock
+			_ = Read(tx, r) // registers as visible reader
+			Write(tx, o, 1) // takes encounter-time write lock
 			panic("boom")
 		})
 	}()

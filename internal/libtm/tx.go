@@ -3,8 +3,10 @@ package libtm
 import (
 	"runtime"
 	"sync/atomic"
+	"unsafe"
 
 	"gstm/internal/txid"
+	"gstm/internal/wset"
 )
 
 // txState is the shared-visibility part of a transaction attempt: other
@@ -34,11 +36,15 @@ type conflict struct {
 
 // Tx is one attempt of a LibTM transaction.
 type Tx struct {
-	rt      *Runtime
-	st      *txState
-	reads   []*objBase
-	writes  map[*objBase]any
-	locked  []*objBase // write locks held (encounter-time and commit-time)
+	rt    *Runtime
+	st    *txState
+	reads []*objBase
+	// ws is the same small-vector write set tl2 uses (internal/wset):
+	// address-sorted entries with an inline fast path, a filter word for
+	// O(1) read-after-write miss checks, and per-entry lock bookkeeping
+	// (Entry.Locked replaces the separate locked slice; objBase write
+	// locks have no pre-word, so Entry.Pre stays zero).
+	ws      wset.Set[*objBase]
 	attempt int
 	rng     uint64
 }
@@ -47,12 +53,7 @@ func (tx *Tx) reset(rt *Runtime, self txid.Pair, attempt int) {
 	tx.rt = rt
 	tx.st = &txState{self: self} // fresh shared state: old dooms must not leak
 	tx.reads = tx.reads[:0]
-	if tx.writes == nil {
-		tx.writes = make(map[*objBase]any, 8)
-	} else {
-		clear(tx.writes)
-	}
-	tx.locked = tx.locked[:0]
+	tx.ws.Reset()
 	tx.attempt = attempt
 	if tx.rng == 0 {
 		tx.rng = rngSeq.Add(0x9e3779b97f4a7c15) | 1
@@ -96,6 +97,10 @@ func (tx *Tx) checkDoomed() {
 	}
 }
 
+// objAddr is the write-set key of b: its address, also the deterministic
+// commit-time lock ordering key.
+func objAddr(b *objBase) uintptr { return uintptr(unsafe.Pointer(b)) }
+
 // readBase implements the LibTM read protocol: register as a visible
 // reader (blocking while a writer holds the object in pessimistic read
 // mode), load the value, then re-check the doom flag so a value published
@@ -103,8 +108,10 @@ func (tx *Tx) checkDoomed() {
 func (tx *Tx) readBase(b *objBase, load func() any) any {
 	tx.maybeYield()
 	tx.checkDoomed()
-	if boxed, ok := tx.writes[b]; ok {
-		return boxed
+	if e, fp := tx.ws.Lookup(objAddr(b)); e != nil {
+		return e.Val
+	} else if fp {
+		tx.rt.tel.FilterFalsePositives.Inc(uint64(tx.st.self.Thread))
 	}
 	pess := tx.rt.cfg.ReadMode == ReadPessimistic
 	for spins := 0; !b.registerReader(tx.st, pess); spins++ {
@@ -126,26 +133,48 @@ func Read[T any](tx *Tx, o *Obj[T]) T {
 	return *(boxed.(*T))
 }
 
+// box copies val to a fresh heap box, kept out of Write so the in-place
+// rewrite fast path stays allocation-free (see tl2).
+func box[T any](val T) *T {
+	v := val
+	return &v
+}
+
 // Write buffers val as tx's pending write to o. In encounter-time write
-// mode the object's write lock is acquired immediately.
+// mode the object's write lock is acquired immediately. Rewrites of an
+// already-buffered object update the private redo box in place without
+// allocating.
 func Write[T any](tx *Tx, o *Obj[T], val T) {
 	tx.maybeYield()
 	tx.checkDoomed()
 	b := &o.b
-	if tx.rt.cfg.WriteMode == WriteEncounterTime {
-		if _, already := tx.writes[b]; !already {
-			tx.lockOne(b)
+	addr := objAddr(b)
+	if e, fp := tx.ws.Lookup(addr); e != nil {
+		if p, ok := e.Val.(*T); ok {
+			*p = val
+		} else {
+			e.Val = box(val) // unreachable for a well-formed Obj; kept for safety
 		}
+		return
+	} else if fp {
+		tx.rt.tel.FilterFalsePositives.Inc(uint64(tx.st.self.Thread))
 	}
-	tx.writes[b] = &val
+	e, spilled := tx.ws.Insert(b, addr)
+	e.Val = box(val)
+	if spilled {
+		tx.rt.tel.WriteSetSpills.Inc(uint64(tx.st.self.Thread))
+	}
+	if tx.rt.cfg.WriteMode == WriteEncounterTime {
+		tx.lockOne(e, b)
+	}
 }
 
 // lockOne acquires b's write lock with bounded spinning, aborting the
 // transaction on exhaustion.
-func (tx *Tx) lockOne(b *objBase) {
+func (tx *Tx) lockOne(e *wset.Entry[*objBase], b *objBase) {
 	for spins := 0; ; spins++ {
 		if b.tryLockWriter(tx.st) {
-			tx.locked = append(tx.locked, b)
+			e.Locked = true
 			return
 		}
 		if spins >= tx.rt.cfg.MaxSpin {
@@ -156,12 +185,16 @@ func (tx *Tx) lockOne(b *objBase) {
 	}
 }
 
-// cleanup releases all write locks and reader registrations.
+// cleanup releases all write locks and reader registrations. Idempotent:
+// entries release their lock at most once.
 func (tx *Tx) cleanup() {
-	for _, b := range tx.locked {
-		b.unlockWriter(tx.st)
+	ents := tx.ws.Entries()
+	for i := range ents {
+		if ents[i].Locked {
+			ents[i].Key.unlockWriter(tx.st)
+			ents[i].Locked = false
+		}
 	}
-	tx.locked = tx.locked[:0]
 	for _, b := range tx.reads {
 		b.deregisterReader(tx.st)
 	}
@@ -169,16 +202,15 @@ func (tx *Tx) cleanup() {
 }
 
 // scrub clears the write set after cleanup so a Tx abandoned on a user
-// panic pools clean (cleanup already emptied the read/lock slices).
+// panic pools clean (cleanup already released locks and registrations).
 func (tx *Tx) scrub() {
-	if tx.writes != nil {
-		clear(tx.writes)
-	}
+	tx.ws.Reset()
 }
 
-// commit runs the LibTM commit protocol: acquire outstanding write locks,
-// draw the commit sequence number, resolve readers per the configured
-// policy, re-check our own doom flag, publish, release.
+// commit runs the LibTM commit protocol: acquire outstanding write locks
+// (in ascending object address order, the same deterministic rule as tl2's
+// commit locking), draw the commit sequence number, resolve readers per the
+// configured policy, re-check our own doom flag, publish, release.
 func (tx *Tx) commit() (wv uint64, c *conflict, ok bool) {
 	if tx.st.doomed.Load() {
 		return 0, &conflict{
@@ -187,13 +219,17 @@ func (tx *Tx) commit() (wv uint64, c *conflict, ok bool) {
 			byKnown: true,
 		}, false
 	}
-	if len(tx.writes) == 0 {
+	ents := tx.ws.Entries()
+	if len(ents) == 0 {
 		tx.cleanup()
 		return seq.Add(1), nil, true
 	}
 	if tx.rt.cfg.WriteMode == WriteCommitTime {
-		for b := range tx.writes {
-			if !tx.tryLockBounded(b) {
+		for i := range ents {
+			if ents[i].Locked {
+				continue
+			}
+			if !tx.tryLockBounded(&ents[i], ents[i].Key) {
 				return 0, &conflict{}, false
 			}
 		}
@@ -206,7 +242,8 @@ func (tx *Tx) commit() (wv uint64, c *conflict, ok bool) {
 	}
 	wv = seq.Add(1)
 	abortReaders := tx.rt.cfg.Resolution == AbortReaders
-	for b := range tx.writes {
+	for i := range ents {
+		b := ents[i].Key
 		for spins := 0; !b.resolveReaders(tx.st, abortReaders, wv); spins++ {
 			// wait-for-readers: stall until this object's readers drain.
 			if spins >= tx.rt.cfg.MaxSpin {
@@ -232,8 +269,9 @@ func (tx *Tx) commit() (wv uint64, c *conflict, ok bool) {
 			byKnown: true,
 		}, false
 	}
-	for b, boxed := range tx.writes {
-		b.apply(boxed)
+	for i := range ents {
+		b := ents[i].Key
+		b.apply(ents[i].Val)
 		b.version.Add(1)
 	}
 	tx.rt.reg.Record(wv, tx.st.self)
@@ -243,10 +281,10 @@ func (tx *Tx) commit() (wv uint64, c *conflict, ok bool) {
 
 // tryLockBounded is lockOne without the panic path, for use during commit
 // where the caller owns cleanup.
-func (tx *Tx) tryLockBounded(b *objBase) bool {
+func (tx *Tx) tryLockBounded(e *wset.Entry[*objBase], b *objBase) bool {
 	for spins := 0; ; spins++ {
 		if b.tryLockWriter(tx.st) {
-			tx.locked = append(tx.locked, b)
+			e.Locked = true
 			return true
 		}
 		if spins >= tx.rt.cfg.MaxSpin {

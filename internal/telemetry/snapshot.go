@@ -93,6 +93,10 @@ type Snapshot struct {
 	RetryBudgetExceeded uint64 `json:"tx_retry_budget_exceeded"`
 	ContextCanceled     uint64 `json:"tx_context_canceled"`
 
+	ClockCASFallbacks    uint64 `json:"clock_cas_fallbacks"`
+	WriteSetSpills       uint64 `json:"write_set_spills"`
+	FilterFalsePositives uint64 `json:"write_filter_false_positives"`
+
 	GatePassed  uint64 `json:"gate_passed"`
 	GateHeld    uint64 `json:"gate_held"`
 	GateEscaped uint64 `json:"gate_escaped"`
@@ -126,6 +130,9 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.Aborts += o.Aborts
 	s.RetryBudgetExceeded += o.RetryBudgetExceeded
 	s.ContextCanceled += o.ContextCanceled
+	s.ClockCASFallbacks += o.ClockCASFallbacks
+	s.WriteSetSpills += o.WriteSetSpills
+	s.FilterFalsePositives += o.FilterFalsePositives
 	s.GatePassed += o.GatePassed
 	s.GateHeld += o.GateHeld
 	s.GateEscaped += o.GateEscaped

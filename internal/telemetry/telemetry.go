@@ -86,6 +86,13 @@ type Metrics struct {
 	RetryBudgetExceeded Counter // transactions abandoned on a spent retry budget
 	ContextCanceled     Counter // transactions abandoned on ctx cancellation
 
+	// Commit-path micro-counters: the engines' hot-path diagnostics added
+	// with the small-vector write set and the GV4 clock (see DESIGN.md
+	// "Commit-path deviations").
+	ClockCASFallbacks    Counter // GV4 pass-on-failure: commits that adopted a winner's clock value
+	WriteSetSpills       Counter // write sets that outgrew the inline fast path
+	FilterFalsePositives Counter // write-set filter hits that found no entry
+
 	// Guidance-gate decision counters.
 	GatePassed  Counter
 	GateHeld    Counter
@@ -303,22 +310,25 @@ func (m *Metrics) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	s := Snapshot{
-		Label:               m.label,
-		TakenAt:             time.Now(),
-		Commits:             m.Commits.Load(),
-		Aborts:              m.Aborts.Load(),
-		RetryBudgetExceeded: m.RetryBudgetExceeded.Load(),
-		ContextCanceled:     m.ContextCanceled.Load(),
-		GatePassed:          m.GatePassed.Load(),
-		GateHeld:            m.GateHeld.Load(),
-		GateEscaped:         m.GateEscaped.Load(),
-		WatchdogTrips:       m.WatchdogTrips.Load(),
-		WatchdogRearms:      m.WatchdogRearms.Load(),
-		CommitLatency:       m.CommitLatency.Snapshot(),
-		ValidationLatency:   m.ValidationLatency.Snapshot(),
-		GateHoldTime:        m.GateHoldTime.Snapshot(),
-		TimeToFirstCommit:   m.TimeToFirstCommit.Snapshot(),
-		Events:              m.Events.Snapshot(),
+		Label:                m.label,
+		TakenAt:              time.Now(),
+		Commits:              m.Commits.Load(),
+		Aborts:               m.Aborts.Load(),
+		RetryBudgetExceeded:  m.RetryBudgetExceeded.Load(),
+		ContextCanceled:      m.ContextCanceled.Load(),
+		ClockCASFallbacks:    m.ClockCASFallbacks.Load(),
+		WriteSetSpills:       m.WriteSetSpills.Load(),
+		FilterFalsePositives: m.FilterFalsePositives.Load(),
+		GatePassed:           m.GatePassed.Load(),
+		GateHeld:             m.GateHeld.Load(),
+		GateEscaped:          m.GateEscaped.Load(),
+		WatchdogTrips:        m.WatchdogTrips.Load(),
+		WatchdogRearms:       m.WatchdogRearms.Load(),
+		CommitLatency:        m.CommitLatency.Snapshot(),
+		ValidationLatency:    m.ValidationLatency.Snapshot(),
+		GateHoldTime:         m.GateHoldTime.Snapshot(),
+		TimeToFirstCommit:    m.TimeToFirstCommit.Snapshot(),
+		Events:               m.Events.Snapshot(),
 	}
 	// Derived, not counted: every finished attempt committed or aborted, so
 	// their sum is the attempt-start total (in-flight attempts show up on
@@ -352,7 +362,8 @@ func (m *Metrics) Reset() {
 	}
 	for _, c := range []*Counter{
 		&m.Commits, &m.Aborts, &m.RetryBudgetExceeded,
-		&m.ContextCanceled, &m.GatePassed, &m.GateHeld, &m.GateEscaped,
+		&m.ContextCanceled, &m.ClockCASFallbacks, &m.WriteSetSpills,
+		&m.FilterFalsePositives, &m.GatePassed, &m.GateHeld, &m.GateEscaped,
 		&m.WatchdogTrips, &m.WatchdogRearms,
 	} {
 		c.reset()

@@ -47,8 +47,37 @@ var globalClock clock
 func (c *clock) now() uint64 { return c.v.Load() }
 
 // tick advances the clock and returns the new value, the write version wv
-// of the committing transaction.
+// of the committing transaction. Every tick result is unique, which the
+// tracing layer relies on to totally order the transaction sequence — so
+// this is the clock used whenever an event sink is installed.
 func (c *clock) tick() uint64 { return c.v.Add(1) }
+
+// tickGV4 draws a write version using TL2's GV4 "pass on failure" variant:
+// one CAS attempt to advance the clock, and on failure the loser adopts the
+// winner's (already advanced) value as its own wv instead of retrying. Two
+// commits may then share a wv, which is safe: the sharers held disjoint
+// write-set locks (overlapping sets would have serialized on a lock), both
+// published versions exceed every rv sampled before either commit, and a
+// reader validates `version > rv`, which ties do not weaken. What sharing
+// buys is that the global clock line is written once per contention burst
+// instead of once per commit — the uncontended-loser retry loop that made
+// the clock the first scaling wall is gone.
+//
+// needValidate is false only when this caller itself moved the clock
+// rv→rv+1, i.e. provably no transaction committed between the rv sample and
+// the tick (the classic TL2 validation elision). An adopted value never
+// elides validation: the winner it was adopted from committed after our rv.
+//
+// adopted reports the pass-on-failure path was taken (telemetry).
+func (c *clock) tickGV4(rv uint64) (wv uint64, needValidate, adopted bool) {
+	v := c.v.Load()
+	if c.v.CompareAndSwap(v, v+1) {
+		return v + 1, v != rv, false
+	}
+	// Pass on failure: a winner advanced the clock past v; its value is
+	// > v ≥ rv, so it is a valid write version for this commit too.
+	return c.v.Load(), true, true
+}
 
 // A versioned lock word packs a version number and a lock bit:
 //

@@ -1,0 +1,165 @@
+package tl2
+
+import (
+	"errors"
+	"testing"
+
+	"gstm/internal/wset"
+)
+
+// Eager-mode interactions with the small-vector write set: encounter-time
+// locks must survive rewrites, set spills, and aborts with the lock and
+// version bookkeeping intact.
+
+func TestEagerRewriteOfLockedVarHoldsOneLock(t *testing.T) {
+	rt := New(Config{EagerWriteLock: true})
+	v := NewVar(0)
+	preVersion, _ := v.LockState()
+	if err := rt.Atomic(0, 0, func(tx *Tx) error {
+		Write(tx, v, 1)
+		if _, locked := v.LockState(); !locked {
+			t.Error("encounter-time lock not held after first Write")
+		}
+		// Rewrites must reuse the existing locked entry: update the redo box
+		// in place, not lock again (a second acquire would self-deadlock).
+		Write(tx, v, 2)
+		Write(tx, v, 3)
+		if got := Read(tx, v); got != 3 {
+			t.Errorf("buffered read = %d, want 3", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Peek(); got != 3 {
+		t.Fatalf("Peek = %d, want 3", got)
+	}
+	version, locked := v.LockState()
+	if locked {
+		t.Fatal("lock leaked past commit")
+	}
+	if version <= preVersion {
+		t.Fatalf("version %d did not advance past %d", version, preVersion)
+	}
+}
+
+func TestEagerSpillWhileHoldingLocks(t *testing.T) {
+	rt := New(Config{EagerWriteLock: true})
+	rt.Telemetry().Reset()
+	const n = wset.InlineSize*2 + 4
+	arr := NewArray[int](n)
+	if err := rt.Atomic(0, 0, func(tx *Tx) error {
+		for i := 0; i < n; i++ {
+			WriteAt(tx, arr, i, i*i)
+		}
+		// The insert that spilled the set moved every entry to a new backing
+		// array; the locks acquired before the spill must still be tracked.
+		for i := 0; i < n; i++ {
+			if _, locked := arr.At(i).LockState(); !locked {
+				t.Errorf("element %d not locked mid-transaction", i)
+			}
+		}
+		// Rewrite across the spill boundary: entries from both the pre- and
+		// post-spill population must resolve to their buffered boxes.
+		WriteAt(tx, arr, 0, -1)
+		WriteAt(tx, arr, n-1, -2)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := arr.Peek(0); got != -1 {
+		t.Fatalf("arr[0] = %d, want -1", got)
+	}
+	if got := arr.Peek(n - 1); got != -2 {
+		t.Fatalf("arr[%d] = %d, want -2", n-1, got)
+	}
+	for i := 1; i < n-1; i++ {
+		if got := arr.Peek(i); got != i*i {
+			t.Fatalf("arr[%d] = %d, want %d", i, got, i*i)
+		}
+		if _, locked := arr.At(i).LockState(); locked {
+			t.Fatalf("element %d still locked after commit", i)
+		}
+	}
+	if got := rt.Telemetry().WriteSetSpills.Load(); got == 0 {
+		t.Fatal("spill crossing not counted in telemetry")
+	}
+}
+
+func TestEagerAbortAfterSpillRestoresAllLocks(t *testing.T) {
+	rt := New(Config{EagerWriteLock: true})
+	const n = wset.InlineSize + 4
+	arr := NewArray[int](n)
+	// Commit once so every element has a nonzero pre-version to restore.
+	if err := rt.Atomic(0, 0, func(tx *Tx) error {
+		for i := 0; i < n; i++ {
+			WriteAt(tx, arr, i, i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pre := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		pre[i], _ = arr.At(i).LockState()
+	}
+	sentinel := errors.New("user abort after eager locks")
+	err := rt.Atomic(0, 0, func(tx *Tx) error {
+		for i := 0; i < n; i++ {
+			WriteAt(tx, arr, i, 100+i)
+		}
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	for i := 0; i < n; i++ {
+		version, locked := arr.At(i).LockState()
+		if locked {
+			t.Fatalf("element %d left locked by abort", i)
+		}
+		if version != pre[i] {
+			t.Fatalf("element %d version %d, want pre-abort %d", i, version, pre[i])
+		}
+		if got := arr.Peek(i); got != i {
+			t.Fatalf("element %d value %d leaked from aborted tx", i, got)
+		}
+	}
+	// The runtime and the vars stay fully usable.
+	if err := rt.Atomic(0, 0, func(tx *Tx) error {
+		WriteAt(tx, arr, 0, 42)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := arr.Peek(0); got != 42 {
+		t.Fatalf("follow-up write = %d", got)
+	}
+}
+
+func TestEagerLockedEntryOwnerTagVisible(t *testing.T) {
+	// The O(1) ownership check: while an eager transaction holds a location,
+	// its own validation must see the owner tag (ownedPre), and the tag must
+	// be gone once the lock is released.
+	rt := New(Config{EagerWriteLock: true})
+	v := NewVar(7)
+	if err := rt.Atomic(0, 0, func(tx *Tx) error {
+		Write(tx, v, 8)
+		if pre, owned := tx.ownedPre(&v.b); !owned {
+			t.Error("ownedPre does not recognize our eager lock")
+		} else if wordLocked(pre) {
+			t.Error("recorded pre-lock word already locked")
+		}
+		// Reading our own locked location must come from the write set, not
+		// spin on the lock we hold.
+		if got := Read(tx, v); got != 8 {
+			t.Errorf("read-own-locked = %d, want 8", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v.b.owner.Load() != 0 {
+		t.Fatal("owner tag not cleared on release")
+	}
+}

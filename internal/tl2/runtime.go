@@ -172,8 +172,11 @@ func (rt *Runtime) injector() FaultInjector {
 // clk returns the process-wide version clock.
 func (rt *Runtime) clk() *clock { return &globalClock }
 
-// Clock returns the current global version clock value: the total number of
-// commits in the process so far. Exported for tests and harnesses.
+// Clock returns the current global version clock value. With a sink
+// installed every commit ticks it exactly once, so it counts commits; in
+// the untraced fast path read-only commits elide the tick and GV4 clock
+// sharing lets concurrent writers reuse one tick, so it only bounds the
+// number of write commits from below. Exported for tests and harnesses.
 func (rt *Runtime) Clock() uint64 { return rt.clk().now() }
 
 // Stats returns the cumulative number of committed transactions and of
@@ -291,7 +294,11 @@ func (rt *Runtime) atomic(ctx context.Context, thread txid.ThreadID, txn txid.Tx
 		if sampled {
 			t0 = time.Now()
 		}
-		wv, byWV, ok := tx.commit()
+		// The sink is sampled once so the clock discipline the commit chose
+		// (unique ticks vs GV4/tick elision) matches the delivery decision;
+		// installs racing the commit are picked up by the next transaction.
+		sb := rt.sink.Load()
+		wv, byWV, ok := tx.commit(sb != nil)
 		if !ok {
 			rt.noteAbort(self, byWV)
 			if rt.budgetSpent(shard, budget, attempt) {
@@ -304,7 +311,7 @@ func (rt *Runtime) atomic(ctx context.Context, thread txid.ThreadID, txn txid.Tx
 			rt.tel.ObserveCommit(shard, time.Since(t0), tx.valDur, tx.validated)
 		}
 		rt.tel.TxCommit(shard)
-		if sb := rt.sink.Load(); sb != nil {
+		if sb != nil {
 			sb.s.TxCommit(self, wv, attempt)
 		}
 		return nil

@@ -328,6 +328,10 @@ func TestAtomicRORejectsWrites(t *testing.T) {
 
 func TestAtomicROStillCommitsAndCounts(t *testing.T) {
 	rt := New(Config{})
+	// Tracing installed: read-only commits must still draw a sequence
+	// number (tick elision is reserved for the untraced fast path).
+	sink := &recordingSink{}
+	rt.SetSink(sink)
 	v := NewVar(1)
 	before, _ := rt.Stats()
 	clock := rt.Clock()
@@ -342,6 +346,6 @@ func TestAtomicROStillCommitsAndCounts(t *testing.T) {
 		t.Fatalf("commits %d → %d", before, after)
 	}
 	if rt.Clock() != clock+1 {
-		t.Fatal("read-only commit must still be sequenced")
+		t.Fatal("traced read-only commit must still be sequenced")
 	}
 }

@@ -264,16 +264,35 @@ func TestSinkSeesUniqueCommitVersions(t *testing.T) {
 	}
 }
 
-func TestReadOnlyCommitTicksClock(t *testing.T) {
+func TestReadOnlyCommitTicksClockOnlyWhenTraced(t *testing.T) {
 	rt := New(Config{})
 	v := NewVar(5)
+
+	// Untraced: the read-only commit elides the global-clock tick (nothing
+	// is published and no sink consumes the sequence number).
 	before := rt.Clock()
 	_ = rt.Atomic(0, 0, func(tx *Tx) error {
 		_ = Read(tx, v)
 		return nil
 	})
+	if rt.Clock() != before {
+		t.Fatalf("clock = %d, want %d (untraced read-only commit must elide the tick)", rt.Clock(), before)
+	}
+
+	// Traced: every commit, including read-only ones, draws a unique tick
+	// so the trace layer can totally order the transaction sequence.
+	sink := &recordingSink{}
+	rt.SetSink(sink)
+	before = rt.Clock()
+	_ = rt.Atomic(0, 0, func(tx *Tx) error {
+		_ = Read(tx, v)
+		return nil
+	})
 	if rt.Clock() != before+1 {
-		t.Fatalf("clock = %d, want %d (read-only commits must be sequenced)", rt.Clock(), before+1)
+		t.Fatalf("clock = %d, want %d (traced read-only commits must be sequenced)", rt.Clock(), before+1)
+	}
+	if len(sink.commits) != 1 || sink.commits[0] != before+1 {
+		t.Fatalf("sink saw %v, want [%d]", sink.commits, before+1)
 	}
 }
 

@@ -3,12 +3,19 @@ package tl2
 import (
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"gstm/internal/txid"
+	"gstm/internal/wset"
 )
 
 // rngSeq hands out distinct initial states for per-Tx yield generators.
 var rngSeq atomic.Uint64
+
+// tagSeq hands out nonzero ownership tags, one per pooled Tx object. A tag
+// only ever marks locks the Tx itself holds, and every lock is released
+// (owner cleared) before the Tx is pooled, so reuse across attempts is safe.
+var tagSeq atomic.Uint64
 
 // conflictSignal is panicked by transactional reads/writes (and returned by
 // the commit protocol) when a conflict is detected. byWV is the write
@@ -26,10 +33,9 @@ type Tx struct {
 	rt       *Runtime
 	self     txid.Pair
 	rv       uint64
+	tag      uint64 // nonzero ownership tag stamped into base.owner while locking
 	reads    []*base
-	writes   map[*base]any // boxed *T redo values
-	lockIdx  []*base       // bases locked during commit, in acquisition order
-	lockPre  []uint64      // their pre-lock words, parallel to lockIdx
+	ws       wset.Set[*base] // redo log: sorted small-vector write set with lock bookkeeping
 	attempt  int
 	rng      uint64
 	ops      int
@@ -56,20 +62,14 @@ func (tx *Tx) reset(rt *Runtime, self txid.Pair, attempt int, readOnly bool) {
 	tx.readOnly = readOnly
 	tx.rv = rt.clk().now()
 	tx.reads = tx.reads[:0]
-	if tx.writes == nil {
-		tx.writes = make(map[*base]any, 8)
-	} else if len(tx.writes) != 0 {
-		// Guarded: read-only and read-heavy transactions recycle the Tx with
-		// an already-empty write map, and clearing an empty map still costs a
-		// runtime call on what is otherwise the minimal hot path.
-		clear(tx.writes)
-	}
-	tx.lockIdx = tx.lockIdx[:0]
-	tx.lockPre = tx.lockPre[:0]
+	tx.ws.Reset()
 	tx.attempt = attempt
 	tx.measure = false
 	tx.valDur = 0
 	tx.validated = false
+	if tx.tag == 0 {
+		tx.tag = tagSeq.Add(1)
+	}
 	// The yield generator is seeded once per Tx object and then evolves
 	// across transactions and attempts. Re-seeding per attempt would make
 	// the yield pattern a pure function of (pair, attempt): short
@@ -111,13 +111,22 @@ func (tx *Tx) conflict(byWV uint64) {
 	panic(&conflictSignal{byWV: byWV})
 }
 
+// baseAddr is the write-set key of b: its address, which is also the
+// deterministic commit-time lock ordering key.
+func baseAddr(b *base) uintptr { return uintptr(unsafe.Pointer(b)) }
+
 // readBase performs the TL2 post-validated read protocol on b and returns
 // the consistent value snapshot. It panics with a conflictSignal when the
 // location's version exceeds rv or the location stays locked.
 func (tx *Tx) readBase(b *base, load func() any) any {
 	tx.maybeYield()
-	if boxed, ok := tx.writes[b]; ok {
-		return boxed
+	// Read-after-write fast path: the filter answers the common miss in
+	// O(1) (read-only transactions keep it at zero, so this is one branch),
+	// and a hit returns the private redo box without allocating.
+	if e, fp := tx.ws.Lookup(baseAddr(b)); e != nil {
+		return e.Val
+	} else if fp {
+		tx.rt.tel.FilterFalsePositives.Inc(uint64(tx.self.Thread))
 	}
 	for spins := 0; ; spins++ {
 		w1 := b.word.Load()
@@ -157,28 +166,55 @@ func Read[T any](tx *Tx, v *Var[T]) T {
 	return *(boxed.(*T))
 }
 
+// box copies val to a fresh heap box. Kept out of Write so that escape
+// analysis only allocates on the paths that call it: the buffered-write
+// fast path updates an existing box in place and must stay allocation-free.
+func box[T any](val T) *T {
+	v := val
+	return &v
+}
+
 // Write buffers val as the transaction's pending write to v. The write
 // becomes visible to other transactions only if this attempt commits.
 // Under eager detection (Config.EagerWriteLock) the location's versioned
 // lock is acquired here, at encounter time.
+//
+// A rewrite of an already-buffered location updates the redo box in place
+// (the box is private until commit publishes it), so the buffered-write
+// fast path performs no allocation; only the first write to a location
+// allocates the box that commit will publish.
 func Write[T any](tx *Tx, v *Var[T], val T) {
 	if tx.readOnly {
 		panic(errWriteInReadOnly{})
 	}
 	tx.maybeYield()
 	b := &v.b
-	if tx.rt.cfg.EagerWriteLock {
-		if _, buffered := tx.writes[b]; !buffered {
-			tx.lockEager(b)
+	addr := baseAddr(b)
+	if e, fp := tx.ws.Lookup(addr); e != nil {
+		if p, ok := e.Val.(*T); ok {
+			*p = val
+		} else {
+			e.Val = box(val) // unreachable for a well-formed Var; kept for safety
 		}
+		return
+	} else if fp {
+		tx.rt.tel.FilterFalsePositives.Inc(uint64(tx.self.Thread))
 	}
-	tx.writes[b] = &val
+	e, spilled := tx.ws.Insert(b, addr)
+	e.Val = box(val)
+	if spilled {
+		tx.rt.tel.WriteSetSpills.Inc(uint64(tx.self.Thread))
+	}
+	if tx.rt.cfg.EagerWriteLock {
+		tx.lockEager(e, b)
+	}
 }
 
 // lockEager acquires b's versioned lock at encounter time with bounded
 // spinning, validating the version against rv (a newer version means a
-// conflicting commit already happened).
-func (tx *Tx) lockEager(b *base) {
+// conflicting commit already happened). On success the lock bookkeeping is
+// recorded in b's write-set entry e.
+func (tx *Tx) lockEager(e *wset.Entry[*base], b *base) {
 	for spins := 0; ; spins++ {
 		w := b.word.Load()
 		if wordLocked(w) {
@@ -192,8 +228,9 @@ func (tx *Tx) lockEager(b *base) {
 			tx.conflict(v)
 		}
 		if b.word.CompareAndSwap(w, w|lockedBit) {
-			tx.lockIdx = append(tx.lockIdx, b)
-			tx.lockPre = append(tx.lockPre, w)
+			b.owner.Store(tx.tag)
+			e.Pre = w
+			e.Locked = true
 			return
 		}
 	}
@@ -208,11 +245,20 @@ func WriteAt[T any](tx *Tx, a *Array[T], i int, val T) { Write(tx, a.At(i), val)
 // lockWriteSet acquires the versioned lock of every written location with
 // bounded spinning. It reports failure (and releases everything acquired)
 // when some lock cannot be taken, the TL2 deadlock-avoidance rule.
+//
+// Locks are acquired in ascending location address order (the write set is
+// sorted), so any two transactions acquire the locks they share in the same
+// global order: the random-map-iteration livelock window — two commits each
+// holding a lock the other spins on, both aborting, retrying, and colliding
+// again in a new random order — cannot occur.
 func (tx *Tx) lockWriteSet() bool {
-	for b := range tx.writes {
-		if _, mine := tx.ownedPre(b); mine {
+	ents := tx.ws.Entries()
+	for i := range ents {
+		e := &ents[i]
+		if e.Locked {
 			continue // already taken at encounter time (eager mode)
 		}
+		b := e.Key
 		acquired := false
 		for spins := 0; spins <= tx.rt.cfg.MaxLockSpin; spins++ {
 			w := b.word.Load()
@@ -221,8 +267,9 @@ func (tx *Tx) lockWriteSet() bool {
 				continue
 			}
 			if b.word.CompareAndSwap(w, w|lockedBit) {
-				tx.lockIdx = append(tx.lockIdx, b)
-				tx.lockPre = append(tx.lockPre, w)
+				b.owner.Store(tx.tag)
+				e.Pre = w
+				e.Locked = true
 				acquired = true
 				break
 			}
@@ -237,17 +284,24 @@ func (tx *Tx) lockWriteSet() bool {
 
 // releaseLocks restores every acquired lock word. When wv is zero the
 // pre-lock words are restored (abort path); otherwise each location is
-// published at version wv (commit path).
+// published at version wv (commit path). The owner tag is cleared before
+// the unlocking store so no later lock holder's tag is ever clobbered.
 func (tx *Tx) releaseLocks(wv uint64) {
-	for i, b := range tx.lockIdx {
+	ents := tx.ws.Entries()
+	for i := range ents {
+		e := &ents[i]
+		if !e.Locked {
+			continue
+		}
+		b := e.Key
+		b.owner.Store(0)
 		if wv == 0 {
-			b.word.Store(tx.lockPre[i])
+			b.word.Store(e.Pre)
 		} else {
 			b.word.Store(makeWord(wv, false))
 		}
+		e.Locked = false
 	}
-	tx.lockIdx = tx.lockIdx[:0]
-	tx.lockPre = tx.lockPre[:0]
 }
 
 // scrub clears the attempt's read/write bookkeeping so a Tx abandoned on a
@@ -255,22 +309,24 @@ func (tx *Tx) releaseLocks(wv uint64) {
 // Releasing any held locks is the caller's job (releaseLocks).
 func (tx *Tx) scrub() {
 	tx.reads = tx.reads[:0]
-	if len(tx.writes) != 0 {
-		clear(tx.writes)
-	}
-	tx.lockIdx = tx.lockIdx[:0]
-	tx.lockPre = tx.lockPre[:0]
+	tx.ws.Reset()
 }
 
 // ownedPre returns the pre-lock word of b if this transaction holds its
-// lock.
+// lock. The ownership test is one atomic load of b's owner tag — O(1),
+// replacing the linear lock-list scan that made read-set validation
+// O(reads×locks) — and only a positive answer (rare: a location both read
+// and written by this transaction) pays the write-set lookup for the
+// pre-lock word.
 func (tx *Tx) ownedPre(b *base) (uint64, bool) {
-	for i, lb := range tx.lockIdx {
-		if lb == b {
-			return tx.lockPre[i], true
-		}
+	if b.owner.Load() != tx.tag {
+		return 0, false
 	}
-	return 0, false
+	e, _ := tx.ws.Lookup(baseAddr(b))
+	if e == nil || !e.Locked {
+		return 0, false
+	}
+	return e.Pre, true
 }
 
 // commit runs the TL2 commit protocol. On success it returns the commit's
@@ -278,15 +334,21 @@ func (tx *Tx) ownedPre(b *base) (uint64, bool) {
 // when unknown) and ok=false; all locks are released and no writes are
 // published.
 //
-// Read-only transactions also draw a write version: the clock tick gives
-// every commit — including read-only ones — a unique global sequence
-// number, which the tracing layer relies on to order the transaction
-// sequence. No location version is advanced, so TL2 semantics are
-// unaffected (see DESIGN.md).
-func (tx *Tx) commit() (wv uint64, byWV uint64, ok bool) {
-	if len(tx.writes) == 0 {
+// traced selects the clock discipline. With a sink installed (traced), every
+// commit — including read-only ones — draws a unique tick so the tracing
+// layer can totally order the transaction sequence by wv. Untraced, the
+// commit path sheds global-clock cacheline traffic two ways: read-only
+// commits skip the tick entirely (no location version advances and nobody
+// consumes the sequence number), and write commits draw wv through the GV4
+// pass-on-failure clock (see tickGV4), so a failed clock CAS is never
+// retried.
+func (tx *Tx) commit(traced bool) (wv uint64, byWV uint64, ok bool) {
+	if tx.ws.Len() == 0 {
 		// Reads were validated against rv at access time; nothing to do.
-		return tx.rt.clk().tick(), 0, true
+		if traced {
+			return tx.rt.clk().tick(), 0, true
+		}
+		return tx.rv, 0, true
 	}
 	if !tx.lockWriteSet() {
 		return 0, 0, false
@@ -298,8 +360,18 @@ func (tx *Tx) commit() (wv uint64, byWV uint64, ok bool) {
 			spinYield()
 		}
 	}
-	wv = tx.rt.clk().tick()
-	if wv != tx.rv+1 {
+	needValidate := true
+	if traced {
+		wv = tx.rt.clk().tick()
+		needValidate = wv != tx.rv+1
+	} else {
+		var adopted bool
+		wv, needValidate, adopted = tx.rt.clk().tickGV4(tx.rv)
+		if adopted {
+			tx.rt.tel.ClockCASFallbacks.Inc(uint64(tx.self.Thread))
+		}
+	}
+	if needValidate {
 		// Something committed since we sampled rv: validate the read set.
 		var vt0 time.Time
 		if tx.measure {
@@ -325,8 +397,9 @@ func (tx *Tx) commit() (wv uint64, byWV uint64, ok bool) {
 			tx.validated = true
 		}
 	}
-	for b, boxed := range tx.writes {
-		b.apply(boxed)
+	ents := tx.ws.Entries()
+	for i := range ents {
+		ents[i].Key.apply(ents[i].Val)
 	}
 	// Publish attribution before the new version becomes observable.
 	tx.rt.reg.Record(wv, tx.self)

@@ -8,6 +8,17 @@ import "sync/atomic"
 // the commit protocol never needs to know element types.
 type base struct {
 	word atomic.Uint64
+	// owner is the ownership tag (Tx.tag) of the transaction currently
+	// holding word's lock bit, or zero. It is stored immediately after a
+	// successful lock CAS and cleared immediately before the unlocking
+	// store, so read-set validation answers "is this locked word mine?"
+	// with one atomic load instead of scanning the lock list — the O(1)
+	// ownership check that removes the O(reads×locks) validation scan. A
+	// reader that observes the lock bit with owner still 0 (the acquire
+	// window) correctly treats the location as locked by someone else: the
+	// window only exists on other transactions' acquisitions, never on the
+	// reader's own, whose stores are ordered by program order.
+	owner atomic.Uint64
 	// apply publishes a buffered write (a *T boxed in an any) into the
 	// location. Installed once by NewVar; never nil for a reachable base.
 	apply func(boxed any)
@@ -41,6 +52,7 @@ func NewVar[T any](val T) *Var[T] {
 func (v *Var[T]) Reset(val T) {
 	v.p.Store(&val)
 	v.b.word.Store(0)
+	v.b.owner.Store(0)
 }
 
 // Peek loads the current value non-transactionally. Like Reset it is only

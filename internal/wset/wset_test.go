@@ -1,0 +1,219 @@
+package wset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"unsafe"
+)
+
+// keyPool gives tests stable heap locations whose addresses behave like the
+// engines' *base pointers.
+func keyPool(n int) []*int {
+	keys := make([]*int, n)
+	for i := range keys {
+		keys[i] = new(int)
+	}
+	return keys
+}
+
+func addrOf(k *int) uintptr { return uintptr(unsafe.Pointer(k)) }
+
+func TestInsertKeepsEntriesSortedByAddress(t *testing.T) {
+	keys := keyPool(64)
+	rand.New(rand.NewSource(1)).Shuffle(len(keys), func(i, j int) {
+		keys[i], keys[j] = keys[j], keys[i]
+	})
+	var s Set[*int]
+	for i, k := range keys {
+		e, _ := s.Insert(k, addrOf(k))
+		e.Val = i
+	}
+	ents := s.Entries()
+	if len(ents) != len(keys) {
+		t.Fatalf("Len = %d, want %d", len(ents), len(keys))
+	}
+	if !sort.SliceIsSorted(ents, func(i, j int) bool { return ents[i].Addr() < ents[j].Addr() }) {
+		t.Fatal("Entries() not in ascending address order")
+	}
+}
+
+func TestInsertExistingReturnsSameEntry(t *testing.T) {
+	keys := keyPool(4)
+	var s Set[*int]
+	e, spilled := s.Insert(keys[0], addrOf(keys[0]))
+	if spilled {
+		t.Fatal("first insert reported a spill")
+	}
+	e.Val = 7
+	again, spilled := s.Insert(keys[0], addrOf(keys[0]))
+	if spilled {
+		t.Fatal("duplicate insert reported a spill")
+	}
+	if again.Val != 7 {
+		t.Fatalf("duplicate insert returned a fresh entry (Val=%v)", again.Val)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate insert", s.Len())
+	}
+}
+
+func TestSpillFlagFiresExactlyOnceAtInlineBoundary(t *testing.T) {
+	keys := keyPool(InlineSize * 3)
+	var s Set[*int]
+	spills := 0
+	for i, k := range keys {
+		_, spilled := s.Insert(k, addrOf(k))
+		if spilled {
+			spills++
+			if i != InlineSize {
+				t.Errorf("spill reported at insert %d, want %d", i, InlineSize)
+			}
+		}
+	}
+	if spills != 1 {
+		t.Fatalf("spill reported %d times, want 1", spills)
+	}
+}
+
+func TestResetDropsEntriesAndFilter(t *testing.T) {
+	keys := keyPool(InlineSize + 4)
+	var s Set[*int]
+	for _, k := range keys {
+		e, _ := s.Insert(k, addrOf(k))
+		e.Val = new(int)
+		e.Pre = 5
+		e.Locked = true
+	}
+	spillCap := cap(s.entries)
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", s.Len())
+	}
+	for _, k := range keys {
+		if s.MayContain(addrOf(k)) {
+			t.Fatal("filter survived Reset")
+		}
+	}
+	// Spill capacity within the retention bound is kept as the arena.
+	if cap(s.entries) != spillCap {
+		t.Fatalf("retained cap = %d, want %d", cap(s.entries), spillCap)
+	}
+	// The zeroing must have dropped every value/lock field so a pooled Tx
+	// does not retain dead redo boxes.
+	full := s.entries[:spillCap]
+	for i := range full {
+		if full[i].Val != nil || full[i].Locked || full[i].Pre != 0 || full[i].Key != nil {
+			t.Fatalf("entry %d not zeroed after Reset: %+v", i, full[i])
+		}
+	}
+}
+
+func TestResetReleasesOversizedArena(t *testing.T) {
+	keys := make([]*int, maxRetainedCap+InlineSize)
+	for i := range keys {
+		keys[i] = new(int)
+	}
+	var s Set[*int]
+	for _, k := range keys {
+		s.Insert(k, addrOf(k))
+	}
+	if cap(s.entries) <= maxRetainedCap {
+		t.Skipf("append growth landed at cap %d, cannot exercise release path", cap(s.entries))
+	}
+	s.Reset()
+	if s.entries != nil {
+		t.Fatal("oversized arena retained after Reset")
+	}
+	// The set must rebind to the inline array and keep working.
+	e, spilled := s.Insert(keys[0], addrOf(keys[0]))
+	if e == nil || spilled {
+		t.Fatal("insert after oversized Reset misbehaved")
+	}
+}
+
+func TestMayContainNeverFalseNegative(t *testing.T) {
+	keys := keyPool(256)
+	var s Set[*int]
+	for _, k := range keys {
+		s.Insert(k, addrOf(k))
+		if !s.MayContain(addrOf(k)) {
+			t.Fatal("filter false negative for an inserted address")
+		}
+	}
+}
+
+// FuzzSetVsMapOracle drives a Set and a plain map (the semantics of the old
+// map[*base]any write set) through the same operation stream and requires
+// identical observable behaviour: membership, stored values, and the
+// sorted-iteration contents. This is the equivalence property the engines
+// rely on after swapping the map out for the small vector.
+func FuzzSetVsMapOracle(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 2, 2, 0, 3})
+	f.Add([]byte{9, 0, 9, 1, 9, 2, 17, 0, 255, 1})
+	seed := make([]byte, 3*InlineSize+6)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed) // crosses the spill boundary
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys := keyPool(32)
+		var s Set[*int]
+		oracle := make(map[*int]int)
+		for i := 0; i+1 < len(data); i += 2 {
+			k := keys[int(data[i])%len(keys)]
+			addr := addrOf(k)
+			op, val := data[i+1]%4, int(data[i+1])
+			switch op {
+			case 0, 1: // write: insert-or-update, like writes[b] = val
+				if e, _ := s.Lookup(addr); e != nil {
+					e.Val = val
+				} else {
+					e, _ := s.Insert(k, addr)
+					e.Val = val
+				}
+				oracle[k] = val
+			case 2: // read-after-write lookup
+				e, fp := s.Lookup(addr)
+				want, ok := oracle[k]
+				if (e != nil) != ok {
+					t.Fatalf("Lookup presence = %v, oracle = %v", e != nil, ok)
+				}
+				if ok && e.Val.(int) != want {
+					t.Fatalf("Lookup value = %v, oracle = %d", e.Val, want)
+				}
+				if fp && ok {
+					t.Fatal("Lookup reported false positive for a present key")
+				}
+			case 3: // filter miss check: absent is allowed, present is not
+				if !s.MayContain(addr) {
+					if _, ok := oracle[k]; ok {
+						t.Fatal("MayContain denied a present key")
+					}
+				}
+			}
+			if s.Len() != len(oracle) {
+				t.Fatalf("Len = %d, oracle = %d", s.Len(), len(oracle))
+			}
+		}
+		// Final sweep: the sorted entries must be exactly the oracle.
+		ents := s.Entries()
+		if len(ents) != len(oracle) {
+			t.Fatalf("final Len = %d, oracle = %d", len(ents), len(oracle))
+		}
+		var prev uintptr
+		for i := range ents {
+			if i > 0 && ents[i].Addr() <= prev {
+				t.Fatal("entries not strictly ascending by address")
+			}
+			prev = ents[i].Addr()
+			want, ok := oracle[ents[i].Key]
+			if !ok {
+				t.Fatalf("entry for key not in oracle")
+			}
+			if ents[i].Val.(int) != want {
+				t.Fatalf("entry value %v, oracle %d", ents[i].Val, want)
+			}
+		}
+	})
+}
