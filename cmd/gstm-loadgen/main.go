@@ -1,0 +1,99 @@
+// Command gstm-loadgen drives load against a running gstm-server and
+// measures service-level run-to-run variance guided vs unguided: R
+// repeated fixed-duration runs per mode reporting throughput and
+// p50/p95/p99 latency, with variance as the coefficient of variation of
+// per-run throughput and p95. With -out it writes the full comparison as
+// BENCH_server.json. With -once it performs a single run in whatever mode
+// the server is in (used by CI's server-smoke job).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gstm/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7900", "gstm-server address")
+		conns    = flag.Int("conns", 16, "concurrent client connections")
+		duration = flag.Duration("duration", 2*time.Second, "length of each measured run (timed mode)")
+		opsPer   = flag.Int("ops", 4000, "fixed-work mode: ops per connection per run (0 = timed mode)")
+		runs     = flag.Int("runs", 5, "measured runs per mode (R)")
+		keys     = flag.Int("keys", 128, "key-space size")
+		skew     = flag.Float64("skew", 5, "key skew exponent (1 = uniform; larger = hotter head)")
+		getPct   = flag.Int("get", 10, "percent GET")
+		putPct   = flag.Int("put", 5, "percent PUT")
+		delPct   = flag.Int("del", 5, "percent DEL (remainder is ADD)")
+		seed     = flag.Uint64("seed", 0xC0FFEE, "workload seed")
+		once     = flag.Bool("once", false, "single run in the server's current mode; skip the guided/unguided comparison")
+		out      = flag.String("out", "", "write the comparison report as JSON to this file (e.g. BENCH_server.json)")
+	)
+	flag.Parse()
+
+	load := server.LoadConfig{
+		Addr:       *addr,
+		Conns:      *conns,
+		Duration:   *duration,
+		OpsPerConn: *opsPer,
+		Keys:       *keys,
+		Skew:       *skew,
+		GetPct:     *getPct,
+		PutPct:     *putPct,
+		DelPct:     *delPct,
+		Seed:       *seed,
+	}
+
+	if *once {
+		st, err := server.RunLoad(load)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ops=%d errors=%d throughput=%.0f ops/s p50=%.1fus p95=%.1fus p99=%.1fus\n",
+			st.Ops, st.Errors, st.Throughput, st.P50us, st.P95us, st.P99us)
+		if st.Ops == 0 {
+			fatal(fmt.Errorf("no operations completed"))
+		}
+		return
+	}
+
+	work := fmt.Sprintf("%d ops/conn", *opsPer)
+	if *opsPer <= 0 {
+		work = (*duration).String()
+	}
+	fmt.Fprintf(os.Stderr, "gstm-loadgen: %d runs/mode x %s, %d conns, %d keys (skew %.1f), mix get/put/del %d/%d/%d\n",
+		*runs, work, *conns, *keys, *skew, *getPct, *putPct, *delPct)
+	rep, err := server.BenchModes(server.BenchConfig{Load: load, Runs: *runs})
+	if err != nil {
+		fatal(err)
+	}
+
+	printMode := func(m server.ModeReport) {
+		fmt.Printf("%-9s  %9.0f ops/s  cv %5.2f%%  p50 %7.1fus  p95 %7.1fus (cv %5.2f%%)  p99 %7.1fus  abort-ratio %.3f cv %5.2f%%  spread %5.2f%%  runtime-cv %5.2f%%  %d commits  %d aborts\n",
+			m.Mode, m.ThroughputMean, m.ThroughputCVPct, m.P50MeanUs, m.P95MeanUs, m.P95CVPct, m.P99MeanUs,
+			m.AbortRatioMean, m.AbortRatioCVPct, m.ConnSpreadMeanPct, m.RunTimeCVPct, m.Commits, m.Aborts)
+	}
+	printMode(rep.Unguided)
+	printMode(rep.Guided)
+	fmt.Printf("variance reduced (guided cv <= unguided cv): %v\n", rep.VarianceReduced)
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gstm-loadgen: wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gstm-loadgen:", err)
+	os.Exit(1)
+}

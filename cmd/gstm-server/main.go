@@ -1,0 +1,107 @@
+// Command gstm-server serves a transactional key-value store over TCP on
+// the guided STM. It runs the paper's lifecycle against live traffic:
+// serve unguided while profiling the request stream, build and analyze
+// the thread-state model in the background, and hot-swap into guided
+// execution when the model passes (with the watchdog armed). SIGINT/
+// SIGTERM drain gracefully: in-flight operations are answered before the
+// process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"gstm"
+	"gstm/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:7900", "TCP listen address (\":0\" picks a free port)")
+		workers       = flag.Int("workers", 4, "execution pool size; worker i is STM thread i")
+		batch         = flag.Int("batch", 8, "max same-kind disjoint-key ops coalesced per transaction (1 disables batching)")
+		buckets       = flag.Int("buckets", 4096, "hash table buckets")
+		queueDepth    = flag.Int("queue-depth", 256, "per-worker request queue depth")
+		profileOps    = flag.Int("profile-ops", 2048, "committed ops per profiling slice")
+		profileSlices = flag.Int("profile-slices", 4, "profiling slices before the model is trained")
+		maxAttempts   = flag.Int("max-attempts", 0, "attempt budget per transaction (0 = unlimited); exhaustion maps to StatusBudget")
+		force         = flag.Bool("force-guidance", false, "install the trained model even if the analyzer rejects it")
+		watchdog      = flag.Bool("watchdog", true, "arm the guidance watchdog on the hot-swapped gate")
+		unguided      = flag.Bool("unguided", false, "start with the lifecycle parked (plain TL2); CtlModeAuto can still start it")
+		interleave    = flag.Int("interleave", 0, "yield 1-in-N transactional operations (0 = never; exposes real interleaving on few cores)")
+		tfactor       = flag.Float64("tfactor", 0, "guidance gate Tfactor (0 = default)")
+		gateK         = flag.Int("k", 0, "guidance gate re-check bound (0 = default)")
+		metrics       = flag.String("metrics-addr", "", "serve live telemetry on this address (e.g. :9100 or :0): /metrics (Prometheus), /debug/vars (JSON), /debug/pprof")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound")
+		procs         = flag.Int("gomaxprocs", 0, "GOMAXPROCS (0 = runtime default)")
+	)
+	flag.Parse()
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
+
+	cfg := server.Config{
+		Addr:          *addr,
+		Workers:       *workers,
+		Batch:         *batch,
+		Buckets:       *buckets,
+		QueueDepth:    *queueDepth,
+		ProfileOps:    *profileOps,
+		ProfileSlices: *profileSlices,
+		MaxAttempts:   *maxAttempts,
+		ForceGuidance: *force,
+		Tfactor:       *tfactor,
+		GateRetries:   *gateK,
+		Unguided:      *unguided,
+		Interleave:    *interleave,
+	}
+	if *watchdog {
+		cfg.Watchdog = &gstm.WatchdogOptions{}
+	}
+
+	var drainTelemetry func(context.Context) error
+	if *metrics != "" {
+		srv, err := gstm.ServeTelemetry(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.BoundAddr)
+		drainTelemetry = srv.Shutdown
+	}
+
+	s := server.New(cfg)
+	if err := s.Start(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gstm-server: listening on %s (%d workers, batch %d, mode %s)\n",
+		s.Addr(), *workers, *batch, s.Mode())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "gstm-server: draining...")
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "gstm-server: drain incomplete:", err)
+	}
+	if drainTelemetry != nil {
+		if err := drainTelemetry(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "gstm-server: telemetry drain:", err)
+		}
+	}
+	commits, aborts := s.System().Stats()
+	fmt.Fprintf(os.Stderr, "gstm-server: done (mode %s, %d commits, %d aborts)\n", s.Mode(), commits, aborts)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gstm-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+package gstm
+
+import (
+	"errors"
+
+	"gstm/internal/retry"
+)
+
+// This file is the package's stable error surface. Every sentinel here is
+// usable with errors.Is; wrapped variants carry detail (the analyzer's
+// rejection reason, the underlying context error) without breaking the
+// match. Network front-ends such as internal/server map these sentinels
+// onto protocol status codes.
+
+// ErrRetryBudgetExhausted is returned by Run when the transaction's last
+// allowed attempt (see MaxAttempts and WithRetryBudget) also aborted on a
+// conflict. It is a policy outcome, not corruption: no partial effects are
+// visible and the call may be retried with a fresh budget.
+var ErrRetryBudgetExhausted = retry.ErrBudgetExceeded
+
+// ErrCanceled is returned (wrapped around the context's own error) by Run
+// when its context is canceled or its deadline passes between attempts.
+// errors.Is also matches context.Canceled / context.DeadlineExceeded on
+// the same error. No locks remain held and no writes were published.
+var ErrCanceled = retry.ErrCanceled
+
+// ErrGuidanceRejected is returned by EnableGuidance when the model fails
+// the analyzer's validation (not enough bias to guide — the paper's
+// "unguidable" verdict) and ForceGuidance is not used. The returned error
+// wraps this sentinel together with the analyzer's reason.
+var ErrGuidanceRejected = errors.New("gstm: model rejected by analyzer")
+
+// ErrRetryBudgetExceeded is the historical name of ErrRetryBudgetExhausted.
+//
+// Deprecated: use ErrRetryBudgetExhausted.
+var ErrRetryBudgetExceeded = ErrRetryBudgetExhausted
+
+// ErrUnguidable is the historical name of ErrGuidanceRejected.
+//
+// Deprecated: use ErrGuidanceRejected.
+var ErrUnguidable = ErrGuidanceRejected

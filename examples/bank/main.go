@@ -41,7 +41,7 @@ func workload(sys *gstm.System, bank *gstm.Array[int]) time.Duration {
 			}
 			for i := 0; i < transfersBy; i++ {
 				if i%100 == 99 { // audit
-					err := sys.Atomic(id, 1, func(tx *gstm.Tx) error {
+					err := sys.Run(nil, id, 1, func(tx *gstm.Tx) error {
 						total := 0
 						for a := 0; a < accounts; a++ {
 							total += gstm.ReadAt(tx, bank, a)
@@ -60,7 +60,7 @@ func workload(sys *gstm.System, bank *gstm.Array[int]) time.Duration {
 				if from == to {
 					continue
 				}
-				err := sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+				err := sys.Run(nil, id, 0, func(tx *gstm.Tx) error {
 					amt := 1 + next(5)
 					gstm.WriteAt(tx, bank, from, gstm.ReadAt(tx, bank, from)-amt)
 					gstm.WriteAt(tx, bank, to, gstm.ReadAt(tx, bank, to)+amt)

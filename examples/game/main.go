@@ -63,7 +63,7 @@ func playFrames(sys *gstm.System, g *gameState) []float64 {
 				defer wg.Done()
 				lo, hi := id*players/threads, (id+1)*players/threads
 				for i := lo; i < hi; i++ {
-					err := sys.Atomic(gstm.ThreadID(id), 0, func(tx *gstm.Tx) error {
+					err := sys.Run(nil, gstm.ThreadID(id), 0, func(tx *gstm.Tx) error {
 						p := gstm.ReadAt(tx, g.players, i)
 						old := p.Y*world + p.X
 						p.X += sign(hotspotX - p.X)
@@ -80,7 +80,7 @@ func playFrames(sys *gstm.System, g *gameState) []float64 {
 						log.Fatal(err)
 					}
 					// Fight whoever shares the crowded hotspot cell.
-					err = sys.Atomic(gstm.ThreadID(id), 1, func(tx *gstm.Tx) error {
+					err = sys.Run(nil, gstm.ThreadID(id), 1, func(tx *gstm.Tx) error {
 						p := gstm.ReadAt(tx, g.players, i)
 						if gstm.ReadAt(tx, g.cells, p.Y*world+p.X) > 1 {
 							victim := (i + 1) % players

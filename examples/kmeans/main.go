@@ -65,7 +65,7 @@ func main() {
 				for i := lo; i < hi; i++ {
 					pt := points[i]
 					c := nearest(centers, pt)
-					err := sys.Atomic(gstm.ThreadID(id), 0, func(tx *gstm.Tx) error {
+					err := sys.Run(nil, gstm.ThreadID(id), 0, func(tx *gstm.Tx) error {
 						a := gstm.ReadAt(tx, accums, c)
 						a.Count++
 						for d := 0; d < dims; d++ {

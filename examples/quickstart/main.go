@@ -33,7 +33,7 @@ func main() {
 				// Transaction site 0: increment the shared counter. The
 				// function may re-run after conflicts; all effects go
 				// through Read/Write so retries are safe.
-				err := sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+				err := sys.Run(nil, id, 0, func(tx *gstm.Tx) error {
 					gstm.Write(tx, counter, gstm.Read(tx, counter)+1)
 					return nil
 				})
@@ -47,7 +47,7 @@ func main() {
 				if from == to {
 					continue
 				}
-				err = sys.Atomic(id, 1, func(tx *gstm.Tx) error {
+				err = sys.Run(nil, id, 1, func(tx *gstm.Tx) error {
 					gstm.WriteAt(tx, accounts, from, gstm.ReadAt(tx, accounts, from)-1)
 					gstm.WriteAt(tx, accounts, to, gstm.ReadAt(tx, accounts, to)+1)
 					return nil

@@ -15,7 +15,7 @@
 //	var traces []*gstm.Trace
 //	for run := 0; run < 20; run++ {
 //		sys.StartProfiling()
-//		runWorkload(sys) // calls sys.Atomic(thread, txnSite, fn)
+//		runWorkload(sys) // calls sys.Run(ctx, thread, txnSite, fn)
 //		traces = append(traces, sys.StopProfiling())
 //	}
 //
@@ -33,8 +33,9 @@
 //	runWorkload(sys)
 //
 // Shared state lives in Var[T] and Array[T] cells accessed with Read and
-// Write inside an Atomic block. Each Atomic call names its worker thread
-// and its static transaction site — the paper's TM_BEGIN(ID).
+// Write inside a Run block. Each Run call names its worker thread and its
+// static transaction site — the paper's TM_BEGIN(ID) — and takes options
+// (ReadOnly, MaxAttempts) plus an optional context for cancellation.
 package gstm
 
 import (
@@ -141,16 +142,12 @@ func ServeTelemetry(addr string) (*telemetry.Server, error) {
 	return telemetry.ServeAddr(addr)
 }
 
-// ErrRetryBudgetExceeded is returned by AtomicCtx when the transaction's
-// last budgeted attempt (see WithRetryBudget) also aborted on a conflict.
-// No partial effects are visible; the call may be retried with a fresh
-// budget.
-var ErrRetryBudgetExceeded = retry.ErrBudgetExceeded
-
 // WithRetryBudget returns a context carrying a per-call attempt budget for
-// AtomicCtx: a budget of n allows the initial attempt plus n-1 retries.
+// Run: a budget of n allows the initial attempt plus n-1 retries.
 // attempts <= 0 removes the budget (unlimited retries, the classic STM
-// contract).
+// contract). Prefer the MaxAttempts option, which needs no derived
+// context; a context budget is useful when the budget must travel through
+// call layers that only pass ctx.
 func WithRetryBudget(ctx context.Context, attempts int) context.Context {
 	return retry.WithBudget(ctx, attempts)
 }

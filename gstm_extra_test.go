@@ -55,7 +55,7 @@ func TestSetSchedulerReceivesEventsAndComposesWithProfiling(t *testing.T) {
 	// Removal stops consultations.
 	sys.SetScheduler(nil, nil)
 	before := spy.arrivals.Load()
-	_ = sys.Atomic(0, 0, func(tx *gstm.Tx) error { return nil })
+	_ = sys.Run(nil, 0, 0, func(tx *gstm.Tx) error { return nil })
 	if spy.arrivals.Load() != before {
 		t.Fatal("scheduler consulted after removal")
 	}
@@ -112,7 +112,7 @@ func TestConcurrentProfilingTogglesSafe(t *testing.T) {
 				return
 			default:
 			}
-			_ = sys.Atomic(0, 0, func(tx *gstm.Tx) error {
+			_ = sys.Run(nil, 0, 0, func(tx *gstm.Tx) error {
 				gstm.Write(tx, v, gstm.Read(tx, v)+1)
 				return nil
 			})

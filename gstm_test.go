@@ -17,7 +17,7 @@ func runCounterWorkload(sys *gstm.System, threads, perThread int, v *gstm.Var[in
 		go func(id gstm.ThreadID) {
 			defer wg.Done()
 			for i := 0; i < perThread; i++ {
-				_ = sys.Atomic(id, gstm.TxnID(int(id)%2), func(tx *gstm.Tx) error {
+				_ = sys.Run(nil, id, gstm.TxnID(int(id)%2), func(tx *gstm.Tx) error {
 					gstm.Write(tx, v, gstm.Read(tx, v)+1)
 					return nil
 				})

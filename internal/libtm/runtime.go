@@ -2,6 +2,7 @@ package libtm
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -104,7 +105,7 @@ func (rt *Runtime) ResilienceStats() (budgetExceeded, canceled uint64) {
 // thread, retrying on conflicts. A non-nil error from fn aborts the attempt
 // and is returned without retry. Atomic must not be nested.
 func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.atomic(nil, thread, txn, fn)
+	return rt.run(nil, thread, txn, fn, 0)
 }
 
 // AtomicCtx is Atomic honoring ctx: cancellation/deadline is checked
@@ -113,10 +114,18 @@ func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) err
 // retry.ErrBudgetExceeded when spent. Either way every write lock and
 // reader registration has been released.
 func (rt *Runtime) AtomicCtx(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.atomic(ctx, thread, txn, fn)
+	return rt.run(ctx, thread, txn, fn, 0)
 }
 
-func (rt *Runtime) atomic(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
+// Run mirrors tl2.Runtime.Run for this engine: ctx may be nil, and
+// maxAttempts > 0 bounds attempts without a context allocation (overriding
+// any retry.WithBudget budget; <= 0 defers to it). LibTM has no read-only
+// fast path, so there is no readOnly parameter.
+func (rt *Runtime) Run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, maxAttempts int) error {
+	return rt.run(ctx, thread, txn, fn, maxAttempts)
+}
+
+func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, maxAttempts int) error {
 	self := txid.Pair{Txn: txn, Thread: thread}
 	tx := rt.pool.Get().(*Tx)
 	defer func() {
@@ -132,13 +141,16 @@ func (rt *Runtime) atomic(ctx context.Context, thread txid.ThreadID, txn txid.Tx
 		rt.pool.Put(tx)
 	}()
 
-	budget := retry.Budget(ctx)
+	budget := maxAttempts
+	if budget <= 0 {
+		budget = retry.Budget(ctx)
+	}
 	shard := uint64(thread)
 	for attempt := 0; ; attempt++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				rt.tel.TxCanceled(shard)
-				return err
+				return fmt.Errorf("%w: %w", retry.ErrCanceled, err)
 			}
 		}
 		if gb := rt.gate.Load(); gb != nil {

@@ -19,6 +19,13 @@ import (
 // safely retried with a fresh budget.
 var ErrBudgetExceeded = errors.New("stm: transaction retry budget exceeded")
 
+// ErrCanceled marks a transaction abandoned because its context was
+// canceled or its deadline passed. Both engines wrap the context's own
+// error with it, so errors.Is matches this sentinel as well as
+// context.Canceled / context.DeadlineExceeded. No partial effects are
+// visible. The public gstm package re-exports it as gstm.ErrCanceled.
+var ErrCanceled = errors.New("stm: transaction canceled")
+
 type budgetKey struct{}
 
 // WithBudget returns a context carrying a per-call attempt budget for

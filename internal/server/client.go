@@ -1,0 +1,137 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Client is a synchronous protocol client: one outstanding request per
+// Client. It is not safe for concurrent use — the load generator and
+// tests open one Client per goroutine, which also gives the server's
+// batching real cross-connection queue depth to coalesce.
+type Client struct {
+	nc  net.Conn
+	br  *bufio.Reader
+	buf []byte
+	id  uint32
+}
+
+// Dial connects to a gstm-server at addr.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{nc: nc, br: bufio.NewReaderSize(nc, 8*RespFrameLen)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// Do sends one operation and waits for its response.
+func (c *Client) Do(op Op, key, arg uint64) (Status, uint64, error) {
+	c.id++
+	c.buf = AppendRequest(c.buf[:0], Request{Op: op, ID: c.id, Key: key, Arg: arg})
+	if _, err := c.nc.Write(c.buf); err != nil {
+		return 0, 0, err
+	}
+	var frame [RespFrameLen]byte
+	if _, err := io.ReadFull(c.br, frame[:]); err != nil {
+		return 0, 0, err
+	}
+	n := uint32(frame[0])<<24 | uint32(frame[1])<<16 | uint32(frame[2])<<8 | uint32(frame[3])
+	if n != RespFrameLen-4 {
+		return 0, 0, fmt.Errorf("server: bad response frame length %d", n)
+	}
+	resp, err := DecodeResponse(frame[4:])
+	if err != nil {
+		return 0, 0, err
+	}
+	if resp.ID != c.id {
+		return 0, 0, fmt.Errorf("server: response id %d for request %d", resp.ID, c.id)
+	}
+	return resp.Status, resp.Value, nil
+}
+
+// Get reads key ((value, true) when present).
+func (c *Client) Get(key uint64) (uint64, bool, error) {
+	st, v, err := c.Do(OpGet, key, 0)
+	if err != nil {
+		return 0, false, err
+	}
+	switch st {
+	case StatusOK:
+		return v, true, nil
+	case StatusNotFound:
+		return 0, false, nil
+	default:
+		return 0, false, fmt.Errorf("server: get status %d", st)
+	}
+}
+
+// Put upserts key=val, reporting whether the key already existed.
+func (c *Client) Put(key, val uint64) (bool, error) {
+	st, v, err := c.Do(OpPut, key, val)
+	if err != nil {
+		return false, err
+	}
+	if st != StatusOK {
+		return false, fmt.Errorf("server: put status %d", st)
+	}
+	return v == 1, nil
+}
+
+// Add adds delta (signed, two's complement) to key, returning the new
+// value.
+func (c *Client) Add(key uint64, delta int64) (uint64, error) {
+	st, v, err := c.Do(OpAdd, key, uint64(delta))
+	if err != nil {
+		return 0, err
+	}
+	if st != StatusOK {
+		return 0, fmt.Errorf("server: add status %d", st)
+	}
+	return v, nil
+}
+
+// Del removes key, reporting whether it was present.
+func (c *Client) Del(key uint64) (bool, error) {
+	st, _, err := c.Do(OpDel, key, 0)
+	if err != nil {
+		return false, err
+	}
+	switch st {
+	case StatusOK:
+		return true, nil
+	case StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("server: del status %d", st)
+	}
+}
+
+// Ctl issues a control command.
+func (c *Client) Ctl(cmd CtlCommand, arg uint64) error {
+	st, _, err := c.Do(OpCtl, uint64(cmd), arg)
+	if err != nil {
+		return err
+	}
+	if st != StatusOK {
+		return fmt.Errorf("server: ctl %d status %d", cmd, st)
+	}
+	return nil
+}
+
+// Info reads one server gauge.
+func (c *Client) Info(sel InfoSelector) (uint64, error) {
+	st, v, err := c.Do(OpInfo, uint64(sel), 0)
+	if err != nil {
+		return 0, err
+	}
+	if st != StatusOK {
+		return 0, fmt.Errorf("server: info %d status %d", sel, st)
+	}
+	return v, nil
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gstm"
+)
+
+// ServingMode is the lifecycle's externally visible state, reported by
+// OpInfo(InfoMode).
+type ServingMode uint32
+
+const (
+	// ModeUnguided: plain TL2, no profiling (forced via CtlModeUnguided,
+	// or configured at start).
+	ModeUnguided ServingMode = 0
+	// ModeProfiling: serving unguided while the collector captures the
+	// transaction sequence of live traffic.
+	ModeProfiling ServingMode = 1
+	// ModeTraining: profiling finished; the model is being built and
+	// analyzed in the background while serving continues unguided.
+	ModeTraining ServingMode = 2
+	// ModeGuided: a model passed (or was forced) and the guidance gate is
+	// installed — the hot-swap happened under load.
+	ModeGuided ServingMode = 3
+	// ModeRejected: the analyzer rejected the trained model
+	// (gstm.ErrGuidanceRejected); serving stays unguided. The reason is
+	// kept for RejectReason.
+	ModeRejected ServingMode = 4
+	// ModeDegraded: guided, but the watchdog has tripped guidance into
+	// pass-through. Derived in Server.Mode, never stored.
+	ModeDegraded ServingMode = 5
+)
+
+func (m ServingMode) String() string {
+	switch m {
+	case ModeUnguided:
+		return "unguided"
+	case ModeProfiling:
+		return "profiling"
+	case ModeTraining:
+		return "training"
+	case ModeGuided:
+		return "guided"
+	case ModeRejected:
+		return "rejected"
+	case ModeDegraded:
+		return "degraded"
+	default:
+		return "unknown"
+	}
+}
+
+// lifecycle drives the paper's profile → model → analyze → guided flow
+// over live traffic. Workers call noteOps on every committed batch; the
+// worker that crosses a slice boundary finalizes the trace, and the one
+// that completes the last slice kicks off background training. Control
+// commands can reset the machine at any time; a generation counter makes
+// stale background training results no-ops.
+type lifecycle struct {
+	sys *gstm.System
+	cfg *Config
+
+	mode    atomic.Uint32
+	counted atomic.Int64 // committed ops in the current profiling slice
+	target  atomic.Int64 // ops per slice for the current auto cycle
+
+	mu        sync.Mutex
+	gen       uint64 // bumped on every reconfiguration
+	traces    []*gstm.Trace
+	reason    string
+	lastModel *gstm.Model // most recently trained model, for CtlModeGuided
+}
+
+func (lc *lifecycle) init(sys *gstm.System, cfg *Config) {
+	lc.sys = sys
+	lc.cfg = cfg
+}
+
+func (lc *lifecycle) currentMode() ServingMode { return ServingMode(lc.mode.Load()) }
+
+func (lc *lifecycle) rejectReason() string {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.reason
+}
+
+// forceUnguided parks the lifecycle: guidance uninstalled, profiling off.
+func (lc *lifecycle) forceUnguided() {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.gen++
+	lc.sys.StopProfiling() // discard a partial trace, if any
+	lc.sys.DisableGuidance()
+	lc.traces = nil
+	lc.reason = ""
+	lc.mode.Store(uint32(ModeUnguided))
+}
+
+// startAuto (re)starts the profile→guide cycle with the given slice size.
+func (lc *lifecycle) startAuto(profileOps int) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.gen++
+	lc.sys.StopProfiling()
+	lc.sys.DisableGuidance()
+	lc.traces = nil
+	lc.reason = ""
+	lc.target.Store(int64(profileOps))
+	lc.counted.Store(0)
+	lc.sys.StartProfiling()
+	lc.mode.Store(uint32(ModeProfiling))
+}
+
+// noteOps credits n committed operations to the current profiling slice.
+// Cheap when not profiling: one atomic load.
+func (lc *lifecycle) noteOps(n int) {
+	if lc.currentMode() != ModeProfiling {
+		return
+	}
+	if lc.counted.Add(int64(n)) < lc.target.Load() {
+		return
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	// Re-check under the lock: another worker may have closed the slice,
+	// or a control command reconfigured everything.
+	if lc.currentMode() != ModeProfiling || lc.counted.Load() < lc.target.Load() {
+		return
+	}
+	tr := lc.sys.StopProfiling()
+	lc.counted.Store(0)
+	if tr != nil {
+		lc.traces = append(lc.traces, tr)
+	}
+	if len(lc.traces) < lc.cfg.ProfileSlices {
+		lc.sys.StartProfiling()
+		return
+	}
+	traces := lc.traces
+	lc.traces = nil
+	lc.mode.Store(uint32(ModeTraining))
+	gen := lc.gen
+	go lc.train(gen, traces)
+}
+
+// train builds and analyzes the model off the serving path, then — if it
+// passes (or ForceGuidance) and no reconfiguration intervened — hot-swaps
+// the guidance gate under load.
+func (lc *lifecycle) train(gen uint64, traces []*gstm.Trace) {
+	m := gstm.BuildModel(lc.cfg.Workers, traces)
+	opts := lc.guidanceOptions()
+
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.gen != gen {
+		return // a control command reconfigured the server mid-training
+	}
+	if lc.cfg.ForceGuidance {
+		lc.lastModel = m
+		lc.sys.ForceGuidance(m, opts)
+		lc.mode.Store(uint32(ModeGuided))
+		return
+	}
+	if err := lc.sys.EnableGuidance(m, opts); err != nil {
+		lc.reason = err.Error()
+		lc.mode.Store(uint32(ModeRejected))
+		return
+	}
+	lc.lastModel = m
+	lc.mode.Store(uint32(ModeGuided))
+}
+
+func (lc *lifecycle) guidanceOptions() gstm.GuidanceOptions {
+	return gstm.GuidanceOptions{
+		Tfactor:     lc.cfg.Tfactor,
+		GateRetries: lc.cfg.GateRetries,
+		Watchdog:    lc.cfg.Watchdog,
+	}
+}
+
+// reinstallGuided force-installs the most recently trained model without
+// re-profiling. Reports false when no model has been trained yet.
+func (lc *lifecycle) reinstallGuided() bool {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.lastModel == nil {
+		return false
+	}
+	lc.gen++
+	lc.sys.StopProfiling()
+	lc.sys.ForceGuidance(lc.lastModel, lc.guidanceOptions())
+	lc.mode.Store(uint32(ModeGuided))
+	return true
+}

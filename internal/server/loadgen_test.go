@@ -1,0 +1,98 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunLoadFixedWork: every connection performs exactly OpsPerConn
+// operations and the run reports the per-connection spread.
+func TestRunLoadFixedWork(t *testing.T) {
+	s := startServer(t, Config{Workers: 2, Unguided: true})
+	st, err := RunLoad(LoadConfig{
+		Addr:       s.Addr().String(),
+		Conns:      4,
+		OpsPerConn: 100,
+		Keys:       32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops != 400 {
+		t.Fatalf("ops = %d, want exactly 4x100", st.Ops)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("errors = %d", st.Errors)
+	}
+	if st.P50us <= 0 || st.Throughput <= 0 {
+		t.Fatalf("missing latency/throughput: %+v", st)
+	}
+}
+
+// TestBenchModesEndToEnd drives the whole comparison pipeline against a
+// small server: warmup through the lifecycle flip, then alternating
+// unguided/guided pairs via CtlModeGuided, producing a complete report.
+func TestBenchModesEndToEnd(t *testing.T) {
+	s := startServer(t, Config{
+		Workers:       2,
+		ProfileOps:    64,
+		ProfileSlices: 2,
+		ForceGuidance: true,
+	})
+	rep, err := BenchModes(BenchConfig{
+		Load: LoadConfig{
+			Addr:       s.Addr().String(),
+			Conns:      4,
+			OpsPerConn: 200,
+			Keys:       32,
+		},
+		Runs:         2,
+		GuideTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GuidedMode != "guided" && rep.GuidedMode != "degraded" {
+		t.Fatalf("guided mode = %q", rep.GuidedMode)
+	}
+	if len(rep.Unguided.Runs) != 2 || len(rep.Guided.Runs) != 2 {
+		t.Fatalf("runs: unguided %d guided %d, want 2 each", len(rep.Unguided.Runs), len(rep.Guided.Runs))
+	}
+	for _, m := range []ModeReport{rep.Unguided, rep.Guided} {
+		if m.Commits == 0 {
+			t.Fatalf("%s: no commits recorded", m.Mode)
+		}
+		for _, r := range m.Runs {
+			if r.Ops != 800 {
+				t.Fatalf("%s: run ops = %d, want 4x200", m.Mode, r.Ops)
+			}
+		}
+	}
+	// The unguided side of each pair must actually have served unguided,
+	// and the guided side guided: guided execution gates transactions, so
+	// gate decisions accumulate only there.
+	if passed, held, _ := s.System().GateStats(); passed+held == 0 {
+		t.Fatal("no gate activity recorded during guided runs")
+	}
+}
+
+// TestCtlModeGuidedBeforeTraining: re-installing a model before one was
+// ever trained must fail cleanly with StatusUnguidable.
+func TestCtlModeGuidedBeforeTraining(t *testing.T) {
+	s := startServer(t, Config{Workers: 2, Unguided: true})
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st, _, err := cl.Do(OpCtl, uint64(CtlModeGuided), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StatusUnguidable {
+		t.Fatalf("status = %d, want StatusUnguidable", st)
+	}
+	if mode, err := cl.Info(InfoMode); err != nil || ServingMode(mode) != ModeUnguided {
+		t.Fatalf("mode = %v (err %v), want unguided", ServingMode(mode), err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package server is gstm's network-facing transactional serving layer: a
+// length-prefixed binary KV protocol decoded per connection, a worker pool
+// whose workers map 1:1 onto STM ThreadIDs (so the Thread State Automaton
+// trained on live traffic stays meaningful), and disjoint-key request
+// batching that coalesces up to Batch queued operations into one
+// transaction per worker. The server drives the paper's full lifecycle
+// over live traffic: serve unguided while profiling, build and analyze
+// the TSA in the background, and hot-swap into guided mode when the model
+// passes (watchdog armed). See DESIGN.md "Serving layer".
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Op is a request operation code.
+type Op uint8
+
+const (
+	// OpGet reads Key; the response carries the value (StatusNotFound when
+	// absent). Get batches run on TL2's read-only fast path.
+	OpGet Op = 1
+	// OpPut stores Arg under Key; the response value is 1 when the key
+	// already existed, 0 when it was created.
+	OpPut Op = 2
+	// OpAdd adds Arg (two's-complement signed) to Key's value, inserting
+	// Arg when absent; the response carries the new value. Adds commute,
+	// which makes them the oracle-friendly op for correctness tests.
+	OpAdd Op = 3
+	// OpDel removes Key (StatusNotFound when absent).
+	OpDel Op = 4
+	// OpCtl is the control plane: Key selects a CtlCommand, Arg its
+	// argument. Control requests bypass the STM entirely.
+	OpCtl Op = 5
+	// OpInfo reads one server gauge: Key selects an InfoSelector; the
+	// response carries the value. Bypasses the STM.
+	OpInfo Op = 6
+)
+
+// CtlCommand values travel in the Key field of an OpCtl request.
+type CtlCommand uint64
+
+const (
+	// CtlModeUnguided forces plain unguided execution: guidance off,
+	// profiling off. The serving mode latches to ModeUnguided.
+	CtlModeUnguided CtlCommand = 0
+	// CtlModeAuto (re)starts the paper's lifecycle: profile Arg committed
+	// operations (0 = the server's configured default), then build and
+	// analyze the model in the background and hot-swap into guided mode if
+	// it passes.
+	CtlModeAuto CtlCommand = 1
+	// CtlReset zeroes the system's cumulative counters (commits, aborts,
+	// latency histograms) so a load run measures only itself.
+	CtlReset CtlCommand = 2
+	// CtlModeGuided re-installs the most recently trained model without
+	// re-profiling (StatusUnguidable when none has been trained yet). With
+	// CtlModeUnguided this lets a benchmark alternate modes run by run, so
+	// both sample the same machine-noise window.
+	CtlModeGuided CtlCommand = 3
+)
+
+// InfoSelector values travel in the Key field of an OpInfo request.
+type InfoSelector uint64
+
+const (
+	InfoCommits    InfoSelector = 0 // cumulative committed transactions
+	InfoAborts     InfoSelector = 1 // cumulative aborted attempts
+	InfoMode       InfoSelector = 2 // current ServingMode
+	InfoBatches    InfoSelector = 3 // transactions executed by workers
+	InfoBatchedOps InfoSelector = 4 // operations carried by those transactions
+	InfoKeys       InfoSelector = 5 // live keys in the store
+)
+
+// Status is a response status code. The server maps gstm's error
+// sentinels onto these: ErrRetryBudgetExhausted → StatusBudget,
+// ErrCanceled → StatusCanceled, ErrGuidanceRejected → StatusUnguidable.
+type Status uint8
+
+const (
+	StatusOK         Status = 0
+	StatusNotFound   Status = 1
+	StatusCanceled   Status = 2
+	StatusBudget     Status = 3
+	StatusUnguidable Status = 4
+	StatusBadRequest Status = 5
+	StatusShutdown   Status = 6
+)
+
+// Wire format: every frame is a 4-byte big-endian payload length followed
+// by the payload. Requests and responses are fixed-size, so the decode
+// path allocates nothing and the encode path is a plain append.
+//
+//	request payload  (21 B): op u8 | id u32 | key u64 | arg u64
+//	response payload (13 B): id u32 | status u8 | value u64
+const (
+	reqPayloadLen  = 1 + 4 + 8 + 8
+	respPayloadLen = 4 + 1 + 8
+
+	// ReqFrameLen and RespFrameLen are full frame sizes including the
+	// length prefix, for buffer sizing.
+	ReqFrameLen  = 4 + reqPayloadLen
+	RespFrameLen = 4 + respPayloadLen
+
+	// MaxFrame bounds accepted payload lengths; anything larger is a
+	// protocol error, so a corrupt prefix cannot make the reader allocate
+	// or block on gigabytes.
+	MaxFrame = 1 << 10
+)
+
+// Request is one decoded client operation.
+type Request struct {
+	Op  Op
+	ID  uint32 // echoed verbatim in the response
+	Key uint64
+	Arg uint64
+}
+
+// Response is one server reply.
+type Response struct {
+	ID     uint32
+	Status Status
+	Value  uint64
+}
+
+// ErrShortFrame reports a request payload of the wrong size.
+var ErrShortFrame = errors.New("server: request payload has wrong length")
+
+// ErrBadOp reports an unknown operation code.
+var ErrBadOp = errors.New("server: unknown op")
+
+// DecodeRequest decodes one request payload (the bytes after the length
+// prefix). It allocates nothing and never retains buf.
+func DecodeRequest(buf []byte) (Request, error) {
+	if len(buf) != reqPayloadLen {
+		return Request{}, fmt.Errorf("%w: %d bytes", ErrShortFrame, len(buf))
+	}
+	r := Request{
+		Op:  Op(buf[0]),
+		ID:  binary.BigEndian.Uint32(buf[1:5]),
+		Key: binary.BigEndian.Uint64(buf[5:13]),
+		Arg: binary.BigEndian.Uint64(buf[13:21]),
+	}
+	if r.Op < OpGet || r.Op > OpInfo {
+		return Request{}, fmt.Errorf("%w: %d", ErrBadOp, r.Op)
+	}
+	return r, nil
+}
+
+// AppendRequest appends r's full frame (length prefix + payload) to dst.
+func AppendRequest(dst []byte, r Request) []byte {
+	var b [ReqFrameLen]byte
+	binary.BigEndian.PutUint32(b[0:4], reqPayloadLen)
+	b[4] = byte(r.Op)
+	binary.BigEndian.PutUint32(b[5:9], r.ID)
+	binary.BigEndian.PutUint64(b[9:17], r.Key)
+	binary.BigEndian.PutUint64(b[17:25], r.Arg)
+	return append(dst, b[:]...)
+}
+
+// DecodeResponse decodes one response payload.
+func DecodeResponse(buf []byte) (Response, error) {
+	if len(buf) != respPayloadLen {
+		return Response{}, fmt.Errorf("%w: %d bytes", ErrShortFrame, len(buf))
+	}
+	return Response{
+		ID:     binary.BigEndian.Uint32(buf[0:4]),
+		Status: Status(buf[4]),
+		Value:  binary.BigEndian.Uint64(buf[5:13]),
+	}, nil
+}
+
+// AppendResponse appends r's full frame (length prefix + payload) to dst.
+func AppendResponse(dst []byte, r Response) []byte {
+	var b [RespFrameLen]byte
+	binary.BigEndian.PutUint32(b[0:4], respPayloadLen)
+	binary.BigEndian.PutUint32(b[4:8], r.ID)
+	b[8] = byte(r.Status)
+	binary.BigEndian.PutUint64(b[9:17], r.Value)
+	return append(dst, b[:]...)
+}

@@ -1,0 +1,363 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"gstm"
+	"gstm/internal/stmds"
+)
+
+// Config parameterizes a Server. The zero value is not usable; call
+// (Config).normalize via New, which fills defaults.
+type Config struct {
+	// Addr is the TCP listen address; ":0" picks a free port (see
+	// Server.Addr for the bound one).
+	Addr string
+
+	// Workers sizes the execution pool. Worker i runs every one of its
+	// transactions as gstm.ThreadID(i), so the profiled Thread State
+	// Automaton keeps the paper's thread identity over live traffic.
+	Workers int
+
+	// Batch is the maximum number of queued same-site, disjoint-key
+	// operations coalesced into one transaction (default 8; 1 disables
+	// batching).
+	Batch int
+
+	// Buckets sizes the hash table (default 4096).
+	Buckets int
+
+	// QueueDepth is the per-worker request queue depth (default 256).
+	// Full queues apply backpressure to connection readers.
+	QueueDepth int
+
+	// ProfileOps is how many committed operations one profiling slice
+	// spans (default 2048); ProfileSlices is how many sliced traces are
+	// collected before the model is trained (default 4). Together they are
+	// the serving analogue of the paper's repeated profiling runs.
+	ProfileOps    int
+	ProfileSlices int
+
+	// MaxAttempts bounds attempts per batch transaction; exhaustion maps
+	// to StatusBudget on every operation in the batch. 0 = unlimited.
+	MaxAttempts int
+
+	// ForceGuidance installs the trained model even when the analyzer
+	// rejects it (experiments and tests); otherwise rejection latches
+	// ModeRejected and the server keeps serving unguided.
+	ForceGuidance bool
+
+	// Tfactor and GateRetries tune guidance (zero = defaults); Watchdog,
+	// when non-nil, arms the guidance watchdog on the hot-swapped gate.
+	Tfactor     float64
+	GateRetries int
+	Watchdog    *gstm.WatchdogOptions
+
+	// Unguided starts the server with the lifecycle parked in
+	// ModeUnguided instead of profiling toward guidance (CtlModeAuto can
+	// still start it later).
+	Unguided bool
+
+	// Interleave is forwarded to gstm.Config (test machines).
+	Interleave int
+}
+
+func (cfg Config) normalize() Config {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 8
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 4096
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.ProfileOps <= 0 {
+		cfg.ProfileOps = 2048
+	}
+	if cfg.ProfileSlices <= 0 {
+		cfg.ProfileSlices = 4
+	}
+	return cfg
+}
+
+// Server is a network-facing transactional KV store on the guided STM.
+type Server struct {
+	cfg   Config
+	sys   *gstm.System
+	store *stmds.HashTable[uint64]
+	ln    net.Listener
+
+	workers []*worker
+	rr      atomic.Uint32 // round-robin dispatch cursor
+
+	lc lifecycle
+
+	// inflight tracks accepted data operations from enqueue to response
+	// write; Shutdown drains it.
+	inflight sync.WaitGroup
+	draining atomic.Bool
+	stop     chan struct{} // closed after drain: workers exit
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	// liveKeys approximates the store's cardinality from acknowledged
+	// creates minus deletes (exact under this protocol: every mutation is
+	// acked exactly once).
+	liveKeys   atomic.Int64
+	batches    atomic.Uint64
+	batchedOps atomic.Uint64
+}
+
+// New builds a Server (not yet listening) with its own gstm.System sized
+// to cfg.Workers.
+func New(cfg Config) *Server {
+	cfg = cfg.normalize()
+	sys := gstm.NewSystem(gstm.Config{Threads: cfg.Workers, Interleave: cfg.Interleave})
+	s := &Server{
+		cfg:   cfg,
+		sys:   sys,
+		store: stmds.NewHashTable[uint64](cfg.Buckets),
+		stop:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.lc.init(sys, &s.cfg)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers = append(s.workers, newWorker(s, i))
+	}
+	return s
+}
+
+// System exposes the underlying STM system (telemetry, health) to the
+// embedding command.
+func (s *Server) System() *gstm.System { return s.sys }
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Start binds the listener, launches the worker pool and the accept loop,
+// and starts the guidance lifecycle (profiling, unless cfg.Unguided).
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	if s.cfg.Unguided {
+		s.lc.forceUnguided()
+	} else {
+		s.lc.startAuto(s.cfg.ProfileOps)
+	}
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go func(w *worker) { defer s.wg.Done(); w.loop() }(w)
+	}
+	s.wg.Add(1)
+	go func() { defer s.wg.Done(); s.acceptLoop() }()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: shutting down
+		}
+		s.connMu.Lock()
+		if s.draining.Load() {
+			s.connMu.Unlock()
+			_ = nc.Close()
+			continue
+		}
+		s.conns[nc] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go func() { defer s.wg.Done(); s.serveConn(nc) }()
+	}
+}
+
+// conn wraps a client connection with a write lock so workers and the
+// reader can interleave response frames safely.
+type conn struct {
+	nc  net.Conn
+	wmu sync.Mutex
+}
+
+func (c *conn) writeFrames(buf []byte) {
+	c.wmu.Lock()
+	_, _ = c.nc.Write(buf) // write errors surface as reader EOF/close
+	c.wmu.Unlock()
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	c := &conn{nc: nc}
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, nc)
+		s.connMu.Unlock()
+		_ = nc.Close()
+	}()
+
+	br := bufio.NewReaderSize(nc, 64*ReqFrameLen)
+	var hdr [4]byte
+	var payload [MaxFrame]byte
+	var respBuf []byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return // EOF or forced close
+		}
+		n := uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3])
+		if n == 0 || n > MaxFrame {
+			return // stream out of sync: drop the connection
+		}
+		if _, err := io.ReadFull(br, payload[:n]); err != nil {
+			return
+		}
+		req, err := DecodeRequest(payload[:n])
+		if err != nil {
+			return // undecodable: cannot trust framing anymore
+		}
+
+		switch req.Op {
+		case OpCtl, OpInfo:
+			respBuf = AppendResponse(respBuf[:0], s.handleControl(req))
+			c.writeFrames(respBuf)
+		default:
+			s.inflight.Add(1)
+			if s.draining.Load() {
+				s.inflight.Done()
+				respBuf = AppendResponse(respBuf[:0], Response{ID: req.ID, Status: StatusShutdown})
+				c.writeFrames(respBuf)
+				continue
+			}
+			w := s.workers[int(s.rr.Add(1))%len(s.workers)]
+			select {
+			case w.queue <- task{req: req, c: c}:
+			case <-s.stop:
+				s.inflight.Done()
+				return
+			}
+		}
+	}
+}
+
+// handleControl serves the non-transactional control plane.
+func (s *Server) handleControl(req Request) Response {
+	resp := Response{ID: req.ID}
+	switch req.Op {
+	case OpCtl:
+		switch CtlCommand(req.Key) {
+		case CtlModeUnguided:
+			s.lc.forceUnguided()
+		case CtlModeAuto:
+			ops := int(req.Arg)
+			if ops <= 0 {
+				ops = s.cfg.ProfileOps
+			}
+			s.lc.startAuto(ops)
+		case CtlModeGuided:
+			if !s.lc.reinstallGuided() {
+				resp.Status = StatusUnguidable
+			}
+		case CtlReset:
+			s.sys.ResetStats()
+			s.batches.Store(0)
+			s.batchedOps.Store(0)
+		default:
+			resp.Status = StatusBadRequest
+		}
+	case OpInfo:
+		switch InfoSelector(req.Key) {
+		case InfoCommits:
+			c, _ := s.sys.Stats()
+			resp.Value = c
+		case InfoAborts:
+			_, a := s.sys.Stats()
+			resp.Value = a
+		case InfoMode:
+			resp.Value = uint64(s.Mode())
+		case InfoBatches:
+			resp.Value = s.batches.Load()
+		case InfoBatchedOps:
+			resp.Value = s.batchedOps.Load()
+		case InfoKeys:
+			resp.Value = uint64(s.liveKeys.Load())
+		default:
+			resp.Status = StatusBadRequest
+		}
+	}
+	return resp
+}
+
+// Mode reports the current serving mode, refining ModeGuided to
+// ModeDegraded while the watchdog holds guidance tripped.
+func (s *Server) Mode() ServingMode {
+	m := s.lc.currentMode()
+	if m == ModeGuided && s.sys.Health().Degraded() {
+		return ModeDegraded
+	}
+	return m
+}
+
+// RejectReason returns the analyzer's reason when the lifecycle latched
+// ModeRejected ("" otherwise).
+func (s *Server) RejectReason() string { return s.lc.rejectReason() }
+
+// Shutdown drains the server: the listener closes immediately, queued and
+// in-flight operations finish and their responses are written, then the
+// workers stop and every connection is closed. New data operations
+// arriving mid-drain are answered with StatusShutdown. ctx bounds the
+// drain; on expiry remaining work is abandoned and ctx.Err() returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	_ = s.ln.Close()
+
+	drained := make(chan struct{})
+	go func() { s.inflight.Wait(); close(drained) }()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.connMu.Lock()
+	for nc := range s.conns {
+		_ = nc.Close()
+	}
+	s.connMu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		return errors.Join(err, fmt.Errorf("server: shutdown wait: %w", ctx.Err()))
+	}
+}
+
+// Close force-stops the server without draining.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Shutdown(ctx)
+	return nil
+}

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"errors"
+
+	"gstm"
+)
+
+// Transaction sites: one static TM_BEGIN(ID) per operation kind, so the
+// Thread State Automaton's (site, thread) states describe what the server
+// actually does. A batch only ever coalesces operations of one kind, which
+// keeps the site label exact (see DESIGN.md "Batching rules").
+const (
+	siteGet gstm.TxnID = iota
+	sitePut
+	siteAdd
+	siteDel
+)
+
+func site(op Op) gstm.TxnID {
+	switch op {
+	case OpGet:
+		return siteGet
+	case OpPut:
+		return sitePut
+	case OpAdd:
+		return siteAdd
+	default:
+		return siteDel
+	}
+}
+
+// task is one queued data operation awaiting a worker.
+type task struct {
+	req Request
+	c   *conn
+}
+
+// opResult is one operation's outcome, filled inside the batch
+// transaction body (and therefore overwritten wholesale when the body
+// re-runs after a conflict).
+type opResult struct {
+	status Status
+	value  uint64
+	delta  int64 // liveKeys adjustment, applied only after commit
+}
+
+// worker executes batches of operations as transactions on a fixed STM
+// thread: worker w is gstm.ThreadID(w), always.
+type worker struct {
+	srv   *Server
+	id    gstm.ThreadID
+	queue chan task
+
+	pending    task // holdover that closed the previous batch
+	hasPending bool
+
+	batch   []task
+	results []opResult
+	resp    []byte
+	runOpts [1]gstm.TxOption // reused ReadOnly() slice for get batches
+}
+
+func newWorker(s *Server, id int) *worker {
+	return &worker{
+		srv:     s,
+		id:      gstm.ThreadID(id),
+		queue:   make(chan task, s.cfg.QueueDepth),
+		batch:   make([]task, 0, s.cfg.Batch),
+		results: make([]opResult, s.cfg.Batch),
+		runOpts: [1]gstm.TxOption{gstm.ReadOnly()},
+	}
+}
+
+func (w *worker) loop() {
+	for {
+		if !w.fillBatch() {
+			return
+		}
+		w.execBatch()
+	}
+}
+
+// fillBatch blocks for the first operation (the holdover from the last
+// round, if any), then greedily drains already-queued operations into the
+// batch while they share the first one's kind and touch pairwise-disjoint
+// keys. The first operation violating either rule is held over — never
+// reordered past, so per-connection request order is preserved within a
+// worker. Returns false when the server is stopping.
+func (w *worker) fillBatch() bool {
+	w.batch = w.batch[:0]
+	if w.hasPending {
+		w.batch = append(w.batch, w.pending)
+		w.hasPending = false
+	} else {
+		select {
+		case t := <-w.queue:
+			w.batch = append(w.batch, t)
+		case <-w.srv.stop:
+			return false
+		}
+	}
+	kind := w.batch[0].req.Op
+	for len(w.batch) < w.srv.cfg.Batch {
+		select {
+		case t := <-w.queue:
+			if t.req.Op != kind || w.batchHasKey(t.req.Key) {
+				w.pending, w.hasPending = t, true
+				return true
+			}
+			w.batch = append(w.batch, t)
+		default:
+			return true
+		}
+	}
+	return true
+}
+
+func (w *worker) batchHasKey(k uint64) bool {
+	for i := range w.batch {
+		if w.batch[i].req.Key == k {
+			return true
+		}
+	}
+	return false
+}
+
+// execBatch runs the batch as one transaction and writes every response.
+// Operations against disjoint keys are independent, so folding them into
+// one atomic block changes neither their results nor the store's final
+// state versus running them back to back — it only spends one commit
+// (and one Tseq slot) for up to Batch operations.
+func (w *worker) execBatch() {
+	s := w.srv
+	kind := w.batch[0].req.Op
+	body := func(tx *gstm.Tx) error {
+		for i := range w.batch {
+			w.results[i] = w.applyOp(tx, w.batch[i].req)
+		}
+		return nil
+	}
+	var err error
+	if kind == OpGet {
+		err = s.sys.Run(nil, w.id, siteGet, body, w.runOpts[:]...)
+	} else {
+		err = s.sys.Run(nil, w.id, site(kind), body, gstm.MaxAttempts(s.cfg.MaxAttempts))
+	}
+
+	switch {
+	case err == nil:
+		var delta int64
+		for i := range w.batch {
+			delta += w.results[i].delta
+		}
+		if delta != 0 {
+			s.liveKeys.Add(delta)
+		}
+		s.batches.Add(1)
+		s.batchedOps.Add(uint64(len(w.batch)))
+		s.lc.noteOps(len(w.batch))
+	case errors.Is(err, gstm.ErrRetryBudgetExhausted):
+		for i := range w.results[:len(w.batch)] {
+			w.results[i] = opResult{status: StatusBudget}
+		}
+	case errors.Is(err, gstm.ErrCanceled):
+		for i := range w.results[:len(w.batch)] {
+			w.results[i] = opResult{status: StatusCanceled}
+		}
+	default:
+		for i := range w.results[:len(w.batch)] {
+			w.results[i] = opResult{status: StatusBadRequest}
+		}
+	}
+
+	// Write responses, coalescing consecutive same-connection frames into
+	// one buffer (and one syscall) each.
+	i := 0
+	for i < len(w.batch) {
+		c := w.batch[i].c
+		w.resp = w.resp[:0]
+		j := i
+		for j < len(w.batch) && w.batch[j].c == c {
+			w.resp = AppendResponse(w.resp, Response{
+				ID:     w.batch[j].req.ID,
+				Status: w.results[j].status,
+				Value:  w.results[j].value,
+			})
+			j++
+		}
+		c.writeFrames(w.resp)
+		i = j
+	}
+	for range w.batch {
+		s.inflight.Done()
+	}
+}
+
+// applyOp performs one operation inside the batch transaction.
+func (w *worker) applyOp(tx *gstm.Tx, req Request) opResult {
+	st := w.srv.store
+	k := int64(req.Key)
+	switch req.Op {
+	case OpGet:
+		v, ok := st.Get(tx, k)
+		if !ok {
+			return opResult{status: StatusNotFound}
+		}
+		return opResult{value: v}
+	case OpPut:
+		if st.Set(tx, k, req.Arg) {
+			return opResult{value: 1}
+		}
+		st.InsertNoCount(tx, k, req.Arg)
+		return opResult{value: 0, delta: 1}
+	case OpAdd:
+		if v, ok := st.Get(tx, k); ok {
+			nv := uint64(int64(v) + int64(req.Arg))
+			st.Set(tx, k, nv)
+			return opResult{value: nv}
+		}
+		st.InsertNoCount(tx, k, req.Arg)
+		return opResult{value: req.Arg, delta: 1}
+	default: // OpDel
+		if !st.RemoveNoCount(tx, k) {
+			return opResult{status: StatusNotFound}
+		}
+		return opResult{delta: -1}
+	}
+}

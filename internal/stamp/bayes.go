@@ -122,7 +122,7 @@ func (*Bayes) NewInstance(p Params) (Instance, error) {
 			to = (to + 1) % int32(nVars)
 		}
 		cand := bayesCandidate{From: from, To: to}
-		if err := setup.Atomic(0, 0, func(tx *gstm.Tx) error {
+		if err := setup.Run(nil, 0, 0, func(tx *gstm.Tx) error {
 			inst.work.Enqueue(tx, cand)
 			return nil
 		}); err != nil {
@@ -183,7 +183,7 @@ func (in *bayesInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 		for {
 			var cand bayesCandidate
 			var got bool
-			if err := sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+			if err := sys.Run(nil, id, 0, func(tx *gstm.Tx) error {
 				cand, got = in.work.Dequeue(tx)
 				return nil
 			}); err != nil {
@@ -192,7 +192,7 @@ func (in *bayesInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 			if !got {
 				return nil
 			}
-			if err := sys.Atomic(id, 1, func(tx *gstm.Tx) error {
+			if err := sys.Run(nil, id, 1, func(tx *gstm.Tx) error {
 				gstm.Write(tx, in.evaluated, gstm.Read(tx, in.evaluated)+1)
 				idx := int(cand.From)*in.nVars + int(cand.To)
 				if gstm.ReadAt(tx, in.adj, idx) {

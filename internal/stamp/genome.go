@@ -87,7 +87,7 @@ func (in *genomeInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 		lo := t * len(in.samples) / in.threads
 		hi := (t + 1) * len(in.samples) / in.threads
 		for _, s := range in.samples[lo:hi] {
-			if err := sys.Atomic(gstm.ThreadID(t), 0, func(tx *gstm.Tx) error {
+			if err := sys.Run(nil, gstm.ThreadID(t), 0, func(tx *gstm.Tx) error {
 				// The counted insert maintains the table's global element
 				// counter, the same shared hot spot the original's segment
 				// insertion phase contends on.
@@ -112,7 +112,7 @@ func (in *genomeInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 			if !in.uniqueWant[s] {
 				continue
 			}
-			if err := sys.Atomic(gstm.ThreadID(t), 1, func(tx *gstm.Tx) error {
+			if err := sys.Run(nil, gstm.ThreadID(t), 1, func(tx *gstm.Tx) error {
 				for d := int64(1); d < int64(in.segLen); d++ {
 					succ := s + d
 					if succ >= int64(in.geneLen) {
@@ -141,7 +141,7 @@ func (in *genomeInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 func (in *genomeInstance) Validate(sys *gstm.System) error {
 	// Every unique sampled segment must be in the table; nothing else.
 	var tableErr error
-	err := sys.Atomic(0, 0, func(tx *gstm.Tx) error {
+	err := sys.Run(nil, 0, 0, func(tx *gstm.Tx) error {
 		for s := range in.uniqueWant {
 			if !in.table.Contains(tx, s) {
 				tableErr = fmt.Errorf("genome: unique segment %d missing from table", s)

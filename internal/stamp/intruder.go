@@ -111,7 +111,7 @@ func (*Intruder) NewInstance(p Params) (Instance, error) {
 	setup := gstm.NewSystem(gstm.Config{Threads: 1})
 	for _, i := range order {
 		frag := frags[i]
-		if err := setup.Atomic(0, 0, func(tx *gstm.Tx) error {
+		if err := setup.Run(nil, 0, 0, func(tx *gstm.Tx) error {
 			inst.packets.Enqueue(tx, frag)
 			return nil
 		}); err != nil {
@@ -129,7 +129,7 @@ func (in *intruderInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 			// Capture.
 			var frag intruderFragment
 			var got bool
-			if err := sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+			if err := sys.Run(nil, id, 0, func(tx *gstm.Tx) error {
 				frag, got = in.packets.Dequeue(tx)
 				return nil
 			}); err != nil {
@@ -142,7 +142,7 @@ func (in *intruderInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 			// flow completes.
 			var payload string
 			var complete bool
-			if err := sys.Atomic(id, 1, func(tx *gstm.Tx) error {
+			if err := sys.Run(nil, id, 1, func(tx *gstm.Tx) error {
 				payload, complete = "", false
 				st, ok := in.assembly.Get(tx, frag.Flow)
 				if !ok {
@@ -166,7 +166,7 @@ func (in *intruderInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 			}
 			// Detection (pure computation) + report.
 			if complete && strings.Contains(payload, intruderAttack) {
-				if err := sys.Atomic(id, 2, func(tx *gstm.Tx) error {
+				if err := sys.Run(nil, id, 2, func(tx *gstm.Tx) error {
 					in.attacks.Insert(tx, frag.Flow, struct{}{})
 					return nil
 				}); err != nil {
@@ -184,7 +184,7 @@ func (in *intruderInstance) Validate(sys *gstm.System) error {
 	}
 	detected := make(map[int64]bool)
 	var verr error
-	err := sys.Atomic(0, 0, func(tx *gstm.Tx) error {
+	err := sys.Run(nil, 0, 0, func(tx *gstm.Tx) error {
 		if n := in.assembly.Len(tx); n != 0 {
 			verr = fmt.Errorf("intruder: %d flows left unassembled", n)
 			return nil

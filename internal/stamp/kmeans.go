@@ -124,7 +124,7 @@ func (in *kmeansInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 			for i := lo; i < hi; i++ {
 				pt := in.points[i]
 				c := in.nearest(pt)
-				if err := sys.Atomic(gstm.ThreadID(t), 0, func(tx *gstm.Tx) error {
+				if err := sys.Run(nil, gstm.ThreadID(t), 0, func(tx *gstm.Tx) error {
 					acc := gstm.ReadAt(tx, in.accums, c)
 					acc.Count++
 					for d := 0; d < kmeansDims; d++ {
@@ -137,7 +137,7 @@ func (in *kmeansInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 				}
 				if int32(c) != in.member[i] {
 					in.member[i] = int32(c)
-					if err := sys.Atomic(gstm.ThreadID(t), 1, func(tx *gstm.Tx) error {
+					if err := sys.Run(nil, gstm.ThreadID(t), 1, func(tx *gstm.Tx) error {
 						gstm.Write(tx, in.delta, gstm.Read(tx, in.delta)+1)
 						return nil
 					}); err != nil {

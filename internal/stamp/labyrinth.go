@@ -88,7 +88,7 @@ func (*Labyrinth) NewInstance(p Params) (Instance, error) {
 		if task.Src == task.Dst {
 			task.Dst = (task.Dst + side + 1) % (side * side)
 		}
-		if err := setup.Atomic(0, 0, func(tx *gstm.Tx) error {
+		if err := setup.Run(nil, 0, 0, func(tx *gstm.Tx) error {
 			inst.tasks.Enqueue(tx, task)
 			return nil
 		}); err != nil {
@@ -153,7 +153,7 @@ func (in *labyrinthInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 		for {
 			var task labTask
 			var got bool
-			if err := sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+			if err := sys.Run(nil, id, 0, func(tx *gstm.Tx) error {
 				task, got = in.tasks.Dequeue(tx)
 				return nil
 			}); err != nil {
@@ -168,7 +168,7 @@ func (in *labyrinthInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 				if path == nil {
 					break
 				}
-				err := sys.Atomic(id, 1, func(tx *gstm.Tx) error {
+				err := sys.Run(nil, id, 1, func(tx *gstm.Tx) error {
 					for _, cell := range path {
 						if gstm.ReadAt(tx, in.grid, cell) != 0 {
 							return errPathBlocked
@@ -191,7 +191,7 @@ func (in *labyrinthInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 				}
 			}
 			if !routed {
-				if err := sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+				if err := sys.Run(nil, id, 0, func(tx *gstm.Tx) error {
 					gstm.Write(tx, in.failed, gstm.Read(tx, in.failed)+1)
 					return nil
 				}); err != nil {

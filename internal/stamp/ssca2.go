@@ -81,7 +81,7 @@ func (in *ssca2Instance) Run(sys *gstm.System) ([]time.Duration, error) {
 		lo := t * len(in.edges) / in.threads
 		hi := (t + 1) * len(in.edges) / in.threads
 		for _, e := range in.edges[lo:hi] {
-			if err := sys.Atomic(gstm.ThreadID(t), 0, func(tx *gstm.Tx) error {
+			if err := sys.Run(nil, gstm.ThreadID(t), 0, func(tx *gstm.Tx) error {
 				gstm.WriteAt(tx, in.degree, int(e.u), gstm.ReadAt(tx, in.degree, int(e.u))+1)
 				gstm.WriteAt(tx, in.degree, int(e.v), gstm.ReadAt(tx, in.degree, int(e.v))+1)
 				gstm.WriteAt(tx, in.weight, int(e.u), gstm.ReadAt(tx, in.weight, int(e.u))+int64(e.weight))

@@ -84,7 +84,7 @@ func (*Vacation) NewInstance(p Params) (Instance, error) {
 		for id := 0; id < relations; id++ {
 			res := vacResource{Total: 1 + rng.Intn(5), Price: 50 + rng.Intn(450)}
 			tbl := inst.tables[k]
-			if err := setup.Atomic(0, 0, func(tx *gstm.Tx) error {
+			if err := setup.Run(nil, 0, 0, func(tx *gstm.Tx) error {
 				tbl.Insert(tx, int64(id), res)
 				return nil
 			}); err != nil {
@@ -125,7 +125,7 @@ func (in *vacationInstance) makeReservation(sys *gstm.System, t int, rng *xrand.
 		ids[i] = int64(rng.Intn(in.relations))
 	}
 	tbl := in.tables[kind]
-	return sys.Atomic(gstm.ThreadID(t), 0, func(tx *gstm.Tx) error {
+	return sys.Run(nil, gstm.ThreadID(t), 0, func(tx *gstm.Tx) error {
 		bestID := int64(-1)
 		bestPrice := 0
 		for _, id := range ids {
@@ -154,7 +154,7 @@ func (in *vacationInstance) makeReservation(sys *gstm.System, t int, rng *xrand.
 
 func (in *vacationInstance) deleteCustomer(sys *gstm.System, t int, rng *xrand.Rand) error {
 	custID := int64(rng.Intn(in.relations))
-	return sys.Atomic(gstm.ThreadID(t), 1, func(tx *gstm.Tx) error {
+	return sys.Run(nil, gstm.ThreadID(t), 1, func(tx *gstm.Tx) error {
 		bookings, ok := in.customers.Get(tx, custID)
 		if !ok {
 			return nil
@@ -180,7 +180,7 @@ func (in *vacationInstance) updateTables(sys *gstm.System, t int, rng *xrand.Ran
 	addCapacity := rng.Intn(2) == 0
 	newPrice := 50 + rng.Intn(450)
 	tbl := in.tables[kind]
-	return sys.Atomic(gstm.ThreadID(t), 2, func(tx *gstm.Tx) error {
+	return sys.Run(nil, gstm.ThreadID(t), 2, func(tx *gstm.Tx) error {
 		res, ok := tbl.Get(tx, id)
 		if !ok {
 			return nil
@@ -198,7 +198,7 @@ func (in *vacationInstance) updateTables(sys *gstm.System, t int, rng *xrand.Ran
 // Validate implements Instance.
 func (in *vacationInstance) Validate(sys *gstm.System) error {
 	var verr error
-	err := sys.Atomic(0, 0, func(tx *gstm.Tx) error {
+	err := sys.Run(nil, 0, 0, func(tx *gstm.Tx) error {
 		verr = nil
 		// used counts must never exceed totals, and every used unit must be
 		// accounted for by some customer's booking.

@@ -90,7 +90,7 @@ func (*Yada) NewInstance(p Params) (Instance, error) {
 	setup := gstm.NewSystem(gstm.Config{Threads: 1})
 	for _, e := range inst.seeds {
 		elem := e
-		if err := setup.Atomic(0, 0, func(tx *gstm.Tx) error {
+		if err := setup.Run(nil, 0, 0, func(tx *gstm.Tx) error {
 			return inst.work.Push(tx, elem)
 		}); err != nil {
 			return nil, err
@@ -129,7 +129,7 @@ func (in *yadaInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 		for {
 			var elem yadaElem
 			var got bool
-			if err := sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+			if err := sys.Run(nil, id, 0, func(tx *gstm.Tx) error {
 				elem, got = in.work.Pop(tx)
 				return nil
 			}); err != nil {
@@ -142,7 +142,7 @@ func (in *yadaInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 				// heap after all pushes, the counter-validated work set is
 				// complete. Check the processed counter for quiescence.
 				done := false
-				if err := sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+				if err := sys.Run(nil, id, 0, func(tx *gstm.Tx) error {
 					done = in.work.Len(tx) == 0
 					return nil
 				}); err != nil {
@@ -154,7 +154,7 @@ func (in *yadaInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 				continue
 			}
 			kids := in.children(elem)
-			if err := sys.Atomic(id, 1, func(tx *gstm.Tx) error {
+			if err := sys.Run(nil, id, 1, func(tx *gstm.Tx) error {
 				for off := 0; off < in.cavity; off++ {
 					cell := (elem.Loc + off) % in.regionLen
 					gstm.WriteAt(tx, in.region, cell, gstm.ReadAt(tx, in.region, cell)+1)
@@ -179,7 +179,7 @@ func (in *yadaInstance) Run(sys *gstm.System) ([]time.Duration, error) {
 // sufficient: an in-flight retriangulation would bump the counter.
 func (in *yadaInstance) quiesced(sys *gstm.System, id gstm.ThreadID) bool {
 	read := func() (n int, empty bool) {
-		_ = sys.Atomic(id, 0, func(tx *gstm.Tx) error {
+		_ = sys.Run(nil, id, 0, func(tx *gstm.Tx) error {
 			n = gstm.Read(tx, in.processed)
 			empty = in.work.Len(tx) == 0
 			return nil

@@ -55,6 +55,15 @@ func (h *HashTable[V]) InsertNoCount(tx *tl2.Tx, k int64, v V) bool {
 	return h.bucket(k).Insert(tx, k, v)
 }
 
+// RemoveNoCount is Remove without maintaining the global size counter —
+// the deletion dual of InsertNoCount, for stores whose keys are tracked
+// (or deliberately untracked) outside the transaction, such as the
+// serving layer's KV table where a transactional size cell would
+// serialize every otherwise-disjoint insert and delete.
+func (h *HashTable[V]) RemoveNoCount(tx *tl2.Tx, k int64) bool {
+	return h.bucket(k).Remove(tx, k)
+}
+
 // Get returns the value stored under k.
 func (h *HashTable[V]) Get(tx *tl2.Tx, k int64) (V, bool) {
 	return h.bucket(k).Get(tx, k)

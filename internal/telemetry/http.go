@@ -1,12 +1,14 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"sync"
 )
 
 // Handler returns the telemetry endpoint: an http.Handler serving
@@ -59,18 +61,50 @@ func Serve(addr string, src func() Snapshot) (*http.Server, net.Addr, error) {
 
 // Server is a running telemetry endpoint: the underlying http.Server plus
 // the address it actually bound (which differs from the requested one for
-// ":0").
+// ":0"). Stop it with Close (immediate) or Shutdown (graceful).
 type Server struct {
-	*http.Server
+	srv       *http.Server
 	BoundAddr net.Addr
+
+	inflight sync.WaitGroup // open scrapes, for Shutdown's drain
 }
 
 // ServeAddr starts the process-wide telemetry endpoint (backed by Gather)
 // on addr. It is the one-call form the -metrics-addr command-line flags use.
 func ServeAddr(addr string) (*Server, error) {
-	srv, bound, err := Serve(addr, Gather)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{Server: srv, BoundAddr: bound}, nil
+	s := &Server{BoundAddr: ln.Addr()}
+	inner := Handler(Gather)
+	s.srv = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		inner.ServeHTTP(w, r)
+	})}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close stops the endpoint immediately, dropping in-flight scrapes.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops the endpoint gracefully: the listener closes at once (no
+// new scrapes), then Shutdown waits for every in-flight scrape to finish
+// writing — or for ctx to expire, whichever comes first, in which case the
+// remaining connections are dropped and ctx.Err() is returned. Drained
+// this way, the port is safe to rebind immediately; tests and the
+// gstm-server drain sequence rely on that.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		_ = s.srv.Close()
+		return ctx.Err()
+	}
 }

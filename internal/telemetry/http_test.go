@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -97,5 +98,49 @@ func TestServeBindsEphemeralPort(t *testing.T) {
 func TestServeBadAddr(t *testing.T) {
 	if _, _, err := Serve("256.0.0.1:bad", Gather); err == nil {
 		t.Fatal("want listen error")
+	}
+}
+
+// TestServerShutdownDrains scrapes the process-wide endpoint, shuts it
+// down gracefully, and checks the exact port is immediately rebindable —
+// the test-order-dependent flake the Close-only API risked.
+func TestServerShutdownDrains(t *testing.T) {
+	s, err := ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := get(t, "http://"+s.BoundAddr.String()+"/metrics"); code != http.StatusOK {
+		t.Fatalf("scrape before shutdown: status %d", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// After shutdown new scrapes must fail...
+	if _, err := http.Get("http://" + s.BoundAddr.String() + "/metrics"); err == nil {
+		t.Fatal("scrape succeeded after Shutdown")
+	}
+	// ...and the drained port is free to rebind at once.
+	s2, err := ServeAddr(s.BoundAddr.String())
+	if err != nil {
+		t.Fatalf("rebind %s after Shutdown: %v", s.BoundAddr, err)
+	}
+	_ = s2.Close()
+}
+
+// TestServerShutdownExpiredContext: a context that expires mid-drain makes
+// Shutdown return its error rather than hanging.
+func TestServerShutdownExpiredContext(t *testing.T) {
+	s, err := ServeAddr("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown with expired context returned nil")
 	}
 }

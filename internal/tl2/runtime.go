@@ -2,6 +2,7 @@ package tl2
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -208,7 +209,7 @@ func (rt *Runtime) ResilienceStats() (budgetExceeded, canceled uint64) {
 //
 // Atomic must not be nested.
 func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.atomic(nil, thread, txn, fn, false)
+	return rt.run(nil, thread, txn, fn, false, 0)
 }
 
 // AtomicRO executes fn as a read-only transaction: TL2's fast path, which
@@ -216,7 +217,7 @@ func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) err
 // access time and a read-only commit validates nothing further. A Write
 // inside fn returns an error without retrying.
 func (rt *Runtime) AtomicRO(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.atomic(nil, thread, txn, fn, true)
+	return rt.run(nil, thread, txn, fn, true, 0)
 }
 
 // AtomicCtx is Atomic honoring ctx: cancellation or deadline expiry is
@@ -226,15 +227,25 @@ func (rt *Runtime) AtomicRO(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) e
 // budgeted attempt aborts, AtomicCtx returns retry.ErrBudgetExceeded. In
 // both cases no locks remain held and no writes were published.
 func (rt *Runtime) AtomicCtx(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.atomic(ctx, thread, txn, fn, false)
+	return rt.run(ctx, thread, txn, fn, false, 0)
 }
 
 // AtomicROCtx is AtomicRO honoring ctx like AtomicCtx.
 func (rt *Runtime) AtomicROCtx(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.atomic(ctx, thread, txn, fn, true)
+	return rt.run(ctx, thread, txn, fn, true, 0)
 }
 
-func (rt *Runtime) atomic(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, readOnly bool) error {
+// Run is the unified entrypoint behind gstm's System.Run: one code path
+// for all four Atomic* shapes. ctx may be nil (never canceled, checked
+// between attempts otherwise). readOnly selects the validation-free
+// read-only fast path. maxAttempts > 0 bounds attempts without a context
+// allocation, overriding any retry.WithBudget budget carried by ctx;
+// maxAttempts <= 0 defers to the context budget (0 = unlimited).
+func (rt *Runtime) Run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, readOnly bool, maxAttempts int) error {
+	return rt.run(ctx, thread, txn, fn, readOnly, maxAttempts)
+}
+
+func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, readOnly bool, maxAttempts int) error {
 	self := txid.Pair{Txn: txn, Thread: thread}
 	tx := rt.pool.Get().(*Tx)
 	defer func() {
@@ -251,13 +262,16 @@ func (rt *Runtime) atomic(ctx context.Context, thread txid.ThreadID, txn txid.Tx
 		rt.pool.Put(tx)
 	}()
 
-	budget := retry.Budget(ctx)
+	budget := maxAttempts
+	if budget <= 0 {
+		budget = retry.Budget(ctx)
+	}
 	shard := uint64(thread)
 	for attempt := 0; ; attempt++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				rt.tel.TxCanceled(shard)
-				return err
+				return fmt.Errorf("%w: %w", retry.ErrCanceled, err)
 			}
 		}
 		if gb := rt.gate.Load(); gb != nil {

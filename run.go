@@ -1,0 +1,53 @@
+package gstm
+
+import "context"
+
+// TxOption configures one Run call. Options are plain values; building a
+// []TxOption once and reusing it across calls is fine and allocation-free
+// when passed as a pre-built slice.
+type TxOption func(*txSettings)
+
+type txSettings struct {
+	readOnly    bool
+	maxAttempts int
+}
+
+// ReadOnly selects TL2's read-only fast path: no read-set bookkeeping,
+// because access-time validation already covers a transaction that writes
+// nothing. A Write inside the body returns an error without retrying.
+func ReadOnly() TxOption {
+	return func(s *txSettings) { s.readOnly = true }
+}
+
+// MaxAttempts bounds the attempts one Run call may make: n allows the
+// initial attempt plus n-1 retries; when the last allowed attempt aborts
+// on a conflict Run returns ErrRetryBudgetExhausted. n <= 0 means
+// unlimited (the classic STM contract). It subsumes WithRetryBudget
+// without the context allocation, and overrides a context-carried budget
+// when both are present.
+func MaxAttempts(n int) TxOption {
+	return func(s *txSettings) { s.maxAttempts = n }
+}
+
+// Run executes fn transactionally as transaction site txn on worker
+// thread — the single entrypoint subsuming the deprecated Atomic,
+// AtomicCtx, AtomicRO and AtomicROCtx quartet.
+//
+// fn may be re-executed after conflicts and must confine its effects to
+// transactional Reads and Writes; a non-nil error from fn aborts the
+// attempt without retry and is returned verbatim.
+//
+// ctx may be nil, meaning not cancelable — the fastest path, with no
+// per-attempt check. Otherwise cancellation or deadline expiry is checked
+// between attempts (an in-flight attempt always finishes aborting or
+// committing first) and surfaces as an error matching both ErrCanceled
+// and the context's own error, with no locks held and no writes
+// published. A retry bound set with MaxAttempts (or carried by ctx via
+// WithRetryBudget) turns budget exhaustion into ErrRetryBudgetExhausted.
+func (s *System) Run(ctx context.Context, thread ThreadID, txn TxnID, fn func(*Tx) error, opts ...TxOption) error {
+	var set txSettings
+	for _, o := range opts {
+		o(&set)
+	}
+	return s.rt.Run(ctx, thread, txn, fn, set.readOnly, set.maxAttempts)
+}

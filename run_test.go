@@ -1,0 +1,151 @@
+package gstm
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"gstm/internal/faultinject"
+)
+
+// TestRunReadOnlyOption checks that ReadOnly selects the write-rejecting
+// fast path and that plain reads commit and count.
+func TestRunReadOnlyOption(t *testing.T) {
+	sys := NewSystem(Config{Threads: 1})
+	v := NewVar(41)
+
+	if err := sys.Run(nil, 0, 0, func(tx *Tx) error {
+		if got := Read(tx, v); got != 41 {
+			t.Errorf("Read = %d, want 41", got)
+		}
+		return nil
+	}, ReadOnly()); err != nil {
+		t.Fatalf("read-only Run: %v", err)
+	}
+
+	err := sys.Run(nil, 0, 0, func(tx *Tx) error {
+		Write(tx, v, 42)
+		return nil
+	}, ReadOnly())
+	if err == nil {
+		t.Fatal("Write inside ReadOnly Run succeeded")
+	}
+	if v.Peek() != 41 {
+		t.Fatalf("rejected write was published: %d", v.Peek())
+	}
+}
+
+// TestRunMaxAttempts turns a permanent spurious-abort schedule into
+// ErrRetryBudgetExhausted after exactly n attempts, without any context.
+func TestRunMaxAttempts(t *testing.T) {
+	sys := NewSystem(Config{Threads: 1})
+	sys.rt.SetFaultInjector(faultinject.New(faultinject.Config{Seed: 1, SpuriousAbortProb: 1.01}))
+	v := NewVar(0)
+
+	attempts := 0
+	err := sys.Run(nil, 0, 0, func(tx *Tx) error {
+		attempts++
+		Write(tx, v, Read(tx, v)+1)
+		return nil
+	}, MaxAttempts(3))
+	if !errors.Is(err, ErrRetryBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrRetryBudgetExhausted", err)
+	}
+	if !errors.Is(err, ErrRetryBudgetExceeded) {
+		t.Fatal("deprecated alias no longer matches")
+	}
+	if attempts != 3 {
+		t.Fatalf("body ran %d times, want 3", attempts)
+	}
+	if v.Peek() != 0 {
+		t.Fatalf("budget-exhausted Run published a write: %d", v.Peek())
+	}
+	h := sys.Health()
+	if h.RetryBudgetExceeded != 1 {
+		t.Fatalf("Health.RetryBudgetExceeded = %d, want 1", h.RetryBudgetExceeded)
+	}
+}
+
+// TestRunMaxAttemptsOverridesContextBudget: the option wins over a
+// context-carried budget when both are present.
+func TestRunMaxAttemptsOverridesContextBudget(t *testing.T) {
+	sys := NewSystem(Config{Threads: 1})
+	sys.rt.SetFaultInjector(faultinject.New(faultinject.Config{Seed: 1, SpuriousAbortProb: 1.01}))
+
+	attempts := 0
+	err := sys.Run(WithRetryBudget(context.Background(), 10), 0, 0, func(tx *Tx) error {
+		attempts++
+		return nil
+	}, MaxAttempts(2))
+	if !errors.Is(err, ErrRetryBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrRetryBudgetExhausted", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("body ran %d times, want 2 (MaxAttempts should override ctx budget)", attempts)
+	}
+}
+
+// TestRunCanceledSentinel: a pre-canceled context surfaces as an error
+// matching both gstm.ErrCanceled and context.Canceled.
+func TestRunCanceledSentinel(t *testing.T) {
+	sys := NewSystem(Config{Threads: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	ran := false
+	err := sys.Run(ctx, 0, 0, func(tx *Tx) error { ran = true; return nil })
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, should also match context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("body ran under a pre-canceled context")
+	}
+}
+
+// TestErrGuidanceRejectedSentinel: EnableGuidance on a hopeless model
+// wraps the exported sentinel (and its deprecated alias).
+func TestErrGuidanceRejectedSentinel(t *testing.T) {
+	sys := NewSystem(Config{Threads: 2})
+	m := BuildModel(2, nil) // empty model: nothing to guide with
+	err := sys.EnableGuidance(m, GuidanceOptions{})
+	if !errors.Is(err, ErrGuidanceRejected) {
+		t.Fatalf("err = %v, want ErrGuidanceRejected", err)
+	}
+	if !errors.Is(err, ErrUnguidable) {
+		t.Fatal("deprecated alias no longer matches")
+	}
+	if sys.Guided() {
+		t.Fatal("rejected model installed guidance anyway")
+	}
+}
+
+// TestDeprecatedWrappersDelegate drives each legacy entrypoint once and
+// checks they still commit through the unified path.
+func TestDeprecatedWrappersDelegate(t *testing.T) {
+	sys := NewSystem(Config{Threads: 1})
+	v := NewVar(0)
+	bump := func(tx *Tx) error { Write(tx, v, Read(tx, v)+1); return nil }
+	read := func(tx *Tx) error { Read(tx, v); return nil }
+
+	if err := sys.Atomic(0, 0, bump); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AtomicCtx(context.Background(), 0, 0, bump); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AtomicRO(0, 0, read); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AtomicROCtx(context.Background(), 0, 0, read); err != nil {
+		t.Fatal(err)
+	}
+	if v.Peek() != 2 {
+		t.Fatalf("v = %d, want 2", v.Peek())
+	}
+	if c, _ := sys.Stats(); c != 4 {
+		t.Fatalf("commits = %d, want 4", c)
+	}
+}

@@ -2,7 +2,6 @@ package gstm
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 
@@ -103,27 +102,25 @@ func NewSystem(cfg Config) *System {
 // Config returns the system's configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// Atomic executes fn transactionally as transaction site txn on worker
-// thread. fn may be re-executed after conflicts; a non-nil error from fn
-// aborts the attempt without retry and is returned.
+// Atomic executes fn transactionally on thread at site txn.
+//
+// Deprecated: use Run.
 func (s *System) Atomic(thread ThreadID, txn TxnID, fn func(*Tx) error) error {
-	return s.rt.Atomic(thread, txn, fn)
+	return s.Run(nil, thread, txn, fn)
 }
 
-// AtomicCtx is Atomic honoring ctx: cancellation or deadline expiry is
-// checked between retry attempts (an in-flight attempt always finishes
-// aborting or committing first) and surfaced as ctx.Err() with no locks
-// held and no writes published. A per-call retry budget attached with
-// WithRetryBudget bounds the number of attempts; when the last budgeted
-// attempt aborts, AtomicCtx returns ErrRetryBudgetExceeded. Both outcomes
-// are counted separately from conflict aborts — see Health.
+// AtomicCtx is Atomic honoring ctx.
+//
+// Deprecated: use Run.
 func (s *System) AtomicCtx(ctx context.Context, thread ThreadID, txn TxnID, fn func(*Tx) error) error {
-	return s.rt.AtomicCtx(ctx, thread, txn, fn)
+	return s.Run(ctx, thread, txn, fn)
 }
 
-// AtomicROCtx is AtomicRO honoring ctx like AtomicCtx.
+// AtomicROCtx is AtomicRO honoring ctx.
+//
+// Deprecated: use Run with ReadOnly.
 func (s *System) AtomicROCtx(ctx context.Context, thread ThreadID, txn TxnID, fn func(*Tx) error) error {
-	return s.rt.AtomicROCtx(ctx, thread, txn, fn)
+	return s.Run(ctx, thread, txn, fn, ReadOnly())
 }
 
 // StartProfiling begins capturing the transaction sequence. It composes
@@ -150,13 +147,9 @@ func (s *System) StopProfiling() *Trace {
 	return tr
 }
 
-// ErrUnguidable is returned by EnableGuidance when the model fails the
-// analyzer's validation and Force is not used.
-var ErrUnguidable = errors.New("gstm: model rejected by analyzer")
-
 // EnableGuidance validates m, compiles it into a guide table and installs
-// the guided-execution gate. It returns ErrUnguidable (wrapped with the
-// analyzer's reason) when the model fails validation.
+// the guided-execution gate. It returns ErrGuidanceRejected (wrapped with
+// the analyzer's reason) when the model fails validation.
 func (s *System) EnableGuidance(m *Model, opts GuidanceOptions) error {
 	an := model.DefaultAnalyzer()
 	if opts.Tfactor > 0 {
@@ -164,7 +157,7 @@ func (s *System) EnableGuidance(m *Model, opts GuidanceOptions) error {
 	}
 	rep := an.Analyze(m)
 	if !rep.Guidable {
-		return fmt.Errorf("%w: %s", ErrUnguidable, rep.Reason)
+		return fmt.Errorf("%w: %s", ErrGuidanceRejected, rep.Reason)
 	}
 	s.ForceGuidance(m, opts)
 	return nil
@@ -326,11 +319,11 @@ func (s *System) EnableAdaptiveGuidance(seed *Model, opts GuidanceOptions, recom
 	return a
 }
 
-// AtomicRO executes fn as a read-only transaction — TL2's fast path, which
-// skips read-set bookkeeping. A Write inside fn returns an error without
-// retrying.
+// AtomicRO executes fn as a read-only transaction.
+//
+// Deprecated: use Run with ReadOnly.
 func (s *System) AtomicRO(thread ThreadID, txn TxnID, fn func(*Tx) error) error {
-	return s.rt.AtomicRO(thread, txn, fn)
+	return s.Run(nil, thread, txn, fn, ReadOnly())
 }
 
 // Health is a point-in-time view of the system's runtime resilience state:

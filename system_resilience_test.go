@@ -35,10 +35,10 @@ func adversarialModel(threads int, pairs []txid.Pair) *Model {
 	return m
 }
 
-// TestSystemAtomicCtxCancelUnderLivelock is acceptance criterion (a): a
-// canceled context stops a high-contention AtomicCtx within one retry
+// TestSystemRunCancelUnderLivelock is acceptance criterion (a): a
+// canceled context stops a high-contention Run within one retry
 // iteration, with no locks held, and Health counts the abandonment.
-func TestSystemAtomicCtxCancelUnderLivelock(t *testing.T) {
+func TestSystemRunCancelUnderLivelock(t *testing.T) {
 	sys := NewSystem(Config{Threads: 2, EagerWriteLock: true})
 	// A permanent spurious-abort schedule turns the transaction into an
 	// abort/retry livelock that only cancellation can end.
@@ -48,7 +48,7 @@ func TestSystemAtomicCtxCancelUnderLivelock(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- sys.AtomicCtx(ctx, 0, 0, func(tx *Tx) error {
+		done <- sys.Run(ctx, 0, 0, func(tx *Tx) error {
 			Write(tx, v, Read(tx, v)+1)
 			return nil
 		})
@@ -61,7 +61,7 @@ func TestSystemAtomicCtxCancelUnderLivelock(t *testing.T) {
 			t.Fatalf("err = %v, want context.Canceled", err)
 		}
 	case <-time.After(5 * time.Second):
-		t.Fatal("AtomicCtx kept retrying after cancel")
+		t.Fatal("Run kept retrying after cancel")
 	}
 	if _, locked := v.LockState(); locked {
 		t.Fatal("canceled transaction left its lock held")
@@ -94,7 +94,7 @@ func TestSystemRetryBudgetDeterministicConflict(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		done <- sys.AtomicCtx(WithRetryBudget(context.Background(), budget), 0, 0, func(tx *Tx) error {
+		done <- sys.Run(WithRetryBudget(context.Background(), budget), 0, 0, func(tx *Tx) error {
 			attempts.Add(1)
 			_ = Read(tx, x) // records x's version in the read set
 			bodyRead <- struct{}{}
@@ -105,7 +105,7 @@ func TestSystemRetryBudgetDeterministicConflict(t *testing.T) {
 	}()
 	for i := 0; i < budget; i++ {
 		<-bodyRead
-		if err := sys.Atomic(1, 1, func(tx *Tx) error {
+		if err := sys.Run(nil, 1, 1, func(tx *Tx) error {
 			Write(tx, x, Read(tx, x)+1)
 			return nil
 		}); err != nil {
@@ -161,7 +161,7 @@ func TestWatchdogFallbackOnAdversarialModel(t *testing.T) {
 			go func(w int) {
 				defer wg.Done()
 				for i := 0; i < iters; i++ {
-					_ = sys.Atomic(ThreadID(w), TxnID(w), func(tx *Tx) error {
+					_ = sys.Run(nil, ThreadID(w), TxnID(w), func(tx *Tx) error {
 						Write(tx, vars[w], Read(tx, vars[w])+1)
 						return nil
 					})
@@ -248,7 +248,7 @@ func TestReconfigureUnderLoad(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
-				if err := sys.Atomic(ThreadID(w), TxnID(w), func(tx *Tx) error {
+				if err := sys.Run(nil, ThreadID(w), TxnID(w), func(tx *Tx) error {
 					Write(tx, vars[w], Read(tx, vars[w])+1)
 					Write(tx, shared, Read(tx, shared)+1)
 					return nil
@@ -314,7 +314,7 @@ done:
 // don't: unguided systems, and guidance without a watchdog.
 func TestHealthSnapshotShape(t *testing.T) {
 	sys := NewSystem(Config{Threads: 2})
-	if err := sys.Atomic(0, 0, func(tx *Tx) error { return nil }); err != nil {
+	if err := sys.Run(nil, 0, 0, func(tx *Tx) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	h := sys.Health()

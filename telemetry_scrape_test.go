@@ -2,6 +2,7 @@ package gstm_test
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"gstm"
 	"gstm/internal/harness"
@@ -87,7 +89,15 @@ func TestServeTelemetryScrapeMatchesHarness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	// Graceful shutdown drains in-flight scrapes and frees the port at
+	// once, so later tests (or a re-run) can rebind without a flake.
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("telemetry shutdown: %v", err)
+		}
+	}()
 	base := fmt.Sprintf("http://%s", srv.BoundAddr)
 
 	// /metrics: the process-wide commit counter must cover every commit the
