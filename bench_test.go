@@ -633,9 +633,9 @@ func BenchmarkAblationAdaptiveGuidance(b *testing.B) {
 						}
 						traces = append(traces, sys.StopProfiling())
 					}
-					sys.ForceGuidance(gstm.BuildModel(threads, traces), gstm.GuidanceOptions{Tfactor: 2})
+					sys.ForceGuidance(gstm.BuildModel(threads, traces), gstm.WithTfactor(2))
 				case "adaptive-cold":
-					sys.EnableAdaptiveGuidance(nil, gstm.GuidanceOptions{Tfactor: 2}, 1024)
+					sys.EnableAdaptiveGuidance(nil, gstm.WithTfactor(2), gstm.WithRecompileEvery(1024))
 				}
 				sys.ResetStats()
 				var measured []*gstm.Trace

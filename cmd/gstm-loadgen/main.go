@@ -4,7 +4,10 @@
 // p50/p95/p99 latency, with variance as the coefficient of variation of
 // per-run throughput and p95. With -out it writes the full comparison as
 // BENCH_server.json. With -once it performs a single run in whatever mode
-// the server is in (used by CI's server-smoke job).
+// the server is in (used by CI's server-smoke job), reporting aggregate
+// and — against a sharded server — per-shard completion spread. With
+// -shard-bench it ignores -addr, boots in-process servers itself, and
+// sweeps shard counts × workloads into BENCH_shard.json.
 package main
 
 import (
@@ -30,10 +33,17 @@ func main() {
 		putPct   = flag.Int("put", 5, "percent PUT")
 		delPct   = flag.Int("del", 5, "percent DEL (remainder is ADD)")
 		seed     = flag.Uint64("seed", 0xC0FFEE, "workload seed")
+		window   = flag.Int("window", 0, "pipeline depth per connection (0/1 = synchronous request/response)")
 		once     = flag.Bool("once", false, "single run in the server's current mode; skip the guided/unguided comparison")
-		out      = flag.String("out", "", "write the comparison report as JSON to this file (e.g. BENCH_server.json)")
+		shBench  = flag.Bool("shard-bench", false, "sweep shard counts x workloads against in-process servers (ignores -addr)")
+		out      = flag.String("out", "", "write the report as JSON to this file (BENCH_server.json / BENCH_shard.json)")
 	)
 	flag.Parse()
+
+	if *shBench {
+		shardBench(*runs, *out)
+		return
+	}
 
 	load := server.LoadConfig{
 		Addr:       *addr,
@@ -46,15 +56,28 @@ func main() {
 		PutPct:     *putPct,
 		DelPct:     *delPct,
 		Seed:       *seed,
+		Window:     *window,
 	}
 
 	if *once {
+		// Against a sharded server, attribute traffic per shard and report
+		// the per-shard completion spread next to the aggregate one.
+		if ctl, err := server.Dial(*addr); err == nil {
+			if n, err := ctl.Info(server.InfoShards); err == nil {
+				load.Shards = int(n)
+			}
+			ctl.Close()
+		}
 		st, err := server.RunLoad(load)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("ops=%d errors=%d throughput=%.0f ops/s p50=%.1fus p95=%.1fus p99=%.1fus\n",
 			st.Ops, st.Errors, st.Throughput, st.P50us, st.P95us, st.P99us)
+		if len(st.ShardOps) > 0 {
+			fmt.Printf("spread: conns %.2f%%  shards %.2f%%  per-shard ops %v\n",
+				st.ConnSpreadPct, st.ShardSpreadPct, st.ShardOps)
+		}
 		if st.Ops == 0 {
 			fatal(fmt.Errorf("no operations completed"))
 		}
@@ -90,6 +113,30 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "gstm-loadgen: wrote %s\n", *out)
+	}
+}
+
+// shardBench runs the in-process shard sweep and writes BENCH_shard.json.
+func shardBench(runs int, out string) {
+	cfg := server.ShardBenchConfig{Runs: runs, Progress: os.Stderr}
+	fmt.Fprintln(os.Stderr, "gstm-loadgen: shard sweep (1/2/4/8 shards x write-heavy,mixed; pipelined fixed-work runs)")
+	rep, err := server.BenchShards(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, wr := range rep.Workloads {
+		fmt.Printf("%s: guided 4-shard speedup %.2fx, unguided %.2fx\n",
+			wr.Workload.Name, wr.GuidedSpeedup4x, wr.UnguidedSpeedup4x)
+	}
+	if out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gstm-loadgen: wrote %s\n", out)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 func main() {
 	var (
 		addr          = flag.String("addr", "127.0.0.1:7900", "TCP listen address (\":0\" picks a free port)")
+		shards        = flag.Int("shards", 1, "independent STM shards the keyspace is hash-partitioned across")
 		workers       = flag.Int("workers", 4, "execution pool size; worker i is STM thread i")
 		batch         = flag.Int("batch", 8, "max same-kind disjoint-key ops coalesced per transaction (1 disables batching)")
 		buckets       = flag.Int("buckets", 4096, "hash table buckets")
@@ -48,6 +49,7 @@ func main() {
 
 	cfg := server.Config{
 		Addr:          *addr,
+		Shards:        *shards,
 		Workers:       *workers,
 		Batch:         *batch,
 		Buckets:       *buckets,
@@ -79,8 +81,8 @@ func main() {
 	if err := s.Start(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "gstm-server: listening on %s (%d workers, batch %d, mode %s)\n",
-		s.Addr(), *workers, *batch, s.Mode())
+	fmt.Fprintf(os.Stderr, "gstm-server: listening on %s (%d shards, %d workers, batch %d, mode %s)\n",
+		s.Addr(), s.Shards(), *workers, *batch, s.Mode())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -97,7 +99,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gstm-server: telemetry drain:", err)
 		}
 	}
-	commits, aborts := s.System().Stats()
+	commits, aborts := s.Router().Stats()
 	fmt.Fprintf(os.Stderr, "gstm-server: done (mode %s, %d commits, %d aborts)\n", s.Mode(), commits, aborts)
 }
 

@@ -29,13 +29,3 @@ var ErrCanceled = retry.ErrCanceled
 // "unguidable" verdict) and ForceGuidance is not used. The returned error
 // wraps this sentinel together with the analyzer's reason.
 var ErrGuidanceRejected = errors.New("gstm: model rejected by analyzer")
-
-// ErrRetryBudgetExceeded is the historical name of ErrRetryBudgetExhausted.
-//
-// Deprecated: use ErrRetryBudgetExhausted.
-var ErrRetryBudgetExceeded = ErrRetryBudgetExhausted
-
-// ErrUnguidable is the historical name of ErrGuidanceRejected.
-//
-// Deprecated: use ErrGuidanceRejected.
-var ErrUnguidable = ErrGuidanceRejected

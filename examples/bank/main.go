@@ -124,9 +124,9 @@ func main() {
 	sys.DisableGuidance()
 	measure("default")
 
-	if err := sys.EnableGuidance(m, gstm.GuidanceOptions{Tfactor: 2}); err != nil {
+	if err := sys.EnableGuidance(m, gstm.WithTfactor(2)); err != nil {
 		fmt.Printf("guidance rejected: %v — forcing for demonstration\n", err)
-		sys.ForceGuidance(m, gstm.GuidanceOptions{Tfactor: 2})
+		sys.ForceGuidance(m, gstm.WithTfactor(2))
 	}
 	measure("guided")
 	passed, held, escaped := sys.GateStats()

@@ -140,7 +140,7 @@ func main() {
 
 	report("default", playFrames(sys, newGame()))
 
-	sys.ForceGuidance(m, gstm.GuidanceOptions{Tfactor: 2})
+	sys.ForceGuidance(m, gstm.WithTfactor(2))
 	report("guided", playFrames(sys, newGame()))
 	passed, held, escaped := sys.GateStats()
 	fmt.Printf("gate decisions: %d passed, %d held, %d escaped\n", passed, held, escaped)

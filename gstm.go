@@ -29,7 +29,7 @@
 //	}
 //
 //	// 4. Guided execution.
-//	sys.EnableGuidance(m, gstm.GuidanceOptions{})
+//	sys.EnableGuidance(m, gstm.WithTfactor(4))
 //	runWorkload(sys)
 //
 // Shared state lives in Var[T] and Array[T] cells accessed with Read and
@@ -60,7 +60,7 @@ type TxnID = txid.TxnID
 type Pair = txid.Pair
 
 // Tx is a transaction attempt passed to the function given to
-// System.Atomic.
+// System.Run.
 type Tx = tl2.Tx
 
 // Var is a transactional memory cell of type T.

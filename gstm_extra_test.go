@@ -83,7 +83,7 @@ func TestForceGuidanceReplacesScheduler(t *testing.T) {
 	runCounterWorkload(sys, threads, 50, v)
 	m := gstm.BuildModel(threads, []*gstm.Trace{sys.StopProfiling()})
 
-	sys.ForceGuidance(m, gstm.GuidanceOptions{})
+	sys.ForceGuidance(m)
 	if !sys.Guided() {
 		t.Fatal("guidance not installed")
 	}
@@ -138,7 +138,7 @@ func TestAnalyzeMatchesEnableDecision(t *testing.T) {
 	}
 	m := gstm.BuildModel(threads, traces)
 	rep := gstm.Analyze(m)
-	err := sys.EnableGuidance(m, gstm.GuidanceOptions{})
+	err := sys.EnableGuidance(m)
 	if rep.Guidable && err != nil {
 		t.Fatalf("analyzer accepts but EnableGuidance fails: %v", err)
 	}
@@ -149,7 +149,7 @@ func TestAnalyzeMatchesEnableDecision(t *testing.T) {
 
 func TestAdaptiveGuidanceThroughPublicAPI(t *testing.T) {
 	sys := gstm.NewSystem(gstm.Config{Threads: 4, Interleave: 4})
-	ad := sys.EnableAdaptiveGuidance(nil, gstm.GuidanceOptions{Tfactor: 2}, 128)
+	ad := sys.EnableAdaptiveGuidance(nil, gstm.WithTfactor(2), gstm.WithRecompileEvery(128))
 	if ad == nil {
 		t.Fatal("nil adaptive controller")
 	}

@@ -57,7 +57,7 @@ func TestFourPhaseWorkflow(t *testing.T) {
 		rep.States, rep.Metric, rep.Guidable)
 
 	// Phase 4: guided execution stays correct.
-	sys.ForceGuidance(m, gstm.GuidanceOptions{})
+	sys.ForceGuidance(m)
 	if !sys.Guided() {
 		t.Fatal("Guided() = false after ForceGuidance")
 	}
@@ -91,9 +91,9 @@ func TestStopProfilingWithoutStart(t *testing.T) {
 func TestEnableGuidanceRejectsTinyModel(t *testing.T) {
 	sys := gstm.NewSystem(gstm.Config{Threads: 2})
 	m := gstm.BuildModel(2, nil)
-	err := sys.EnableGuidance(m, gstm.GuidanceOptions{})
-	if !errors.Is(err, gstm.ErrUnguidable) {
-		t.Fatalf("err = %v, want ErrUnguidable", err)
+	err := sys.EnableGuidance(m)
+	if !errors.Is(err, gstm.ErrGuidanceRejected) {
+		t.Fatalf("err = %v, want ErrGuidanceRejected", err)
 	}
 	if sys.Guided() {
 		t.Fatal("guidance installed despite rejection")

@@ -1,0 +1,58 @@
+package gstm
+
+// GuidanceOption configures one guidance installation (EnableGuidance,
+// ForceGuidance or EnableAdaptiveGuidance), mirroring the TxOption style of
+// Run. Options are plain values; a []GuidanceOption built once may be
+// reused across installs.
+type GuidanceOption func(*guidanceSettings)
+
+type guidanceSettings struct {
+	tfactor        float64
+	gateRetries    int
+	watchdog       *WatchdogOptions
+	recompileEvery int
+}
+
+func applyGuidanceOptions(opts []GuidanceOption) guidanceSettings {
+	var set guidanceSettings
+	for _, o := range opts {
+		o(&set)
+	}
+	return set
+}
+
+// WithTfactor sets the paper's Tfactor: the highest outbound probability is
+// divided by it to obtain the destination-set threshold. Zero (the default)
+// selects the paper's value of 4.
+func WithTfactor(t float64) GuidanceOption {
+	return func(s *guidanceSettings) { s.tfactor = t }
+}
+
+// WithGateRetries sets the paper's k: how many times a held-back thread is
+// re-checked before being forced through. Zero (the default) selects the
+// engine default.
+func WithGateRetries(k int) GuidanceOption {
+	return func(s *guidanceSettings) { s.gateRetries = k }
+}
+
+// WithWatchdog arms the guidance watchdog: a circuit breaker that samples
+// gate escape/hold rates and the abort rate over sliding windows and trips
+// guidance into pass-through mode when the model is degrading execution —
+// the runtime analogue of the analyzer's offline rejection. The zero
+// WatchdogOptions value selects sound defaults; System.Health reports the
+// breaker state and System.Mode refines ModeGuided to ModeDegraded while
+// it is tripped.
+func WithWatchdog(w WatchdogOptions) GuidanceOption {
+	return func(s *guidanceSettings) {
+		wd := w
+		s.watchdog = &wd
+	}
+}
+
+// WithRecompileEvery sets how many automaton state changes adaptive
+// guidance accumulates before recompiling its guide table (0 selects the
+// default). Only EnableAdaptiveGuidance consults it; the offline installs
+// ignore it.
+func WithRecompileEvery(n int) GuidanceOption {
+	return func(s *guidanceSettings) { s.recompileEvery = n }
+}

@@ -175,11 +175,11 @@ func RunBenchmark(w stamp.Workload, cfg Config) (*Result, error) {
 	res.Default = *d
 
 	guidedSys := gstm.NewSystem(gstm.Config{Threads: cfg.Threads, Interleave: cfg.Interleave})
-	guidedSys.ForceGuidance(res.Model, gstm.GuidanceOptions{
-		Tfactor:     cfg.Tfactor,
-		GateRetries: cfg.GateRetries,
-		Watchdog:    cfg.Watchdog,
-	})
+	gopts := []gstm.GuidanceOption{gstm.WithTfactor(cfg.Tfactor), gstm.WithGateRetries(cfg.GateRetries)}
+	if cfg.Watchdog != nil {
+		gopts = append(gopts, gstm.WithWatchdog(*cfg.Watchdog))
+	}
+	guidedSys.ForceGuidance(res.Model, gopts...)
 	g, err := measureSide(guidedSys, w, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: guided side: %w", w.Name(), err)

@@ -126,7 +126,13 @@ func (c *Client) Ctl(cmd CtlCommand, arg uint64) error {
 
 // Info reads one server gauge.
 func (c *Client) Info(sel InfoSelector) (uint64, error) {
-	st, v, err := c.Do(OpInfo, uint64(sel), 0)
+	return c.InfoArg(sel, 0)
+}
+
+// InfoArg reads one server gauge with an argument — the shard index for
+// the per-shard selectors (InfoShardMode, InfoShardCommits, ...).
+func (c *Client) InfoArg(sel InfoSelector, arg uint64) (uint64, error) {
+	st, v, err := c.Do(OpInfo, uint64(sel), arg)
 	if err != nil {
 		return 0, err
 	}

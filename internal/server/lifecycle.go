@@ -8,56 +8,42 @@ import (
 )
 
 // ServingMode is the lifecycle's externally visible state, reported by
-// OpInfo(InfoMode).
-type ServingMode uint32
+// OpInfo(InfoMode). It is the package-level gstm.Mode: the server overlays
+// the two transitional states only a lifecycle driver can know
+// (ModeTraining, ModeRejected) on top of the states gstm.System.Mode
+// derives itself.
+type ServingMode = gstm.Mode
 
 const (
 	// ModeUnguided: plain TL2, no profiling (forced via CtlModeUnguided,
 	// or configured at start).
-	ModeUnguided ServingMode = 0
+	ModeUnguided = gstm.ModeUnguided
 	// ModeProfiling: serving unguided while the collector captures the
 	// transaction sequence of live traffic.
-	ModeProfiling ServingMode = 1
+	ModeProfiling = gstm.ModeProfiling
 	// ModeTraining: profiling finished; the model is being built and
 	// analyzed in the background while serving continues unguided.
-	ModeTraining ServingMode = 2
+	ModeTraining = gstm.ModeTraining
 	// ModeGuided: a model passed (or was forced) and the guidance gate is
 	// installed — the hot-swap happened under load.
-	ModeGuided ServingMode = 3
+	ModeGuided = gstm.ModeGuided
 	// ModeRejected: the analyzer rejected the trained model
 	// (gstm.ErrGuidanceRejected); serving stays unguided. The reason is
 	// kept for RejectReason.
-	ModeRejected ServingMode = 4
+	ModeRejected = gstm.ModeRejected
 	// ModeDegraded: guided, but the watchdog has tripped guidance into
 	// pass-through. Derived in Server.Mode, never stored.
-	ModeDegraded ServingMode = 5
+	ModeDegraded = gstm.ModeDegraded
 )
 
-func (m ServingMode) String() string {
-	switch m {
-	case ModeUnguided:
-		return "unguided"
-	case ModeProfiling:
-		return "profiling"
-	case ModeTraining:
-		return "training"
-	case ModeGuided:
-		return "guided"
-	case ModeRejected:
-		return "rejected"
-	case ModeDegraded:
-		return "degraded"
-	default:
-		return "unknown"
-	}
-}
-
 // lifecycle drives the paper's profile → model → analyze → guided flow
-// over live traffic. Workers call noteOps on every committed batch; the
-// worker that crosses a slice boundary finalizes the trace, and the one
-// that completes the last slice kicks off background training. Control
-// commands can reset the machine at any time; a generation counter makes
-// stale background training results no-ops.
+// over live traffic for ONE shard's System. Workers call noteOps on every
+// committed batch; the worker that crosses a slice boundary finalizes the
+// trace, and the one that completes the last slice kicks off background
+// training. Control commands can reset the machine at any time; a
+// generation counter makes stale background training results no-ops. Each
+// shard owns an independent lifecycle, so one shard's rejected model never
+// holds back a neighbor's hot-swap.
 type lifecycle struct {
 	sys *gstm.System
 	cfg *Config
@@ -113,6 +99,21 @@ func (lc *lifecycle) startAuto(profileOps int) {
 	lc.mode.Store(uint32(ModeProfiling))
 }
 
+// forceReject parks the shard in ModeRejected with the given reason:
+// guidance uninstalled, profiling off, serving continues unguided. Used by
+// the CtlShardReject control command (and tests) to exercise the
+// one-shard-rejected-neighbors-guided topology on demand.
+func (lc *lifecycle) forceReject(reason string) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.gen++
+	lc.sys.StopProfiling()
+	lc.sys.DisableGuidance()
+	lc.traces = nil
+	lc.reason = reason
+	lc.mode.Store(uint32(ModeRejected))
+}
+
 // noteOps credits n committed operations to the current profiling slice.
 // Cheap when not profiling: one atomic load.
 func (lc *lifecycle) noteOps(n int) {
@@ -159,11 +160,11 @@ func (lc *lifecycle) train(gen uint64, traces []*gstm.Trace) {
 	}
 	if lc.cfg.ForceGuidance {
 		lc.lastModel = m
-		lc.sys.ForceGuidance(m, opts)
+		lc.sys.ForceGuidance(m, opts...)
 		lc.mode.Store(uint32(ModeGuided))
 		return
 	}
-	if err := lc.sys.EnableGuidance(m, opts); err != nil {
+	if err := lc.sys.EnableGuidance(m, opts...); err != nil {
 		lc.reason = err.Error()
 		lc.mode.Store(uint32(ModeRejected))
 		return
@@ -172,12 +173,15 @@ func (lc *lifecycle) train(gen uint64, traces []*gstm.Trace) {
 	lc.mode.Store(uint32(ModeGuided))
 }
 
-func (lc *lifecycle) guidanceOptions() gstm.GuidanceOptions {
-	return gstm.GuidanceOptions{
-		Tfactor:     lc.cfg.Tfactor,
-		GateRetries: lc.cfg.GateRetries,
-		Watchdog:    lc.cfg.Watchdog,
+func (lc *lifecycle) guidanceOptions() []gstm.GuidanceOption {
+	opts := []gstm.GuidanceOption{
+		gstm.WithTfactor(lc.cfg.Tfactor),
+		gstm.WithGateRetries(lc.cfg.GateRetries),
 	}
+	if lc.cfg.Watchdog != nil {
+		opts = append(opts, gstm.WithWatchdog(*lc.cfg.Watchdog))
+	}
+	return opts
 }
 
 // reinstallGuided force-installs the most recently trained model without
@@ -190,7 +194,7 @@ func (lc *lifecycle) reinstallGuided() bool {
 	}
 	lc.gen++
 	lc.sys.StopProfiling()
-	lc.sys.ForceGuidance(lc.lastModel, lc.guidanceOptions())
+	lc.sys.ForceGuidance(lc.lastModel, lc.guidanceOptions()...)
 	lc.mode.Store(uint32(ModeGuided))
 	return true
 }

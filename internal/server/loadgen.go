@@ -1,12 +1,16 @@
 package server
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"math"
+	"net"
 	"sort"
 	"sync"
 	"time"
 
+	"gstm/internal/shard"
 	"gstm/internal/stats"
 	"gstm/internal/xrand"
 )
@@ -28,6 +32,18 @@ type LoadConfig struct {
 	// contended read-modify-write pattern guidance pays off on).
 	GetPct, PutPct, DelPct int
 	Seed                   uint64
+	// Window > 1 switches a connection from synchronous request/response
+	// to pipelining: up to Window requests outstanding per connection.
+	// Pipelining takes the network round-trip off the critical path, so
+	// throughput measures the server's STM, not the wire — it is how the
+	// shard bench saturates the commit path. Per-op latency quantiles are
+	// not recorded in this mode (a frame's wait time measures queue depth,
+	// not service time).
+	Window int
+	// Shards, when > 0, makes the run attribute each issued operation to
+	// its home shard (the router's hash) and fill RunStats.ShardOps /
+	// ShardSpreadPct — the client-side view of keyspace balance.
+	Shards int
 }
 
 func (cfg LoadConfig) normalize() LoadConfig {
@@ -72,6 +88,11 @@ type RunStats struct {
 	// run, so it divides out — this is the serving analogue of the
 	// paper's per-thread execution-time dispersion.
 	ConnSpreadPct float64 `json:"conn_spread_pct,omitempty"`
+	// ShardOps counts issued operations by home shard and ShardSpreadPct
+	// is their relative dispersion (100 * std/mean) — both filled only
+	// when LoadConfig.Shards > 0.
+	ShardOps       []uint64 `json:"shard_ops,omitempty"`
+	ShardSpreadPct float64  `json:"shard_spread_pct,omitempty"`
 }
 
 // RunLoad drives one run — fixed-work when OpsPerConn > 0, otherwise
@@ -80,12 +101,6 @@ type RunStats struct {
 func RunLoad(cfg LoadConfig) (RunStats, error) {
 	cfg = cfg.normalize()
 
-	type connOut struct {
-		ops, errs uint64
-		lats      []float64 // µs
-		took      float64   // seconds, fixed-work mode
-		err       error
-	}
 	outs := make([]connOut, cfg.Conns)
 	start := make(chan struct{})
 	var wg sync.WaitGroup
@@ -93,40 +108,11 @@ func RunLoad(cfg LoadConfig) (RunStats, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out := &outs[i]
-			cl, err := Dial(cfg.Addr)
-			if err != nil {
-				out.err = err
-				return
+			if cfg.Window > 1 {
+				pipeConn(cfg, i, &outs[i], start)
+			} else {
+				syncConn(cfg, i, &outs[i], start)
 			}
-			defer cl.Close()
-			r := xrand.NewThread(cfg.Seed, i)
-			out.lats = make([]float64, 0, 1<<14)
-			<-start
-			begin := time.Now()
-			deadline := begin.Add(cfg.Duration)
-			for {
-				if cfg.OpsPerConn > 0 {
-					if out.ops >= uint64(cfg.OpsPerConn) {
-						break
-					}
-				} else if !time.Now().Before(deadline) {
-					break
-				}
-				op, key, arg := nextOp(r, cfg)
-				t0 := time.Now()
-				st, _, err := cl.Do(op, key, arg)
-				if err != nil {
-					out.err = err
-					return
-				}
-				out.lats = append(out.lats, float64(time.Since(t0).Nanoseconds())/1e3)
-				out.ops++
-				if st != StatusOK && st != StatusNotFound {
-					out.errs++
-				}
-			}
-			out.took = time.Since(begin).Seconds()
 		}(i)
 	}
 	close(start)
@@ -136,6 +122,9 @@ func RunLoad(cfg LoadConfig) (RunStats, error) {
 
 	var res RunStats
 	var all, took []float64
+	if cfg.Shards > 0 {
+		res.ShardOps = make([]uint64, cfg.Shards)
+	}
 	for i := range outs {
 		if outs[i].err != nil {
 			return res, fmt.Errorf("conn %d: %w", i, outs[i].err)
@@ -144,6 +133,9 @@ func RunLoad(cfg LoadConfig) (RunStats, error) {
 		res.Errors += outs[i].errs
 		all = append(all, outs[i].lats...)
 		took = append(took, outs[i].took)
+		for s, n := range outs[i].shardOps {
+			res.ShardOps[s] += n
+		}
 	}
 	res.DurationS = elapsed.Seconds()
 	res.Throughput = float64(res.Ops) / elapsed.Seconds()
@@ -152,11 +144,147 @@ func RunLoad(cfg LoadConfig) (RunStats, error) {
 			res.ConnSpreadPct = 100 * stats.CoefficientOfVariation(took)
 		}
 	}
+	if len(res.ShardOps) > 0 {
+		per := make([]float64, len(res.ShardOps))
+		for s, n := range res.ShardOps {
+			per[s] = float64(n)
+		}
+		res.ShardSpreadPct = 100 * stats.CoefficientOfVariation(per)
+	}
 	sort.Float64s(all)
 	res.P50us = stats.Percentile(all, 50)
 	res.P95us = stats.Percentile(all, 95)
 	res.P99us = stats.Percentile(all, 99)
 	return res, nil
+}
+
+// connOut is one connection's contribution to a run.
+type connOut struct {
+	ops, errs uint64
+	lats      []float64 // µs, synchronous mode only
+	took      float64   // seconds, fixed-work mode
+	shardOps  []uint64  // ops by home shard, when LoadConfig.Shards > 0
+	err       error
+}
+
+func (o *connOut) noteShard(cfg LoadConfig, key uint64) {
+	if cfg.Shards > 0 {
+		if o.shardOps == nil {
+			o.shardOps = make([]uint64, cfg.Shards)
+		}
+		o.shardOps[shard.HomeOf(key, cfg.Shards)]++
+	}
+}
+
+// syncConn is the classic one-outstanding-request connection loop.
+func syncConn(cfg LoadConfig, i int, out *connOut, start <-chan struct{}) {
+	cl, err := Dial(cfg.Addr)
+	if err != nil {
+		out.err = err
+		return
+	}
+	defer cl.Close()
+	r := xrand.NewThread(cfg.Seed, i)
+	out.lats = make([]float64, 0, 1<<14)
+	<-start
+	begin := time.Now()
+	deadline := begin.Add(cfg.Duration)
+	for {
+		if cfg.OpsPerConn > 0 {
+			if out.ops >= uint64(cfg.OpsPerConn) {
+				break
+			}
+		} else if !time.Now().Before(deadline) {
+			break
+		}
+		op, key, arg := nextOp(r, cfg)
+		out.noteShard(cfg, key)
+		t0 := time.Now()
+		st, _, err := cl.Do(op, key, arg)
+		if err != nil {
+			out.err = err
+			return
+		}
+		out.lats = append(out.lats, float64(time.Since(t0).Nanoseconds())/1e3)
+		out.ops++
+		if st != StatusOK && st != StatusNotFound {
+			out.errs++
+		}
+	}
+	out.took = time.Since(begin).Seconds()
+}
+
+// pipeConn keeps up to cfg.Window requests in flight on one connection:
+// fill the window with encoded frames in one write, block for one
+// response, then opportunistically drain whatever else has arrived. In
+// timed mode it stops issuing at the deadline and drains the window
+// before returning, so every counted op has a received response.
+func pipeConn(cfg LoadConfig, i int, out *connOut, start <-chan struct{}) {
+	nc, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		out.err = err
+		return
+	}
+	defer nc.Close()
+	br := bufio.NewReaderSize(nc, 2*cfg.Window*RespFrameLen)
+	r := xrand.NewThread(cfg.Seed, i)
+	var buf []byte
+	frame := make([]byte, RespFrameLen)
+	sent, recvd := 0, 0
+	<-start
+	begin := time.Now()
+	deadline := begin.Add(cfg.Duration)
+	recvOne := func() bool {
+		if _, err := io.ReadFull(br, frame); err != nil {
+			out.err = err
+			return false
+		}
+		if resp, err := DecodeResponse(frame[4:]); err != nil {
+			out.err = err
+			return false
+		} else if resp.Status != StatusOK && resp.Status != StatusNotFound {
+			out.errs++
+		}
+		recvd++
+		return true
+	}
+	for {
+		issuing := true
+		if cfg.OpsPerConn > 0 {
+			if recvd >= cfg.OpsPerConn {
+				break
+			}
+			issuing = sent < cfg.OpsPerConn
+		} else if !time.Now().Before(deadline) {
+			if sent == recvd {
+				break
+			}
+			issuing = false
+		}
+		buf = buf[:0]
+		for issuing && sent-recvd < cfg.Window {
+			op, key, arg := nextOp(r, cfg)
+			out.noteShard(cfg, key)
+			sent++
+			buf = AppendRequest(buf, Request{Op: op, ID: uint32(sent), Key: key, Arg: arg})
+		}
+		if len(buf) > 0 {
+			if _, err := nc.Write(buf); err != nil {
+				out.err = err
+				return
+			}
+		}
+		if !recvOne() {
+			return
+		}
+		for br.Buffered() >= RespFrameLen && recvd < sent {
+			if !recvOne() {
+				return
+			}
+		}
+	}
+	out.ops = uint64(recvd)
+	out.took = time.Since(begin).Seconds()
 }
 
 // nextOp draws one operation from the configured mix and key skew.

@@ -55,22 +55,35 @@ const (
 	// latency histograms) so a load run measures only itself.
 	CtlReset CtlCommand = 2
 	// CtlModeGuided re-installs the most recently trained model without
-	// re-profiling (StatusUnguidable when none has been trained yet). With
-	// CtlModeUnguided this lets a benchmark alternate modes run by run, so
-	// both sample the same machine-noise window.
+	// re-profiling (StatusUnguidable when none has been trained yet on any
+	// shard). With CtlModeUnguided this lets a benchmark alternate modes
+	// run by run, so both sample the same machine-noise window.
 	CtlModeGuided CtlCommand = 3
+	// CtlShardReject force-rejects shard Arg's guidance lifecycle: its
+	// model is dropped and the shard latches ModeRejected, serving
+	// unguided while its neighbors keep their gates. StatusBadRequest for
+	// an out-of-range shard. Exists to exercise the partial-degradation
+	// topology on a live server (chaos drills, tests).
+	CtlShardReject CtlCommand = 4
 )
 
 // InfoSelector values travel in the Key field of an OpInfo request.
 type InfoSelector uint64
 
 const (
-	InfoCommits    InfoSelector = 0 // cumulative committed transactions
-	InfoAborts     InfoSelector = 1 // cumulative aborted attempts
-	InfoMode       InfoSelector = 2 // current ServingMode
+	InfoCommits    InfoSelector = 0 // cumulative committed transactions, all shards
+	InfoAborts     InfoSelector = 1 // cumulative aborted attempts, all shards
+	InfoMode       InfoSelector = 2 // aggregate ServingMode (see Server.Mode)
 	InfoBatches    InfoSelector = 3 // transactions executed by workers
 	InfoBatchedOps InfoSelector = 4 // operations carried by those transactions
 	InfoKeys       InfoSelector = 5 // live keys in the store
+
+	// Per-shard selectors: Arg carries the shard index (StatusBadRequest
+	// when out of range).
+	InfoShards       InfoSelector = 6 // shard count
+	InfoShardMode    InfoSelector = 7 // shard Arg's ServingMode
+	InfoShardCommits InfoSelector = 8 // shard Arg's committed transactions
+	InfoShardAborts  InfoSelector = 9 // shard Arg's aborted attempts
 )
 
 // Status is a response status code. The server maps gstm's error

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"gstm"
+	"gstm/internal/shard"
 	"gstm/internal/stmds"
 )
 
@@ -21,17 +22,28 @@ type Config struct {
 	// Server.Addr for the bound one).
 	Addr string
 
+	// Shards is the number of independent STM Systems the keyspace is
+	// hash-partitioned across (default 1). Each shard runs its own TL2
+	// runtime with a private version clock, its own store partition, its
+	// own guidance lifecycle and its own telemetry label ("shard<i>"), so
+	// one shard's conflicts, clock traffic or rejected model never touch a
+	// neighbor.
+	Shards int
+
 	// Workers sizes the execution pool. Worker i runs every one of its
-	// transactions as gstm.ThreadID(i), so the profiled Thread State
-	// Automaton keeps the paper's thread identity over live traffic.
+	// transactions as gstm.ThreadID(i) — on whichever shard a key routes
+	// to — so each shard's profiled Thread State Automaton keeps the
+	// paper's thread identity over live traffic.
 	Workers int
 
 	// Batch is the maximum number of queued same-site, disjoint-key
 	// operations coalesced into one transaction (default 8; 1 disables
-	// batching).
+	// batching). A batch spanning several shards executes as one
+	// transaction per shard (see DESIGN.md "Sharding").
 	Batch int
 
-	// Buckets sizes the hash table (default 4096).
+	// Buckets sizes the hash table across all shards (default 4096); each
+	// shard's partition gets Buckets/Shards of them.
 	Buckets int
 
 	// QueueDepth is the per-worker request queue depth (default 256).
@@ -41,26 +53,29 @@ type Config struct {
 	// ProfileOps is how many committed operations one profiling slice
 	// spans (default 2048); ProfileSlices is how many sliced traces are
 	// collected before the model is trained (default 4). Together they are
-	// the serving analogue of the paper's repeated profiling runs.
+	// the serving analogue of the paper's repeated profiling runs. Each
+	// shard counts its own operations and walks the lifecycle at its own
+	// pace.
 	ProfileOps    int
 	ProfileSlices int
 
 	// MaxAttempts bounds attempts per batch transaction; exhaustion maps
-	// to StatusBudget on every operation in the batch. 0 = unlimited.
+	// to StatusBudget on every operation of that shard's sub-batch. 0 =
+	// unlimited.
 	MaxAttempts int
 
 	// ForceGuidance installs the trained model even when the analyzer
 	// rejects it (experiments and tests); otherwise rejection latches
-	// ModeRejected and the server keeps serving unguided.
+	// ModeRejected on that shard and it keeps serving unguided.
 	ForceGuidance bool
 
 	// Tfactor and GateRetries tune guidance (zero = defaults); Watchdog,
-	// when non-nil, arms the guidance watchdog on the hot-swapped gate.
+	// when non-nil, arms the guidance watchdog on every hot-swapped gate.
 	Tfactor     float64
 	GateRetries int
 	Watchdog    *gstm.WatchdogOptions
 
-	// Unguided starts the server with the lifecycle parked in
+	// Unguided starts the server with every shard's lifecycle parked in
 	// ModeUnguided instead of profiling toward guidance (CtlModeAuto can
 	// still start it later).
 	Unguided bool
@@ -72,6 +87,9 @@ type Config struct {
 func (cfg Config) normalize() Config {
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
@@ -94,17 +112,17 @@ func (cfg Config) normalize() Config {
 	return cfg
 }
 
-// Server is a network-facing transactional KV store on the guided STM.
+// Server is a network-facing transactional KV store on the guided STM,
+// hash-partitioned across cfg.Shards independent Systems.
 type Server struct {
-	cfg   Config
-	sys   *gstm.System
-	store *stmds.HashTable[uint64]
-	ln    net.Listener
+	cfg    Config
+	router *shard.Router
+	stores []*stmds.HashTable[uint64] // stores[s]: shard s's partition
+	lcs    []*lifecycle               // lcs[s]: shard s's guidance lifecycle
+	ln     net.Listener
 
 	workers []*worker
 	rr      atomic.Uint32 // round-robin dispatch cursor
-
-	lc lifecycle
 
 	// inflight tracks accepted data operations from enqueue to response
 	// write; Shutdown drains it.
@@ -125,44 +143,65 @@ type Server struct {
 	batchedOps atomic.Uint64
 }
 
-// New builds a Server (not yet listening) with its own gstm.System sized
-// to cfg.Workers.
+// New builds a Server (not yet listening) with cfg.Shards independent
+// gstm.Systems, each sized to cfg.Workers threads.
 func New(cfg Config) *Server {
 	cfg = cfg.normalize()
-	sys := gstm.NewSystem(gstm.Config{Threads: cfg.Workers, Interleave: cfg.Interleave})
 	s := &Server{
-		cfg:   cfg,
-		sys:   sys,
-		store: stmds.NewHashTable[uint64](cfg.Buckets),
+		cfg: cfg,
+		router: shard.New(shard.Config{
+			Shards:     cfg.Shards,
+			Threads:    cfg.Workers,
+			Interleave: cfg.Interleave,
+		}),
 		stop:  make(chan struct{}),
 		conns: make(map[net.Conn]struct{}),
 	}
-	s.lc.init(sys, &s.cfg)
+	buckets := cfg.Buckets / cfg.Shards
+	if buckets < 16 {
+		buckets = 16
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.stores = append(s.stores, stmds.NewHashTable[uint64](buckets))
+		lc := &lifecycle{}
+		lc.init(s.router.System(i), &s.cfg)
+		s.lcs = append(s.lcs, lc)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers = append(s.workers, newWorker(s, i))
 	}
 	return s
 }
 
-// System exposes the underlying STM system (telemetry, health) to the
-// embedding command.
-func (s *Server) System() *gstm.System { return s.sys }
+// Router exposes the shard router (per-shard Systems, key homing) to the
+// embedding command and tests.
+func (s *Server) Router() *shard.Router { return s.router }
+
+// System exposes shard 0's STM system — the whole system when the server
+// is unsharded. Multi-shard callers should walk Router().
+func (s *Server) System() *gstm.System { return s.router.System(0) }
+
+// Shards returns the shard count.
+func (s *Server) Shards() int { return s.router.Shards() }
 
 // Addr returns the bound listen address (valid after Start).
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
 // Start binds the listener, launches the worker pool and the accept loop,
-// and starts the guidance lifecycle (profiling, unless cfg.Unguided).
+// and starts every shard's guidance lifecycle (profiling, unless
+// cfg.Unguided).
 func (s *Server) Start() error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return err
 	}
 	s.ln = ln
-	if s.cfg.Unguided {
-		s.lc.forceUnguided()
-	} else {
-		s.lc.startAuto(s.cfg.ProfileOps)
+	for _, lc := range s.lcs {
+		if s.cfg.Unguided {
+			lc.forceUnguided()
+		} else {
+			lc.startAuto(s.cfg.ProfileOps)
+		}
 	}
 	for _, w := range s.workers {
 		s.wg.Add(1)
@@ -257,26 +296,45 @@ func (s *Server) serveConn(nc net.Conn) {
 	}
 }
 
-// handleControl serves the non-transactional control plane.
+// handleControl serves the non-transactional control plane. Mode commands
+// fan out to every shard's lifecycle; per-shard selectors take the shard
+// index in Arg.
 func (s *Server) handleControl(req Request) Response {
 	resp := Response{ID: req.ID}
 	switch req.Op {
 	case OpCtl:
 		switch CtlCommand(req.Key) {
 		case CtlModeUnguided:
-			s.lc.forceUnguided()
+			for _, lc := range s.lcs {
+				lc.forceUnguided()
+			}
 		case CtlModeAuto:
 			ops := int(req.Arg)
 			if ops <= 0 {
 				ops = s.cfg.ProfileOps
 			}
-			s.lc.startAuto(ops)
+			for _, lc := range s.lcs {
+				lc.startAuto(ops)
+			}
 		case CtlModeGuided:
-			if !s.lc.reinstallGuided() {
+			any := false
+			for _, lc := range s.lcs {
+				if lc.reinstallGuided() {
+					any = true
+				}
+			}
+			if !any {
 				resp.Status = StatusUnguidable
 			}
+		case CtlShardReject:
+			sh := int(req.Arg)
+			if sh < 0 || sh >= len(s.lcs) {
+				resp.Status = StatusBadRequest
+				break
+			}
+			s.lcs[sh].forceReject("forced by CtlShardReject")
 		case CtlReset:
-			s.sys.ResetStats()
+			s.router.ResetStats()
 			s.batches.Store(0)
 			s.batchedOps.Store(0)
 		default:
@@ -285,10 +343,10 @@ func (s *Server) handleControl(req Request) Response {
 	case OpInfo:
 		switch InfoSelector(req.Key) {
 		case InfoCommits:
-			c, _ := s.sys.Stats()
+			c, _ := s.router.Stats()
 			resp.Value = c
 		case InfoAborts:
-			_, a := s.sys.Stats()
+			_, a := s.router.Stats()
 			resp.Value = a
 		case InfoMode:
 			resp.Value = uint64(s.Mode())
@@ -298,6 +356,31 @@ func (s *Server) handleControl(req Request) Response {
 			resp.Value = s.batchedOps.Load()
 		case InfoKeys:
 			resp.Value = uint64(s.liveKeys.Load())
+		case InfoShards:
+			resp.Value = uint64(s.Shards())
+		case InfoShardMode:
+			sh := int(req.Arg)
+			if sh < 0 || sh >= len(s.lcs) {
+				resp.Status = StatusBadRequest
+				break
+			}
+			resp.Value = uint64(s.ShardMode(sh))
+		case InfoShardCommits:
+			sh := int(req.Arg)
+			if sh < 0 || sh >= len(s.lcs) {
+				resp.Status = StatusBadRequest
+				break
+			}
+			c, _ := s.router.System(sh).Stats()
+			resp.Value = c
+		case InfoShardAborts:
+			sh := int(req.Arg)
+			if sh < 0 || sh >= len(s.lcs) {
+				resp.Status = StatusBadRequest
+				break
+			}
+			_, a := s.router.System(sh).Stats()
+			resp.Value = a
 		default:
 			resp.Status = StatusBadRequest
 		}
@@ -305,19 +388,49 @@ func (s *Server) handleControl(req Request) Response {
 	return resp
 }
 
-// Mode reports the current serving mode, refining ModeGuided to
-// ModeDegraded while the watchdog holds guidance tripped.
-func (s *Server) Mode() ServingMode {
-	m := s.lc.currentMode()
-	if m == ModeGuided && s.sys.Health().Degraded() {
+// ShardMode reports shard sh's serving mode, refining ModeGuided to
+// ModeDegraded while that shard's watchdog holds guidance tripped.
+func (s *Server) ShardMode(sh int) ServingMode {
+	m := s.lcs[sh].currentMode()
+	if m == ModeGuided && s.router.System(sh).Health().Degraded() {
 		return ModeDegraded
 	}
 	return m
 }
 
-// RejectReason returns the analyzer's reason when the lifecycle latched
-// ModeRejected ("" otherwise).
-func (s *Server) RejectReason() string { return s.lc.rejectReason() }
+// Mode reports the aggregate serving mode. With one shard it is exactly
+// that shard's mode. Across shards — which walk their lifecycles
+// independently — the most transitional state wins: any shard still
+// profiling or training makes the aggregate ModeProfiling/ModeTraining;
+// otherwise a degraded shard reports ModeDegraded, any guided shard
+// reports ModeGuided (a rejected neighbor keeps serving unguided without
+// demoting the aggregate), then ModeRejected, then ModeUnguided.
+func (s *Server) Mode() ServingMode {
+	var seen [6]bool
+	for sh := range s.lcs {
+		m := s.ShardMode(sh)
+		if int(m) < len(seen) {
+			seen[m] = true
+		}
+	}
+	for _, m := range [...]ServingMode{ModeProfiling, ModeTraining, ModeDegraded, ModeGuided, ModeRejected} {
+		if seen[m] {
+			return m
+		}
+	}
+	return ModeUnguided
+}
+
+// RejectReason returns the first shard's analyzer reason when a lifecycle
+// latched ModeRejected ("" when none did).
+func (s *Server) RejectReason() string {
+	for _, lc := range s.lcs {
+		if r := lc.rejectReason(); r != "" {
+			return r
+		}
+	}
+	return ""
+}
 
 // Shutdown drains the server: the listener closes immediately, queued and
 // in-flight operations finish and their responses are written, then the

@@ -1,0 +1,426 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"gstm/internal/stats"
+)
+
+// ShardWorkload names one operation mix for the shard bench. Percentages
+// follow LoadConfig: the remainder after Get+Put+Del is Add.
+type ShardWorkload struct {
+	Name                   string `json:"name"`
+	GetPct, PutPct, DelPct int
+}
+
+// ShardBenchConfig parameterizes BenchShards. The defaults are the tuned
+// operating point for the single-core CI box: pipelined connections deep
+// enough to saturate the commit path, batches wide enough that an
+// unsharded System thrashes on its own footprint, and a uniform keyspace
+// sized so a 4-shard split lands at the PR 4 guided abort-ratio baseline.
+// Uniform keys matter for the per-shard numbers: a skewed head hashes its
+// hot keys unevenly across shards, which spreads the per-shard abort
+// ratios far around their mean.
+type ShardBenchConfig struct {
+	Shards     []int   `json:"shards"`       // shard counts to sweep (default 1,2,4,8)
+	Conns      int     `json:"conns"`        // pipelined client connections (default 16)
+	Window     int     `json:"window"`       // requests in flight per connection (default 96)
+	OpsPerConn int     `json:"ops_per_conn"` // fixed work per connection per run (default 6000)
+	Keys       int     `json:"keys"`         // key-space size (default 2816)
+	Skew       float64 `json:"skew"`         // key skew exponent (default 1 = uniform)
+	Runs       int     `json:"runs"`         // measured runs per mode per point (default 5)
+
+	Workers       int     `json:"workers"`        // server workers (default 8)
+	Batch         int     `json:"batch"`          // server batch cap (default 48)
+	Interleave    int     `json:"interleave"`     // forced interleaving (default 2)
+	ProfileOps    int     `json:"profile_ops"`    // per-shard profiling slice size (default 4096)
+	ProfileSlices int     `json:"profile_slices"` // slices per model (default 2)
+	Tfactor       float64 `json:"tfactor"`        // guidance gate Tfactor (default 8)
+
+	GuideTimeout time.Duration   `json:"-"`
+	Workloads    []ShardWorkload `json:"-"`
+	Progress     io.Writer       `json:"-"` // optional per-point progress lines
+}
+
+func (cfg ShardBenchConfig) normalize() ShardBenchConfig {
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{1, 2, 4, 8}
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 16
+	}
+	if cfg.Window <= 1 {
+		cfg.Window = 96
+	}
+	if cfg.OpsPerConn <= 0 {
+		cfg.OpsPerConn = 6000
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 2816
+	}
+	if cfg.Skew < 1 {
+		cfg.Skew = 1
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 5
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 48
+	}
+	if cfg.Interleave <= 0 {
+		cfg.Interleave = 2
+	}
+	if cfg.ProfileOps <= 0 {
+		cfg.ProfileOps = 4096
+	}
+	if cfg.ProfileSlices <= 0 {
+		cfg.ProfileSlices = 2
+	}
+	if cfg.Tfactor <= 0 {
+		cfg.Tfactor = 8
+	}
+	if cfg.GuideTimeout <= 0 {
+		cfg.GuideTimeout = 120 * time.Second
+	}
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = []ShardWorkload{
+			{Name: "write-heavy"},                               // 100% Add
+			{Name: "mixed", GetPct: 20, PutPct: 10, DelPct: 10}, // 60% Add
+		}
+	}
+	return cfg
+}
+
+// ShardModeStats is one serving mode's aggregate over the measured runs
+// at one shard count.
+type ShardModeStats struct {
+	ThroughputMedian float64   `json:"throughput_median_ops_per_s"`
+	ThroughputRuns   []float64 `json:"throughput_runs_ops_per_s"`
+	// AbortRatio is total aborts / total commits over the measured runs;
+	// PerShardAbortRatio breaks the same totals down by shard.
+	AbortRatio         float64   `json:"abort_ratio"`
+	PerShardAbortRatio []float64 `json:"per_shard_abort_ratio"`
+	AbortRatioMax      float64   `json:"per_shard_abort_ratio_max"`
+	// ConnSpreadMeanPct is the aggregate completion-spread: the mean over
+	// runs of the per-connection completion-time dispersion.
+	ConnSpreadMeanPct float64 `json:"conn_spread_mean_pct"`
+	// ShardSpreadPct is the per-shard completion-spread: the relative
+	// dispersion of per-shard commit counts over the measured runs — how
+	// evenly the hash split the work.
+	ShardSpreadPct float64 `json:"shard_spread_pct"`
+	AvgBatch       float64 `json:"avg_batch"`
+}
+
+// ShardPoint is one shard count's guided and unguided measurements.
+type ShardPoint struct {
+	Shards   int            `json:"shards"`
+	Guided   ShardModeStats `json:"guided"`
+	Unguided ShardModeStats `json:"unguided"`
+}
+
+// ShardWorkloadReport is one workload's full shard sweep.
+type ShardWorkloadReport struct {
+	Workload ShardWorkload `json:"workload"`
+	Points   []ShardPoint  `json:"points"`
+	// Speedup4x compares 4-shard to 1-shard median throughput (present
+	// when both counts are in the sweep).
+	GuidedSpeedup4x   float64 `json:"guided_speedup_4x,omitempty"`
+	UnguidedSpeedup4x float64 `json:"unguided_speedup_4x,omitempty"`
+}
+
+// ShardBenchReport is the full sweep, written to BENCH_shard.json.
+type ShardBenchReport struct {
+	Description string                `json:"description"`
+	Config      ShardBenchConfig      `json:"config"`
+	Workloads   []ShardWorkloadReport `json:"workloads"`
+}
+
+// BenchShards sweeps shard counts × workloads against in-process servers.
+// For each workload it boots every shard count's server up front, warms
+// each in-regime until every shard is guided, then interleaves the
+// measured rounds across shard counts (and, within a round, alternates
+// unguided and guided). Interleaving is what makes the speedup ratios
+// robust on noisy shared hardware: every shard count samples every
+// machine-noise window, so a slow minute degrades all curves together
+// instead of denting whichever point happened to be measuring.
+func BenchShards(cfg ShardBenchConfig) (ShardBenchReport, error) {
+	cfg = cfg.normalize()
+	rep := ShardBenchReport{
+		Description: "Shard sweep: aggregate throughput and abort-ratio curves per shard count, guided vs unguided, on pipelined fixed-work load. Rounds are interleaved across shard counts so every point samples the same machine-noise windows. Per-shard abort ratios come from per-shard commit/abort counter deltas around each run; throughput is the median over runs.",
+		Config:      cfg,
+	}
+	for _, wl := range cfg.Workloads {
+		wr, err := benchWorkload(cfg, wl)
+		if err != nil {
+			return rep, fmt.Errorf("%s: %w", wl.Name, err)
+		}
+		rep.Workloads = append(rep.Workloads, wr)
+	}
+	return rep, nil
+}
+
+func findPoint(pts []ShardPoint, shards int) *ShardPoint {
+	for i := range pts {
+		if pts[i].Shards == shards {
+			return &pts[i]
+		}
+	}
+	return nil
+}
+
+// pointAcc accumulates one serving mode's counters at one shard count.
+type pointAcc struct {
+	tputs         []float64
+	spread        []float64
+	commits       []uint64 // per shard
+	aborts        []uint64
+	batches, bops uint64
+}
+
+// benchPoint is one live shard count under measurement.
+type benchPoint struct {
+	shards     int
+	srv        *Server
+	ctl        *Client
+	load       LoadConfig
+	uacc, gacc pointAcc
+}
+
+func (p *benchPoint) close() {
+	if p.ctl != nil {
+		p.ctl.Close()
+	}
+	if p.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = p.srv.Shutdown(ctx)
+		cancel()
+	}
+}
+
+// start boots the point's server and warms it in-regime: the profiling
+// slices must see the batch compositions the measurement runs will
+// produce, or the per-shard models describe the wrong workload.
+func (p *benchPoint) start(cfg ShardBenchConfig, wl ShardWorkload) error {
+	p.srv = New(Config{
+		Shards:        p.shards,
+		Workers:       cfg.Workers,
+		Batch:         cfg.Batch,
+		Buckets:       2 * cfg.Keys,
+		Interleave:    cfg.Interleave,
+		ProfileOps:    cfg.ProfileOps,
+		ProfileSlices: cfg.ProfileSlices,
+		Tfactor:       cfg.Tfactor,
+		ForceGuidance: true,
+	})
+	if err := p.srv.Start(); err != nil {
+		return err
+	}
+	p.load = LoadConfig{
+		Addr:       p.srv.Addr().String(),
+		Conns:      cfg.Conns,
+		Window:     cfg.Window,
+		OpsPerConn: cfg.OpsPerConn,
+		Keys:       cfg.Keys,
+		Skew:       cfg.Skew,
+		GetPct:     wl.GetPct,
+		PutPct:     wl.PutPct,
+		DelPct:     wl.DelPct,
+		Shards:     p.shards,
+		Seed:       0xC0FFEE,
+	}
+	if p.load.GetPct+p.load.PutPct+p.load.DelPct == 0 {
+		p.load.GetPct = -1 // sentinel defeat of normalize()'s default mix: keep 100% Add
+	}
+	var err error
+	if p.ctl, err = Dial(p.load.Addr); err != nil {
+		return err
+	}
+	p.uacc = pointAcc{commits: make([]uint64, p.shards), aborts: make([]uint64, p.shards)}
+	p.gacc = pointAcc{commits: make([]uint64, p.shards), aborts: make([]uint64, p.shards)}
+
+	deadline := time.Now().Add(cfg.GuideTimeout)
+	for round := uint64(1); ; round++ {
+		warm := p.load
+		warm.OpsPerConn = cfg.OpsPerConn / 4
+		warm.Seed = p.load.Seed + 1000*round
+		if _, err := RunLoad(warm); err != nil {
+			return fmt.Errorf("warmup: %w", err)
+		}
+		all := true
+		for sh := uint64(0); sh < uint64(p.shards); sh++ {
+			m, err := p.ctl.InfoArg(InfoShardMode, sh)
+			if err != nil {
+				return err
+			}
+			if ServingMode(m) != ModeGuided && ServingMode(m) != ModeDegraded {
+				all = false
+			}
+		}
+		if all {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("shards never all guided within %v", cfg.GuideTimeout)
+		}
+	}
+}
+
+func (p *benchPoint) shardCounters() (c, a []uint64, err error) {
+	c, a = make([]uint64, p.shards), make([]uint64, p.shards)
+	for sh := uint64(0); sh < uint64(p.shards); sh++ {
+		if c[sh], err = p.ctl.InfoArg(InfoShardCommits, sh); err != nil {
+			return
+		}
+		if a[sh], err = p.ctl.InfoArg(InfoShardAborts, sh); err != nil {
+			return
+		}
+	}
+	return
+}
+
+// measure performs one fixed-work run, folding server counter deltas into
+// the accumulator.
+func (p *benchPoint) measure(a *pointAcc, seedOff uint64) error {
+	c0, a0, err := p.shardCounters()
+	if err != nil {
+		return err
+	}
+	b0, err := p.ctl.Info(InfoBatches)
+	if err != nil {
+		return err
+	}
+	o0, err := p.ctl.Info(InfoBatchedOps)
+	if err != nil {
+		return err
+	}
+	lc := p.load
+	lc.Seed = p.load.Seed + seedOff
+	st, err := RunLoad(lc)
+	if err != nil {
+		return err
+	}
+	c1, a1, err := p.shardCounters()
+	if err != nil {
+		return err
+	}
+	b1, err := p.ctl.Info(InfoBatches)
+	if err != nil {
+		return err
+	}
+	o1, err := p.ctl.Info(InfoBatchedOps)
+	if err != nil {
+		return err
+	}
+	a.tputs = append(a.tputs, st.Throughput)
+	a.spread = append(a.spread, st.ConnSpreadPct)
+	for sh := 0; sh < p.shards; sh++ {
+		a.commits[sh] += c1[sh] - c0[sh]
+		a.aborts[sh] += a1[sh] - a0[sh]
+	}
+	a.batches += b1 - b0
+	a.bops += o1 - o0
+	return nil
+}
+
+func (p *benchPoint) finish(a pointAcc) ShardModeStats {
+	ms := ShardModeStats{ThroughputRuns: a.tputs, ThroughputMedian: median(a.tputs)}
+	var tc, ta uint64
+	perCommit := make([]float64, p.shards)
+	ms.PerShardAbortRatio = make([]float64, p.shards)
+	for sh := 0; sh < p.shards; sh++ {
+		tc += a.commits[sh]
+		ta += a.aborts[sh]
+		perCommit[sh] = float64(a.commits[sh])
+		if a.commits[sh] > 0 {
+			ms.PerShardAbortRatio[sh] = float64(a.aborts[sh]) / float64(a.commits[sh])
+		}
+		if ms.PerShardAbortRatio[sh] > ms.AbortRatioMax {
+			ms.AbortRatioMax = ms.PerShardAbortRatio[sh]
+		}
+	}
+	if tc > 0 {
+		ms.AbortRatio = float64(ta) / float64(tc)
+	}
+	ms.ConnSpreadMeanPct = stats.Mean(a.spread)
+	ms.ShardSpreadPct = 100 * stats.CoefficientOfVariation(perCommit)
+	if a.batches > 0 {
+		ms.AvgBatch = float64(a.bops) / float64(a.batches)
+	}
+	return ms
+}
+
+// benchWorkload measures one workload's full shard sweep with interleaved
+// rounds.
+func benchWorkload(cfg ShardBenchConfig, wl ShardWorkload) (ShardWorkloadReport, error) {
+	wr := ShardWorkloadReport{Workload: wl}
+	pts := make([]*benchPoint, len(cfg.Shards))
+	defer func() {
+		for _, p := range pts {
+			if p != nil {
+				p.close()
+			}
+		}
+	}()
+	for i, s := range cfg.Shards {
+		pts[i] = &benchPoint{shards: s}
+		if err := pts[i].start(cfg, wl); err != nil {
+			return wr, fmt.Errorf("%d shards: %w", s, err)
+		}
+	}
+
+	// Interleaved rounds: within a round every point runs unguided then
+	// guided, so all 2×len(Shards) samples of a round share one noise
+	// window.
+	for r := uint64(0); r < uint64(cfg.Runs); r++ {
+		for _, p := range pts {
+			if err := p.ctl.Ctl(CtlModeUnguided, 0); err != nil {
+				return wr, err
+			}
+			if err := p.measure(&p.uacc, 2*r); err != nil {
+				return wr, fmt.Errorf("%d shards unguided run %d: %w", p.shards, r, err)
+			}
+			if err := p.ctl.Ctl(CtlModeGuided, 0); err != nil {
+				return wr, err
+			}
+			if err := p.measure(&p.gacc, 2*r+1); err != nil {
+				return wr, fmt.Errorf("%d shards guided run %d: %w", p.shards, r, err)
+			}
+		}
+	}
+
+	for _, p := range pts {
+		pt := ShardPoint{Shards: p.shards, Unguided: p.finish(p.uacc), Guided: p.finish(p.gacc)}
+		wr.Points = append(wr.Points, pt)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "%-11s shards=%d  guided %8.0f ops/s abort %.3f (max shard %.3f)  unguided %8.0f ops/s abort %.3f\n",
+				wl.Name, pt.Shards, pt.Guided.ThroughputMedian, pt.Guided.AbortRatio, pt.Guided.AbortRatioMax,
+				pt.Unguided.ThroughputMedian, pt.Unguided.AbortRatio)
+		}
+	}
+	base, quad := findPoint(wr.Points, 1), findPoint(wr.Points, 4)
+	if base != nil && quad != nil && base.Guided.ThroughputMedian > 0 {
+		wr.GuidedSpeedup4x = quad.Guided.ThroughputMedian / base.Guided.ThroughputMedian
+		wr.UnguidedSpeedup4x = quad.Unguided.ThroughputMedian / base.Unguided.ThroughputMedian
+	}
+	return wr, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}

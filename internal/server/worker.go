@@ -4,12 +4,16 @@ import (
 	"errors"
 
 	"gstm"
+	"gstm/internal/shard"
+	"gstm/internal/stmds"
 )
 
 // Transaction sites: one static TM_BEGIN(ID) per operation kind, so the
 // Thread State Automaton's (site, thread) states describe what the server
 // actually does. A batch only ever coalesces operations of one kind, which
-// keeps the site label exact (see DESIGN.md "Batching rules").
+// keeps the site label exact (see DESIGN.md "Batching rules"). Sites are
+// per shard: the same kind maps to the same site on every shard's
+// automaton.
 const (
 	siteGet gstm.TxnID = iota
 	sitePut
@@ -46,7 +50,10 @@ type opResult struct {
 }
 
 // worker executes batches of operations as transactions on a fixed STM
-// thread: worker w is gstm.ThreadID(w), always.
+// thread: worker w is gstm.ThreadID(w) on every shard it touches. A batch
+// is scatter-gathered by home shard — one sub-transaction per shard, in
+// ascending shard order — so a batch that happens to live on one shard
+// runs exactly as the unsharded server ran it.
 type worker struct {
 	srv   *Server
 	id    gstm.ThreadID
@@ -57,8 +64,9 @@ type worker struct {
 
 	batch   []task
 	results []opResult
+	plan    *shard.Plan
 	resp    []byte
-	runOpts [1]gstm.TxOption // reused ReadOnly() slice for get batches
+	runOpts [1]gstm.TxOption // reused option slice (ReadOnly or MaxAttempts)
 }
 
 func newWorker(s *Server, id int) *worker {
@@ -68,7 +76,7 @@ func newWorker(s *Server, id int) *worker {
 		queue:   make(chan task, s.cfg.QueueDepth),
 		batch:   make([]task, 0, s.cfg.Batch),
 		results: make([]opResult, s.cfg.Batch),
-		runOpts: [1]gstm.TxOption{gstm.ReadOnly()},
+		plan:    s.router.NewPlan(),
 	}
 }
 
@@ -125,50 +133,58 @@ func (w *worker) batchHasKey(k uint64) bool {
 	return false
 }
 
-// execBatch runs the batch as one transaction and writes every response.
-// Operations against disjoint keys are independent, so folding them into
-// one atomic block changes neither their results nor the store's final
-// state versus running them back to back — it only spends one commit
-// (and one Tseq slot) for up to Batch operations.
+// execBatch scatter-gathers the batch by home shard, runs one transaction
+// per touched shard, and writes every response. Operations against
+// disjoint keys are independent, so folding a shard's sub-batch into one
+// atomic block changes neither their results nor the store's final state
+// versus running them back to back — it only spends one commit (and one
+// Tseq slot) for up to Batch operations. Shards commit independently:
+// a cross-shard batch is not atomic as a whole, which is fine for the
+// same reason — its operations never share a key.
 func (w *worker) execBatch() {
 	s := w.srv
 	kind := w.batch[0].req.Op
-	body := func(tx *gstm.Tx) error {
-		for i := range w.batch {
-			w.results[i] = w.applyOp(tx, w.batch[i].req)
+	w.plan.Build(len(w.batch), func(i int) uint64 { return w.batch[i].req.Key })
+	if kind == OpGet {
+		w.runOpts[0] = gstm.ReadOnly()
+	} else {
+		w.runOpts[0] = gstm.MaxAttempts(s.cfg.MaxAttempts)
+	}
+	w.plan.RunEach(nil, w.id, site(kind), func(tx *gstm.Tx, sh int, idxs []int) error {
+		st := s.stores[sh]
+		for _, i := range idxs {
+			w.results[i] = w.applyOp(tx, st, w.batch[i].req)
 		}
 		return nil
-	}
-	var err error
-	if kind == OpGet {
-		err = s.sys.Run(nil, w.id, siteGet, body, w.runOpts[:]...)
-	} else {
-		err = s.sys.Run(nil, w.id, site(kind), body, gstm.MaxAttempts(s.cfg.MaxAttempts))
-	}
+	}, w.runOpts[:]...)
 
-	switch {
-	case err == nil:
-		var delta int64
-		for i := range w.batch {
-			delta += w.results[i].delta
-		}
-		if delta != 0 {
-			s.liveKeys.Add(delta)
-		}
-		s.batches.Add(1)
-		s.batchedOps.Add(uint64(len(w.batch)))
-		s.lc.noteOps(len(w.batch))
-	case errors.Is(err, gstm.ErrRetryBudgetExhausted):
-		for i := range w.results[:len(w.batch)] {
-			w.results[i] = opResult{status: StatusBudget}
-		}
-	case errors.Is(err, gstm.ErrCanceled):
-		for i := range w.results[:len(w.batch)] {
-			w.results[i] = opResult{status: StatusCanceled}
-		}
-	default:
-		for i := range w.results[:len(w.batch)] {
-			w.results[i] = opResult{status: StatusBadRequest}
+	for _, sh := range w.plan.Active() {
+		idxs := w.plan.Group(sh)
+		err := w.plan.Err(sh)
+		switch {
+		case err == nil:
+			var delta int64
+			for _, i := range idxs {
+				delta += w.results[i].delta
+			}
+			if delta != 0 {
+				s.liveKeys.Add(delta)
+			}
+			s.batches.Add(1)
+			s.batchedOps.Add(uint64(len(idxs)))
+			s.lcs[sh].noteOps(len(idxs))
+		case errors.Is(err, gstm.ErrRetryBudgetExhausted):
+			for _, i := range idxs {
+				w.results[i] = opResult{status: StatusBudget}
+			}
+		case errors.Is(err, gstm.ErrCanceled):
+			for _, i := range idxs {
+				w.results[i] = opResult{status: StatusCanceled}
+			}
+		default:
+			for _, i := range idxs {
+				w.results[i] = opResult{status: StatusBadRequest}
+			}
 		}
 	}
 
@@ -195,9 +211,8 @@ func (w *worker) execBatch() {
 	}
 }
 
-// applyOp performs one operation inside the batch transaction.
-func (w *worker) applyOp(tx *gstm.Tx, req Request) opResult {
-	st := w.srv.store
+// applyOp performs one operation inside shard st's sub-transaction.
+func (w *worker) applyOp(tx *gstm.Tx, st *stmds.HashTable[uint64], req Request) opResult {
 	k := int64(req.Key)
 	switch req.Op {
 	case OpGet:

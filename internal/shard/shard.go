@@ -1,0 +1,216 @@
+// Package shard partitions a transactional keyspace across independent
+// STM Systems. Each shard is a full gstm.System — its own TL2 runtime,
+// private version clock, telemetry registration and guidance lifecycle —
+// so shards never contend on a clock cache line, a lock table, or a
+// commit-sequence slot, and one shard's rejected model never holds back a
+// neighbor's hot-swap.
+//
+// Routing is static: a key's home shard is a splittable-hash of the key
+// modulo the shard count, fixed at startup. Transactions whose footprint
+// lives on one shard run untouched on that shard's System; multi-key
+// batches are scatter-gathered — split into per-shard sub-transactions
+// executed in ascending shard order, each atomic on its own shard.
+// A cross-shard batch is therefore NOT atomic as a whole: shard i's
+// sub-transaction can commit while shard j's fails. Callers that need
+// per-operation results (the serving layer does) read per-shard errors
+// back from the Plan.
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"gstm"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Shards is the number of independent Systems the keyspace is split
+	// across (default 1). Fixed for the Router's lifetime: rerouting live
+	// keys would need cross-shard transactions, which the design excludes.
+	Shards int
+
+	// Threads sizes every shard's System. Workers address the same
+	// ThreadID on whichever shard a key routes to, so the per-shard
+	// Thread State Automata keep the paper's thread identity.
+	Threads int
+
+	// Interleave is forwarded to each shard's gstm.Config.
+	Interleave int
+
+	// LabelPrefix names the shards' telemetry registrations:
+	// "<prefix><i>" (default prefix "shard"). With a single shard the
+	// prefix is used bare, so an unsharded deployment keeps its label.
+	LabelPrefix string
+}
+
+func (cfg Config) normalize() Config {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.LabelPrefix == "" {
+		cfg.LabelPrefix = "shard"
+	}
+	return cfg
+}
+
+// Router owns the shard Systems and routes keys to them.
+type Router struct {
+	cfg     Config
+	systems []*gstm.System
+}
+
+// New builds a Router with cfg.Shards independent Systems. Each shard
+// gets a private version clock when there is more than one shard;
+// a single-shard router behaves exactly like a bare System.
+func New(cfg Config) *Router {
+	cfg = cfg.normalize()
+	r := &Router{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		label := cfg.LabelPrefix
+		if cfg.Shards > 1 {
+			label = fmt.Sprintf("%s%d", cfg.LabelPrefix, i)
+		}
+		r.systems = append(r.systems, gstm.NewSystem(gstm.Config{
+			Threads:      cfg.Threads,
+			Interleave:   cfg.Interleave,
+			Label:        label,
+			PrivateClock: cfg.Shards > 1,
+		}))
+	}
+	return r
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return len(r.systems) }
+
+// System returns shard i's System (per-shard guidance, profiling,
+// telemetry and health go through it).
+func (r *Router) System(i int) *gstm.System { return r.systems[i] }
+
+// mix is the splitmix64 finalizer: an invertible avalanche so dense or
+// striding key patterns still spread across shards.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HomeOf returns key's home shard under an n-shard split — the routing
+// rule itself, exported so clients (the load generator) can attribute
+// traffic to shards without a Router.
+func HomeOf(key uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(mix(key) % uint64(n))
+}
+
+// Home returns the key's home shard. Deterministic for the Router's
+// lifetime: same key, same shard.
+func (r *Router) Home(key uint64) int {
+	return HomeOf(key, len(r.systems))
+}
+
+// Run executes one transaction on shard s — the single-shard fast path,
+// identical to calling the shard System's Run directly.
+func (r *Router) Run(ctx context.Context, s int, thread gstm.ThreadID, txn gstm.TxnID, fn func(tx *gstm.Tx) error, opts ...gstm.TxOption) error {
+	return r.systems[s].Run(ctx, thread, txn, fn, opts...)
+}
+
+// Stats sums commit/abort counters across shards.
+func (r *Router) Stats() (commits, aborts uint64) {
+	for _, sys := range r.systems {
+		c, a := sys.Stats()
+		commits += c
+		aborts += a
+	}
+	return commits, aborts
+}
+
+// ResetStats resets every shard's counters.
+func (r *Router) ResetStats() {
+	for _, sys := range r.systems {
+		sys.ResetStats()
+	}
+}
+
+// Plan is a reusable scatter-gather of one multi-key batch: item indices
+// grouped by home shard, each group preserving the batch's relative
+// order. A worker keeps one Plan and rebuilds it per batch; steady-state
+// reuse allocates nothing.
+type Plan struct {
+	r      *Router
+	groups [][]int // groups[s]: indices of items homed on shard s
+	errs   []error // errs[s]: shard s's sub-transaction outcome
+	active []int   // shards with non-empty groups, ascending
+}
+
+// NewPlan returns an empty Plan bound to the Router.
+func (r *Router) NewPlan() *Plan {
+	n := r.Shards()
+	p := &Plan{r: r, groups: make([][]int, n), errs: make([]error, n), active: make([]int, 0, n)}
+	for s := range p.groups {
+		p.groups[s] = make([]int, 0, 8)
+	}
+	return p
+}
+
+// Build partitions items 0..n-1 by the home shard of key(i).
+func (p *Plan) Build(n int, key func(i int) uint64) {
+	for _, s := range p.active {
+		p.groups[s] = p.groups[s][:0]
+		p.errs[s] = nil
+	}
+	p.active = p.active[:0]
+	for i := 0; i < n; i++ {
+		s := p.r.Home(key(i))
+		if len(p.groups[s]) == 0 {
+			p.active = append(p.active, s)
+		}
+		p.groups[s] = append(p.groups[s], i)
+	}
+	// Ascending shard order keeps sub-transaction execution deterministic
+	// for a given batch. Insertion sort: active is at most Shards long and
+	// nearly sorted for hash-spread batches.
+	for i := 1; i < len(p.active); i++ {
+		for j := i; j > 0 && p.active[j] < p.active[j-1]; j-- {
+			p.active[j], p.active[j-1] = p.active[j-1], p.active[j]
+		}
+	}
+}
+
+// Active returns the shards this batch touches, ascending. Valid until
+// the next Build.
+func (p *Plan) Active() []int { return p.active }
+
+// Group returns the batch indices homed on shard s, in batch order.
+func (p *Plan) Group(s int) []int { return p.groups[s] }
+
+// Err returns shard s's sub-transaction error from the last RunEach
+// (nil when it committed or the batch didn't touch s).
+func (p *Plan) Err(s int) error { return p.errs[s] }
+
+// RunEach executes the planned batch: one transaction per active shard,
+// sequentially in ascending shard order. body runs inside shard s's
+// transaction and sees the indices homed there; it is re-run wholesale
+// when that shard's transaction retries. Per-shard failures are recorded
+// (see Err) and do not stop later shards — cross-shard batches are not
+// atomic. Returns true when every active shard committed.
+func (p *Plan) RunEach(ctx context.Context, thread gstm.ThreadID, txn gstm.TxnID, body func(tx *gstm.Tx, s int, idxs []int) error, opts ...gstm.TxOption) bool {
+	ok := true
+	for _, s := range p.active {
+		idxs := p.groups[s]
+		err := p.r.systems[s].Run(ctx, thread, txn, func(tx *gstm.Tx) error {
+			return body(tx, s, idxs)
+		}, opts...)
+		p.errs[s] = err
+		if err != nil {
+			ok = false
+		}
+	}
+	return ok
+}

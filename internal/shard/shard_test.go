@@ -1,0 +1,335 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"gstm"
+	"gstm/internal/stmds"
+)
+
+func TestHomeDeterministicAndSpread(t *testing.T) {
+	r := New(Config{Shards: 4, Threads: 2})
+	counts := make([]int, r.Shards())
+	for k := uint64(0); k < 8192; k++ {
+		s := r.Home(k)
+		if again := r.Home(k); again != s {
+			t.Fatalf("Home(%d) unstable: %d then %d", k, s, again)
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		// Perfectly even would be 2048 per shard; the splitmix64 finalizer
+		// should land well within ±25% even on a dense key range.
+		if n < 1536 || n > 2560 {
+			t.Fatalf("shard %d got %d of 8192 keys (counts %v)", s, n, counts)
+		}
+	}
+	if one := New(Config{Shards: 1, Threads: 1}); one.Home(12345) != 0 {
+		t.Fatal("single-shard router routed off shard 0")
+	}
+}
+
+// opKind mirrors the serving protocol's data operations.
+type opKind int
+
+const (
+	opGet opKind = iota
+	opPut
+	opAdd
+	opDel
+)
+
+type op struct {
+	kind opKind
+	key  uint64
+	arg  uint64
+}
+
+type opResult struct {
+	ok  bool
+	val uint64
+}
+
+// applyOp is the per-operation body shared by the sharded run; it matches
+// the serving layer's semantics (put reports whether the key existed, add
+// upserts and returns the new value, del reports whether it removed).
+func applyOp(tx *gstm.Tx, st *stmds.HashTable[uint64], o op) opResult {
+	k := int64(o.key)
+	switch o.kind {
+	case opGet:
+		v, ok := st.Get(tx, k)
+		return opResult{ok: ok, val: v}
+	case opPut:
+		if st.Set(tx, k, o.arg) {
+			return opResult{ok: true}
+		}
+		st.InsertNoCount(tx, k, o.arg)
+		return opResult{ok: false}
+	case opAdd:
+		if v, ok := st.Get(tx, k); ok {
+			nv := v + o.arg
+			st.Set(tx, k, nv)
+			return opResult{ok: true, val: nv}
+		}
+		st.InsertNoCount(tx, k, o.arg)
+		return opResult{ok: false, val: o.arg}
+	default: // opDel
+		return opResult{ok: st.RemoveNoCount(tx, k)}
+	}
+}
+
+// oracleOp applies the same semantics to a plain map.
+func oracleOp(m map[uint64]uint64, o op) opResult {
+	switch o.kind {
+	case opGet:
+		v, ok := m[o.key]
+		return opResult{ok: ok, val: v}
+	case opPut:
+		_, existed := m[o.key]
+		m[o.key] = o.arg
+		return opResult{ok: existed}
+	case opAdd:
+		v, existed := m[o.key]
+		m[o.key] = v + o.arg
+		return opResult{ok: existed, val: v + o.arg}
+	default:
+		_, existed := m[o.key]
+		delete(m, o.key)
+		return opResult{ok: existed}
+	}
+}
+
+// randBatch draws one same-kind batch of up to 8 ops over pairwise
+// distinct keys — the serving layer's batching rules.
+func randBatch(rng *rand.Rand, keyspace uint64) []op {
+	kind := opKind(rng.Intn(4))
+	n := 1 + rng.Intn(8)
+	batch := make([]op, 0, n)
+	seen := make(map[uint64]bool, n)
+	for len(batch) < n {
+		k := rng.Uint64() % keyspace
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		batch = append(batch, op{kind: kind, key: k, arg: rng.Uint64() % 1000})
+	}
+	return batch
+}
+
+// TestRouterPropertyVsOracle streams randomized multi-key batches through
+// a 4-shard router via scatter-gather Plans and checks every operation's
+// result — and the final keyspace — against a sequential single-map
+// oracle. Mid-run, every shard trains guidance from live profiling;
+// shard 2's model is force-rejected, so it keeps serving unguided while
+// its neighbors run guided. Distinct keys within a batch make the oracle
+// order-insensitive inside a batch, so per-shard sub-transaction order
+// cannot change observable results.
+func TestRouterPropertyVsOracle(t *testing.T) {
+	const (
+		threads  = 4
+		batches  = 1200
+		keyspace = 96
+		rejected = 2
+	)
+	r := New(Config{Shards: 4, Threads: threads, Interleave: 4})
+	stores := make([]*stmds.HashTable[uint64], r.Shards())
+	for s := range stores {
+		stores[s] = stmds.NewHashTable[uint64](64)
+	}
+	oracle := make(map[uint64]uint64, keyspace)
+	rng := rand.New(rand.NewSource(0xD1CE))
+	plan := r.NewPlan()
+
+	// Phase boundaries: profile the first third on every shard, then
+	// hot-swap guidance (force-rejecting shard `rejected`) and keep
+	// streaming.
+	for s := 0; s < r.Shards(); s++ {
+		r.System(s).StartProfiling()
+	}
+	swapped := false
+
+	results := make([]opResult, 8)
+	for b := 0; b < batches; b++ {
+		if !swapped && b == batches/3 {
+			for s := 0; s < r.Shards(); s++ {
+				tr := r.System(s).StopProfiling()
+				if tr == nil {
+					t.Fatalf("shard %d: profiling produced no trace", s)
+				}
+				if s == rejected {
+					// An empty model is exactly what the analyzer rejects;
+					// the shard must latch unguided and keep serving.
+					if err := r.System(s).EnableGuidance(gstm.BuildModel(threads, nil)); err == nil {
+						t.Fatal("empty model unexpectedly accepted")
+					}
+					continue
+				}
+				r.System(s).ForceGuidance(gstm.BuildModel(threads, []*gstm.Trace{tr}), gstm.WithTfactor(2))
+			}
+			swapped = true
+		}
+
+		batch := randBatch(rng, keyspace)
+		plan.Build(len(batch), func(i int) uint64 { return batch[i].key })
+		thread := gstm.ThreadID(b % threads)
+		okAll := plan.RunEach(nil, thread, gstm.TxnID(batch[0].kind), func(tx *gstm.Tx, s int, idxs []int) error {
+			for _, i := range idxs {
+				results[i] = applyOp(tx, stores[s], batch[i])
+			}
+			return nil
+		})
+		if !okAll {
+			for _, s := range plan.Active() {
+				if err := plan.Err(s); err != nil {
+					t.Fatalf("batch %d shard %d: %v", b, s, err)
+				}
+			}
+		}
+		for i, o := range batch {
+			want := oracleOp(oracle, o)
+			if results[i] != want {
+				t.Fatalf("batch %d op %d (%+v): got %+v, want %+v", b, i, o, results[i], want)
+			}
+		}
+	}
+	if !swapped {
+		t.Fatal("guidance swap never happened")
+	}
+	if mode := r.System(rejected).Mode(); mode != gstm.ModeUnguided {
+		t.Fatalf("rejected shard mode = %v, want unguided", mode)
+	}
+	guidedShards := 0
+	for s := 0; s < r.Shards(); s++ {
+		if r.System(s).Mode() == gstm.ModeGuided {
+			guidedShards++
+		}
+	}
+	if guidedShards != r.Shards()-1 {
+		t.Fatalf("guided shards = %d, want %d", guidedShards, r.Shards()-1)
+	}
+
+	// Final-state sweep: every key reads back exactly the oracle's value,
+	// through its home shard.
+	for k := uint64(0); k < keyspace; k++ {
+		var got opResult
+		s := r.Home(k)
+		err := r.Run(nil, s, 0, 0, func(tx *gstm.Tx) error {
+			got = applyOp(tx, stores[s], op{kind: opGet, key: k})
+			return nil
+		}, gstm.ReadOnly())
+		if err != nil {
+			t.Fatalf("final read key %d: %v", k, err)
+		}
+		wantV, wantOK := oracle[k]
+		if got.ok != wantOK || (wantOK && got.val != wantV) {
+			t.Fatalf("key %d: sharded %+v, oracle (%d,%v)", k, got, wantV, wantOK)
+		}
+	}
+
+	commits, _ := r.Stats()
+	if commits == 0 {
+		t.Fatal("router counted no commits")
+	}
+}
+
+// TestRouterConcurrentAdds hammers the router from concurrent workers
+// with commutative add-only batches while guidance flips on and off on
+// one shard — the data path and the lifecycle path racing is exactly
+// what -race should see. Final sums must be exact.
+func TestRouterConcurrentAdds(t *testing.T) {
+	const (
+		workers  = 4
+		perW     = 300
+		keyspace = 48
+	)
+	r := New(Config{Shards: 4, Threads: workers, Interleave: 4})
+	stores := make([]*stmds.HashTable[uint64], r.Shards())
+	for s := range stores {
+		stores[s] = stmds.NewHashTable[uint64](64)
+	}
+
+	var wg sync.WaitGroup
+	expected := make([]map[uint64]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			plan := r.NewPlan()
+			exp := make(map[uint64]uint64, keyspace)
+			for b := 0; b < perW; b++ {
+				batch := randBatch(rng, keyspace)
+				for i := range batch {
+					batch[i].kind = opAdd
+				}
+				plan.Build(len(batch), func(i int) uint64 { return batch[i].key })
+				ok := plan.RunEach(nil, gstm.ThreadID(w), 0, func(tx *gstm.Tx, s int, idxs []int) error {
+					for _, i := range idxs {
+						applyOp(tx, stores[s], batch[i])
+					}
+					return nil
+				})
+				if !ok {
+					t.Error("unbounded add batch failed")
+					return
+				}
+				for _, o := range batch {
+					exp[o.key] += o.arg
+				}
+			}
+			expected[w] = exp
+		}(w)
+	}
+
+	// Lifecycle churn on shard 1 while the data path is hot. Throttled so
+	// the churn goroutine doesn't monopolize a single-core machine.
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		sys := r.System(1)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			sys.StartProfiling()
+			if tr := sys.StopProfiling(); tr != nil && i%2 == 0 {
+				sys.ForceGuidance(gstm.BuildModel(workers, []*gstm.Trace{tr}), gstm.WithTfactor(2))
+			}
+			sys.DisableGuidance()
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+
+	want := make(map[uint64]uint64, keyspace)
+	for _, exp := range expected {
+		for k, v := range exp {
+			want[k] += v
+		}
+	}
+	for k, wv := range want {
+		s := r.Home(k)
+		var got opResult
+		if err := r.Run(nil, s, 0, 0, func(tx *gstm.Tx) error {
+			got = applyOp(tx, stores[s], op{kind: opGet, key: k})
+			return nil
+		}, gstm.ReadOnly()); err != nil {
+			t.Fatalf("read key %d: %v", k, err)
+		}
+		if !got.ok || got.val != wv {
+			t.Fatalf("key %d: got (%d,%v), want %d", k, got.val, got.ok, wv)
+		}
+	}
+}

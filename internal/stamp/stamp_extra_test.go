@@ -153,7 +153,7 @@ func TestVacationGuidedKeepsInvariants(t *testing.T) {
 		}
 	}
 	m := gstm.BuildModel(threads, traces)
-	sys.ForceGuidance(m, gstm.GuidanceOptions{Tfactor: 2})
+	sys.ForceGuidance(m, gstm.WithTfactor(2))
 	inst, err := w.NewInstance(Params{Threads: threads, Size: Small, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -294,7 +294,7 @@ func TestBayesGuidedStaysValid(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	sys.ForceGuidance(gstm.BuildModel(threads, traces), gstm.GuidanceOptions{Tfactor: 2})
+	sys.ForceGuidance(gstm.BuildModel(threads, traces), gstm.WithTfactor(2))
 	inst, err := w.NewInstance(Params{Threads: threads, Size: Small, Seed: 99})
 	if err != nil {
 		t.Fatal(err)

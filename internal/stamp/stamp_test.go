@@ -78,7 +78,7 @@ func TestAllBenchmarksGuided(t *testing.T) {
 			if m.NumStates() == 0 {
 				t.Fatal("profiling produced an empty model")
 			}
-			sys.ForceGuidance(m, gstm.GuidanceOptions{})
+			sys.ForceGuidance(m)
 			runOnce(t, w, Params{Threads: threads, Size: Small, Seed: 4}, sys)
 		})
 	}

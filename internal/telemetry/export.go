@@ -49,6 +49,23 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	histogram(bw, "gstm_gate_hold_seconds", "Time held arrivals spent delayed at the guidance gate.", s.GateHoldTime)
 	histogram(bw, "gstm_time_to_first_commit_seconds", "Time from runtime creation or reset to its first commit.", s.TimeToFirstCommit)
 
+	if len(s.Components) > 0 {
+		fmt.Fprintf(bw, "# HELP gstm_component_tx_commits_total Committed transactions by component (shard).\n# TYPE gstm_component_tx_commits_total counter\n")
+		for _, c := range s.Components {
+			fmt.Fprintf(bw, "gstm_component_tx_commits_total{component=%s} %d\n", promQuote(c.Label), c.Commits)
+		}
+		fmt.Fprintf(bw, "# HELP gstm_component_tx_aborts_total Aborted transaction attempts by component (shard).\n# TYPE gstm_component_tx_aborts_total counter\n")
+		for _, c := range s.Components {
+			fmt.Fprintf(bw, "gstm_component_tx_aborts_total{component=%s} %d\n", promQuote(c.Label), c.Aborts)
+		}
+		fmt.Fprintf(bw, "# HELP gstm_component_gate_decisions_total Guidance-gate arrival outcomes by component (shard).\n# TYPE gstm_component_gate_decisions_total counter\n")
+		for _, c := range s.Components {
+			fmt.Fprintf(bw, "gstm_component_gate_decisions_total{component=%s,outcome=\"passed\"} %d\n", promQuote(c.Label), c.GatePassed)
+			fmt.Fprintf(bw, "gstm_component_gate_decisions_total{component=%s,outcome=\"held\"} %d\n", promQuote(c.Label), c.GateHeld)
+			fmt.Fprintf(bw, "gstm_component_gate_decisions_total{component=%s,outcome=\"escaped\"} %d\n", promQuote(c.Label), c.GateEscaped)
+		}
+	}
+
 	if len(s.GateStates) > 0 {
 		fmt.Fprintf(bw, "# HELP gstm_gate_state_visits_total Gate arrivals per automaton state (top states).\n# TYPE gstm_gate_state_visits_total counter\n")
 		top := s.GateStates

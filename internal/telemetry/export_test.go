@@ -60,6 +60,30 @@ func TestWritePrometheusFamilies(t *testing.T) {
 	}
 }
 
+func TestWritePrometheusComponentSeries(t *testing.T) {
+	s := sampleSnapshot()
+	s.Components = []Snapshot{
+		{Label: "shard0", Commits: 7, Aborts: 2, GatePassed: 5, GateHeld: 1, GateEscaped: 0},
+		{Label: "shard1", Commits: 9, Aborts: 0, GatePassed: 8, GateHeld: 0, GateEscaped: 1},
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`gstm_component_tx_commits_total{component="shard0"} 7`,
+		`gstm_component_tx_commits_total{component="shard1"} 9`,
+		`gstm_component_tx_aborts_total{component="shard0"} 2`,
+		`gstm_component_gate_decisions_total{component="shard0",outcome="held"} 1`,
+		`gstm_component_gate_decisions_total{component="shard1",outcome="escaped"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+}
+
 // TestPrometheusHistogramCumulative checks the textbook histogram
 // invariants: bucket counts are cumulative and non-decreasing, and the
 // +Inf bucket equals _count.

@@ -111,6 +111,13 @@ type Snapshot struct {
 
 	GateStates []GateStateSnapshot `json:"gate_states,omitempty"`
 	Events     []Event             `json:"events,omitempty"`
+
+	// Components holds the per-label breakdown when this snapshot is a
+	// Gather aggregate: one merged snapshot per distinct registration
+	// label ("shard0", "shard1", …), sorted by label. Component snapshots
+	// carry counters, histograms and gate-state tallies but not events —
+	// the aggregate's ring already interleaves every component's events.
+	Components []Snapshot `json:"components,omitempty"`
 }
 
 // AbortRatio returns aborts per commit.

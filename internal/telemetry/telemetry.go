@@ -153,7 +153,11 @@ func (m *Metrics) Label() string {
 }
 
 // Gather merges every registered Metrics into one process-wide Snapshot —
-// what the /metrics endpoint of the exporter serves.
+// what the /metrics endpoint of the exporter serves. Snapshots of Metrics
+// sharing a registration label are first merged into one component
+// snapshot each; the aggregate carries the per-label breakdown in
+// Components (sorted by label) so sharded deployments can report
+// per-shard series alongside the process-wide totals.
 func Gather() Snapshot {
 	registry.mu.Lock()
 	list := make([]*Metrics, len(registry.list))
@@ -161,8 +165,25 @@ func Gather() Snapshot {
 	registry.mu.Unlock()
 
 	out := Snapshot{Label: "all", TakenAt: time.Now()}
+	byLabel := make(map[string]*Snapshot)
+	var labels []string
 	for _, m := range list {
-		out.Merge(m.Snapshot())
+		snap := m.Snapshot()
+		out.Merge(snap)
+		comp, ok := byLabel[snap.Label]
+		if !ok {
+			labels = append(labels, snap.Label)
+			c := Snapshot{Label: snap.Label, TakenAt: out.TakenAt}
+			comp = &c
+			byLabel[snap.Label] = comp
+		}
+		comp.Merge(snap)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		comp := byLabel[l]
+		comp.Events = nil // the aggregate ring already has them
+		out.Components = append(out.Components, *comp)
 	}
 	return out
 }

@@ -280,6 +280,42 @@ func TestGatherMergesRegisteredMetrics(t *testing.T) {
 	}
 }
 
+func TestGatherComponentBreakdown(t *testing.T) {
+	before := Gather()
+	prev := make(map[string]uint64)
+	for _, c := range before.Components {
+		prev[c.Label] = c.Commits
+	}
+	a, b := New("shardA"), New("shardB")
+	for i := 0; i < 3; i++ {
+		a.TxStart(0)
+		a.TxCommit(0)
+	}
+	b.TxStart(0)
+	b.TxCommit(0)
+	b.TxAbort(0)
+	after := Gather()
+	got := make(map[string]Snapshot)
+	for _, c := range after.Components {
+		got[c.Label] = c
+	}
+	if c := got["shardA"]; c.Commits-prev["shardA"] != 3 {
+		t.Fatalf("shardA component commits delta = %d, want 3", c.Commits-prev["shardA"])
+	}
+	if c := got["shardB"]; c.Commits-prev["shardB"] != 1 || c.Aborts == 0 {
+		t.Fatalf("shardB component = %+v", got["shardB"])
+	}
+	for i := 1; i < len(after.Components); i++ {
+		if after.Components[i-1].Label >= after.Components[i].Label {
+			t.Fatalf("components not sorted by label: %q before %q",
+				after.Components[i-1].Label, after.Components[i].Label)
+		}
+	}
+	if len(got["shardA"].Events) != 0 {
+		t.Fatal("component snapshot carries events; only the aggregate should")
+	}
+}
+
 // TestConcurrentRecordSnapshotReset exercises the record path, snapshots
 // and resets concurrently; meaningful under -race.
 func TestConcurrentRecordSnapshotReset(t *testing.T) {

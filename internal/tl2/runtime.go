@@ -39,6 +39,20 @@ type Config struct {
 	// immediately. Section II argues results on lazy detection imply the
 	// eager case; this knob lets the ablation benches check that claim.
 	EagerWriteLock bool
+
+	// Label names this runtime's telemetry registration (default "tl2").
+	// Sharded deployments label each shard's runtime distinctly so Gather
+	// can report per-shard series next to the aggregate.
+	Label string
+
+	// PrivateClock gives the runtime its own version clock instead of the
+	// process-wide one. Transactions on a private-clock runtime must only
+	// touch Vars owned by that runtime: a Var written under one clock may
+	// carry a version another clock has not reached yet, which would make
+	// a reader under the other clock spin or abort forever. The shard
+	// router relies on this to keep unrelated transactions off a shared
+	// clock cache line entirely.
+	PrivateClock bool
 }
 
 // Normalize returns cfg with defaults applied to zero fields.
@@ -98,12 +112,15 @@ type FaultInjector interface {
 }
 
 // Runtime is a TL2 STM instance: configuration and instrumentation hooks
-// shared by all transactions it executes. All Runtimes in the process share
-// the single global version clock (as in the original TL2 library), so Vars
-// may be created and populated under one Runtime and used under another.
+// shared by all transactions it executes. By default all Runtimes in the
+// process share the single global version clock (as in the original TL2
+// library), so Vars may be created and populated under one Runtime and used
+// under another; Config.PrivateClock opts a runtime out of the shared clock
+// at the cost of that portability.
 type Runtime struct {
 	cfg   Config
 	reg   *commitreg.Registry
+	clock *clock
 	sink  atomic.Pointer[sinkBox]
 	gate  atomic.Pointer[gateBox]
 	fault atomic.Pointer[faultBox]
@@ -120,7 +137,14 @@ type faultBox struct{ f FaultInjector }
 
 // New returns a Runtime with cfg (zero fields defaulted).
 func New(cfg Config) *Runtime {
-	rt := &Runtime{cfg: cfg.Normalize(), tel: telemetry.New("tl2")}
+	label := cfg.Label
+	if label == "" {
+		label = "tl2"
+	}
+	rt := &Runtime{cfg: cfg.Normalize(), tel: telemetry.New(label), clock: &globalClock}
+	if cfg.PrivateClock {
+		rt.clock = new(clock)
+	}
 	rt.reg = commitreg.New(rt.cfg.RegistryCapacity)
 	rt.pool.New = func() any { return &Tx{} }
 	return rt
@@ -170,8 +194,9 @@ func (rt *Runtime) injector() FaultInjector {
 	return nil
 }
 
-// clk returns the process-wide version clock.
-func (rt *Runtime) clk() *clock { return &globalClock }
+// clk returns this runtime's version clock: the process-wide one unless
+// Config.PrivateClock selected an unshared instance.
+func (rt *Runtime) clk() *clock { return rt.clock }
 
 // Clock returns the current global version clock value. With a sink
 // installed every commit ticks it exactly once, so it counts commits; in

@@ -30,8 +30,7 @@ func MaxAttempts(n int) TxOption {
 }
 
 // Run executes fn transactionally as transaction site txn on worker
-// thread — the single entrypoint subsuming the deprecated Atomic,
-// AtomicCtx, AtomicRO and AtomicROCtx quartet.
+// thread — the package's single transactional entrypoint.
 //
 // fn may be re-executed after conflicts and must confine its effects to
 // transactional Reads and Writes; a non-nil error from fn aborts the

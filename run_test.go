@@ -51,9 +51,6 @@ func TestRunMaxAttempts(t *testing.T) {
 	if !errors.Is(err, ErrRetryBudgetExhausted) {
 		t.Fatalf("err = %v, want ErrRetryBudgetExhausted", err)
 	}
-	if !errors.Is(err, ErrRetryBudgetExceeded) {
-		t.Fatal("deprecated alias no longer matches")
-	}
 	if attempts != 3 {
 		t.Fatalf("body ran %d times, want 3", attempts)
 	}
@@ -106,46 +103,61 @@ func TestRunCanceledSentinel(t *testing.T) {
 }
 
 // TestErrGuidanceRejectedSentinel: EnableGuidance on a hopeless model
-// wraps the exported sentinel (and its deprecated alias).
+// wraps the exported sentinel.
 func TestErrGuidanceRejectedSentinel(t *testing.T) {
 	sys := NewSystem(Config{Threads: 2})
 	m := BuildModel(2, nil) // empty model: nothing to guide with
-	err := sys.EnableGuidance(m, GuidanceOptions{})
+	err := sys.EnableGuidance(m)
 	if !errors.Is(err, ErrGuidanceRejected) {
 		t.Fatalf("err = %v, want ErrGuidanceRejected", err)
-	}
-	if !errors.Is(err, ErrUnguidable) {
-		t.Fatal("deprecated alias no longer matches")
 	}
 	if sys.Guided() {
 		t.Fatal("rejected model installed guidance anyway")
 	}
 }
 
-// TestDeprecatedWrappersDelegate drives each legacy entrypoint once and
-// checks they still commit through the unified path.
-func TestDeprecatedWrappersDelegate(t *testing.T) {
-	sys := NewSystem(Config{Threads: 1})
+// TestSystemModeLifecycle walks the mode machine through its System-level
+// states: unguided → profiling → guided → unguided, with Health agreeing
+// at every step.
+func TestSystemModeLifecycle(t *testing.T) {
+	sys := NewSystem(Config{Threads: 2})
+	if got := sys.Mode(); got != ModeUnguided {
+		t.Fatalf("fresh system mode = %v, want unguided", got)
+	}
+	sys.StartProfiling()
+	if got := sys.Mode(); got != ModeProfiling {
+		t.Fatalf("mode while profiling = %v, want profiling", got)
+	}
 	v := NewVar(0)
-	bump := func(tx *Tx) error { Write(tx, v, Read(tx, v)+1); return nil }
-	read := func(tx *Tx) error { Read(tx, v); return nil }
-
-	if err := sys.Atomic(0, 0, bump); err != nil {
-		t.Fatal(err)
+	for i := 0; i < 64; i++ {
+		if err := sys.Run(nil, ThreadID(i%2), 0, func(tx *Tx) error {
+			Write(tx, v, Read(tx, v)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if err := sys.AtomicCtx(context.Background(), 0, 0, bump); err != nil {
-		t.Fatal(err)
+	tr := sys.StopProfiling()
+	if got := sys.Mode(); got != ModeUnguided {
+		t.Fatalf("mode after StopProfiling = %v, want unguided", got)
 	}
-	if err := sys.AtomicRO(0, 0, read); err != nil {
-		t.Fatal(err)
+	sys.ForceGuidance(BuildModel(2, []*Trace{tr}), WithTfactor(2))
+	if got := sys.Mode(); got != ModeGuided {
+		t.Fatalf("mode after ForceGuidance = %v, want guided", got)
 	}
-	if err := sys.AtomicROCtx(context.Background(), 0, 0, read); err != nil {
-		t.Fatal(err)
+	if h := sys.Health(); h.Mode != ModeGuided {
+		t.Fatalf("Health.Mode = %v, want guided", h.Mode)
 	}
-	if v.Peek() != 2 {
-		t.Fatalf("v = %d, want 2", v.Peek())
+	sys.DisableGuidance()
+	if got := sys.Mode(); got != ModeUnguided {
+		t.Fatalf("mode after DisableGuidance = %v, want unguided", got)
 	}
-	if c, _ := sys.Stats(); c != 4 {
-		t.Fatalf("commits = %d, want 4", c)
+	for _, m := range []Mode{ModeUnguided, ModeGuided, ModeRejected, ModeDegraded} {
+		if !m.Settled() {
+			t.Fatalf("%v.Settled() = false", m)
+		}
+	}
+	if ModeProfiling.Settled() || ModeTraining.Settled() {
+		t.Fatal("transitional modes report Settled")
 	}
 }

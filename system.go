@@ -1,7 +1,6 @@
 package gstm
 
 import (
-	"context"
 	"fmt"
 	"sync"
 
@@ -15,7 +14,7 @@ import (
 // Config parameterizes a System.
 type Config struct {
 	// Threads is the number of worker threads the application will use.
-	// It is metadata recorded in models trained on this system; Atomic
+	// It is metadata recorded in models trained on this system; Run
 	// accepts any ThreadID regardless.
 	Threads int
 
@@ -33,25 +32,19 @@ type Config struct {
 	// EagerWriteLock selects encounter-time write locking instead of TL2's
 	// default commit-time (lazy) locking. See tl2.Config.EagerWriteLock.
 	EagerWriteLock bool
-}
 
-// GuidanceOptions tunes guided execution.
-type GuidanceOptions struct {
-	// Tfactor divides the highest outbound probability to obtain the
-	// destination-set threshold. Zero means the paper's default of 4.
-	Tfactor float64
+	// Label names the system's telemetry registration (default "tl2").
+	// Sharded deployments label each shard distinctly so GatherTelemetry
+	// and the /metrics endpoint can report per-shard series alongside the
+	// aggregate.
+	Label string
 
-	// GateRetries is the paper's k: how many times a held-back thread is
-	// re-checked before being forced through. Zero means the default.
-	GateRetries int
-
-	// Watchdog, when non-nil, arms the guidance watchdog: a circuit
-	// breaker that samples gate escape/hold rates and the abort rate over
-	// sliding windows and trips guidance into pass-through mode when the
-	// model is degrading execution — the runtime analogue of the
-	// analyzer's offline rejection. See WatchdogOptions for thresholds and
-	// the optional re-arm cooldown; System.Health reports its state.
-	Watchdog *WatchdogOptions
+	// PrivateClock gives the system its own TL2 global version clock
+	// instead of the process-wide one shared by default. Vars used under a
+	// private-clock system must never be touched by transactions of
+	// another system. The shard router sets this so unrelated transactions
+	// stop contending on one clock cache line.
+	PrivateClock bool
 }
 
 // WatchdogOptions configures the guidance watchdog (see
@@ -95,33 +88,14 @@ func NewSystem(cfg Config) *System {
 		MaxReadSpin:    cfg.MaxReadSpin,
 		MaxLockSpin:    cfg.MaxLockSpin,
 		EagerWriteLock: cfg.EagerWriteLock,
+		Label:          cfg.Label,
+		PrivateClock:   cfg.PrivateClock,
 	})
 	return &System{cfg: cfg, rt: rt}
 }
 
 // Config returns the system's configuration.
 func (s *System) Config() Config { return s.cfg }
-
-// Atomic executes fn transactionally on thread at site txn.
-//
-// Deprecated: use Run.
-func (s *System) Atomic(thread ThreadID, txn TxnID, fn func(*Tx) error) error {
-	return s.Run(nil, thread, txn, fn)
-}
-
-// AtomicCtx is Atomic honoring ctx.
-//
-// Deprecated: use Run.
-func (s *System) AtomicCtx(ctx context.Context, thread ThreadID, txn TxnID, fn func(*Tx) error) error {
-	return s.Run(ctx, thread, txn, fn)
-}
-
-// AtomicROCtx is AtomicRO honoring ctx.
-//
-// Deprecated: use Run with ReadOnly.
-func (s *System) AtomicROCtx(ctx context.Context, thread ThreadID, txn TxnID, fn func(*Tx) error) error {
-	return s.Run(ctx, thread, txn, fn, ReadOnly())
-}
 
 // StartProfiling begins capturing the transaction sequence. It composes
 // with guidance: when a guidance controller is installed the collector
@@ -149,35 +123,41 @@ func (s *System) StopProfiling() *Trace {
 
 // EnableGuidance validates m, compiles it into a guide table and installs
 // the guided-execution gate. It returns ErrGuidanceRejected (wrapped with
-// the analyzer's reason) when the model fails validation.
-func (s *System) EnableGuidance(m *Model, opts GuidanceOptions) error {
+// the analyzer's reason) when the model fails validation. Options follow
+// the TxOption style of Run: WithTfactor, WithGateRetries, WithWatchdog.
+func (s *System) EnableGuidance(m *Model, opts ...GuidanceOption) error {
+	set := applyGuidanceOptions(opts)
 	an := model.DefaultAnalyzer()
-	if opts.Tfactor > 0 {
-		an.Tfactor = opts.Tfactor
+	if set.tfactor > 0 {
+		an.Tfactor = set.tfactor
 	}
 	rep := an.Analyze(m)
 	if !rep.Guidable {
 		return fmt.Errorf("%w: %s", ErrGuidanceRejected, rep.Reason)
 	}
-	s.ForceGuidance(m, opts)
+	s.forceGuidance(m, set)
 	return nil
 }
 
 // ForceGuidance installs guidance without analyzer validation, for
 // experiments that deliberately guide unguidable workloads (the paper's
 // ssca2 degradation measurements).
-func (s *System) ForceGuidance(m *Model, opts GuidanceOptions) {
-	table := model.Compile(m, opts.Tfactor)
+func (s *System) ForceGuidance(m *Model, opts ...GuidanceOption) {
+	s.forceGuidance(m, applyGuidanceOptions(opts))
+}
+
+func (s *System) forceGuidance(m *Model, set guidanceSettings) {
+	table := model.Compile(m, set.tfactor)
 	gopts := []guide.Option{guide.WithTelemetry(s.rt.Telemetry())}
-	if opts.GateRetries > 0 {
-		gopts = append(gopts, guide.WithGateRetries(opts.GateRetries))
+	if set.gateRetries > 0 {
+		gopts = append(gopts, guide.WithGateRetries(set.gateRetries))
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ctrl = guide.NewController(table, gopts...)
 	s.dog = nil
-	if opts.Watchdog != nil {
-		s.dog = guide.NewWatchdog(s.ctrl, *opts.Watchdog)
+	if set.watchdog != nil {
+		s.dog = guide.NewWatchdog(s.ctrl, *set.watchdog)
 	}
 	s.schedGate, s.schedSink = nil, nil
 	s.installSinks()
@@ -299,16 +279,17 @@ type AdaptiveGuidance = guide.Adaptive
 
 // EnableAdaptiveGuidance installs guidance that keeps learning the Thread
 // State Automaton from the live event stream, recompiling its guide table
-// every recompileEvery state changes (0 selects the default). seed may be
-// nil for a cold start — the gate then passes everything until evidence
-// accumulates. This is an extension beyond the paper, whose models are
-// trained strictly offline.
-func (s *System) EnableAdaptiveGuidance(seed *Model, opts GuidanceOptions, recompileEvery int) *AdaptiveGuidance {
+// every WithRecompileEvery state changes (unset selects the default). seed
+// may be nil for a cold start — the gate then passes everything until
+// evidence accumulates. This is an extension beyond the paper, whose
+// models are trained strictly offline.
+func (s *System) EnableAdaptiveGuidance(seed *Model, opts ...GuidanceOption) *AdaptiveGuidance {
+	set := applyGuidanceOptions(opts)
 	gopts := []guide.Option{guide.WithTelemetry(s.rt.Telemetry())}
-	if opts.GateRetries > 0 {
-		gopts = append(gopts, guide.WithGateRetries(opts.GateRetries))
+	if set.gateRetries > 0 {
+		gopts = append(gopts, guide.WithGateRetries(set.gateRetries))
 	}
-	a := guide.NewAdaptive(s.cfg.Threads, seed, opts.Tfactor, recompileEvery, gopts...)
+	a := guide.NewAdaptive(s.cfg.Threads, seed, set.tfactor, set.recompileEvery, gopts...)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ctrl = a.Controller
@@ -319,17 +300,15 @@ func (s *System) EnableAdaptiveGuidance(seed *Model, opts GuidanceOptions, recom
 	return a
 }
 
-// AtomicRO executes fn as a read-only transaction.
-//
-// Deprecated: use Run with ReadOnly.
-func (s *System) AtomicRO(thread ThreadID, txn TxnID, fn func(*Tx) error) error {
-	return s.Run(nil, thread, txn, fn, ReadOnly())
-}
-
 // Health is a point-in-time view of the system's runtime resilience state:
-// cumulative work counters, policy-abandonment counters, gate decision
-// counts, and — when guidance runs under a watchdog — the breaker state.
+// the execution mode, cumulative work counters, policy-abandonment
+// counters, gate decision counts, and — when guidance runs under a
+// watchdog — the breaker state.
 type Health struct {
+	// Mode mirrors System.Mode: the execution mode derived from what is
+	// installed (guided/degraded, profiling, unguided).
+	Mode Mode
+
 	// Commits and Aborts mirror Stats.
 	Commits, Aborts uint64
 
@@ -353,6 +332,7 @@ type Health struct {
 
 // Degraded reports whether the system is currently running in degraded
 // (pass-through) mode: guidance is installed but its watchdog has tripped.
+// Equivalent to Mode == ModeDegraded.
 func (h Health) Degraded() bool {
 	return h.WatchdogEnabled && h.Watchdog.State == guide.WatchdogTripped
 }
@@ -366,6 +346,7 @@ func (s *System) Health() Health {
 
 	var h Health
 	h.Commits, h.Aborts = s.rt.Stats()
+	h.Mode = s.Mode()
 	h.RetryBudgetExceeded, h.ContextCanceled = s.rt.ResilienceStats()
 	if ctrl != nil {
 		h.Guided = true

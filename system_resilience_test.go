@@ -113,8 +113,8 @@ func TestSystemRetryBudgetDeterministicConflict(t *testing.T) {
 		}
 		conflictDone <- struct{}{}
 	}
-	if err := <-done; !errors.Is(err, ErrRetryBudgetExceeded) {
-		t.Fatalf("err = %v, want ErrRetryBudgetExceeded", err)
+	if err := <-done; !errors.Is(err, ErrRetryBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrRetryBudgetExhausted", err)
 	}
 	if got := attempts.Load(); got != budget {
 		t.Fatalf("body ran %d times, want %d", got, budget)
@@ -181,16 +181,16 @@ func TestWatchdogFallbackOnAdversarialModel(t *testing.T) {
 	baseline := run(baseSys)
 
 	sys := NewSystem(Config{Threads: threads})
-	sys.ForceGuidance(adversarialModel(threads, pairs), GuidanceOptions{
-		Tfactor:     4,
-		GateRetries: 1,
-		Watchdog: &WatchdogOptions{
+	sys.ForceGuidance(adversarialModel(threads, pairs),
+		WithTfactor(4),
+		WithGateRetries(1),
+		WithWatchdog(WatchdogOptions{
 			Window:         64,
 			MinGateSamples: 8,
 			MaxEscapeRate:  0.25,
 			// Cooldown 0: the trip is final — the model cannot improve.
-		},
-	})
+		}),
+	)
 	guided := run(sys)
 
 	h := sys.Health()
@@ -281,13 +281,13 @@ func TestReconfigureUnderLoad(t *testing.T) {
 		case 2:
 			// EnableGuidance may reject the adversarial model; the validated
 			// install path is exercised either way, ForceGuidance regardless.
-			_ = sys.EnableGuidance(m, GuidanceOptions{Tfactor: 4, GateRetries: 1})
-			sys.ForceGuidance(m, GuidanceOptions{Tfactor: 4, GateRetries: 1,
-				Watchdog: &WatchdogOptions{Window: 32, MinGateSamples: 4}})
+			_ = sys.EnableGuidance(m, WithTfactor(4), WithGateRetries(1))
+			sys.ForceGuidance(m, WithTfactor(4), WithGateRetries(1),
+				WithWatchdog(WatchdogOptions{Window: 32, MinGateSamples: 4}))
 		case 3:
 			sys.SetScheduler(faultinject.NewStarvingGate(nil, 2), faultinject.NewStallingSink(nil, 2))
 		case 4:
-			sys.EnableAdaptiveGuidance(nil, GuidanceOptions{Tfactor: 4, GateRetries: 1}, 64)
+			sys.EnableAdaptiveGuidance(nil, WithTfactor(4), WithGateRetries(1), WithRecompileEvery(64))
 		case 5:
 			sys.DisableGuidance()
 		}
@@ -325,7 +325,7 @@ func TestHealthSnapshotShape(t *testing.T) {
 		t.Fatalf("Commits = %d, want 1", h.Commits)
 	}
 
-	sys.ForceGuidance(adversarialModel(2, []txid.Pair{{Txn: 0, Thread: 0}}), GuidanceOptions{Tfactor: 4})
+	sys.ForceGuidance(adversarialModel(2, []txid.Pair{{Txn: 0, Thread: 0}}), WithTfactor(4))
 	h = sys.Health()
 	if !h.Guided || h.WatchdogEnabled {
 		t.Fatalf("guided-without-watchdog health wrong: %+v", h)
