@@ -36,12 +36,38 @@ func main() {
 		window   = flag.Int("window", 0, "pipeline depth per connection (0/1 = synchronous request/response)")
 		once     = flag.Bool("once", false, "single run in the server's current mode; skip the guided/unguided comparison")
 		shBench  = flag.Bool("shard-bench", false, "sweep shard counts x workloads against in-process servers (ignores -addr)")
-		out      = flag.String("out", "", "write the report as JSON to this file (BENCH_server.json / BENCH_shard.json)")
+		durBench = flag.Bool("durability", false, "sweep WAL fsync windows vs a non-durable baseline against in-process servers (ignores -addr; BENCH_wal.json)")
+		ledger   = flag.String("ledger", "", "drive an add-only load and write the acked/in-flight ledger JSON here; tolerates the server dying mid-run (kill-and-recover chaos)")
+		verify   = flag.String("verify-ledger", "", "check a recovered server against a ledger file: acked <= value <= acked+inflight for every key")
+		out      = flag.String("out", "", "write the report as JSON to this file (BENCH_server.json / BENCH_shard.json / BENCH_wal.json)")
 	)
 	flag.Parse()
 
 	if *shBench {
 		shardBench(*runs, *out)
+		return
+	}
+	if *durBench {
+		durabilityBench(*runs, *out)
+		return
+	}
+	if *verify != "" {
+		led, err := server.ReadLedger(*verify)
+		if err != nil {
+			fatal(err)
+		}
+		violations, err := server.VerifyLedger(*addr, led)
+		if err != nil {
+			fatal(err)
+		}
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "gstm-loadgen: VIOLATION:", v)
+			}
+			fatal(fmt.Errorf("%d ledger violations: recovery lost acknowledged writes", len(violations)))
+		}
+		fmt.Printf("ledger verified: %d acked keys, %d in-flight keys, no violations\n",
+			len(led.Acked), len(led.Inflight))
 		return
 	}
 
@@ -57,6 +83,16 @@ func main() {
 		DelPct:     *delPct,
 		Seed:       *seed,
 		Window:     *window,
+	}
+
+	if *ledger != "" {
+		led := server.RunLedgerLoad(load)
+		if err := led.WriteFile(*ledger); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ledger: %d ops acked over %d keys, %d errors, %d in-flight keys -> %s\n",
+			led.Ops, len(led.Acked), led.Errors, len(led.Inflight), *ledger)
+		return
 	}
 
 	if *once {
@@ -113,6 +149,31 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "gstm-loadgen: wrote %s\n", *out)
+	}
+}
+
+// durabilityBench runs the WAL cost sweep and writes BENCH_wal.json.
+func durabilityBench(runs int, out string) {
+	fmt.Fprintln(os.Stderr, "gstm-loadgen: durability sweep (WAL off vs strict vs relaxed fsync windows; pipelined write-heavy fixed-work runs)")
+	rep, err := server.BenchDurability(server.WALBenchConfig{Runs: runs, Progress: os.Stderr})
+	if err != nil {
+		fatal(err)
+	}
+	for _, pt := range rep.Points {
+		fmt.Printf("%-14s %9.0f ops/s (cv %5.2f%%)  rel %.2fx  appends %d fsyncs %d\n",
+			pt.Name, pt.ThroughputMean, pt.ThroughputCVPct, pt.RelativeThroughput,
+			pt.WALAppends, pt.WALFsyncs)
+	}
+	fmt.Printf("relaxed >= 70%% of baseline: %v\n", rep.RelaxedTargetMet)
+	if out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gstm-loadgen: wrote %s\n", out)
 	}
 }
 

@@ -41,6 +41,10 @@ func main() {
 		metrics       = flag.String("metrics-addr", "", "serve live telemetry on this address (e.g. :9100 or :0): /metrics (Prometheus), /debug/vars (JSON), /debug/pprof")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound")
 		procs         = flag.Int("gomaxprocs", 0, "GOMAXPROCS (0 = runtime default)")
+		walDir        = flag.String("wal-dir", "", "durability: per-shard write-ahead log directory (empty = in-memory only); restarts recover snapshot+log before serving")
+		fsyncInterval = flag.Duration("fsync-interval", 0, "WAL fsync window: 0 fsyncs before every ack (strict, survives power loss); >0 acks from page cache and fsyncs per interval (relaxed, survives SIGKILL)")
+		snapshotEvery = flag.Int("snapshot-every", 0, "WAL snapshot+truncate cycle after this many logged commits per shard (0 = never)")
+		guidedWarmup  = flag.Bool("guided-warmup", false, "log aborts too and pre-train each shard's model from the replayed Tseq on recovery")
 	)
 	flag.Parse()
 	if *procs > 0 {
@@ -62,6 +66,10 @@ func main() {
 		GateRetries:   *gateK,
 		Unguided:      *unguided,
 		Interleave:    *interleave,
+		WALDir:        *walDir,
+		FsyncInterval: *fsyncInterval,
+		SnapshotEvery: *snapshotEvery,
+		GuidedWarmup:  *guidedWarmup,
 	}
 	if *watchdog {
 		cfg.Watchdog = &gstm.WatchdogOptions{}
@@ -81,8 +89,15 @@ func main() {
 	if err := s.Start(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "gstm-server: listening on %s (%d shards, %d workers, batch %d, mode %s)\n",
-		s.Addr(), s.Shards(), *workers, *batch, s.Mode())
+	durability := "off"
+	if *walDir != "" {
+		durability = "strict"
+		if *fsyncInterval > 0 {
+			durability = fmt.Sprintf("relaxed(%v)", *fsyncInterval)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "gstm-server: listening on %s (%d shards, %d workers, batch %d, mode %s, durability %s)\n",
+		s.Addr(), s.Shards(), *workers, *batch, s.Mode(), durability)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

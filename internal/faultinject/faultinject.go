@@ -1,7 +1,8 @@
 // Package faultinject is a deterministic, seeded fault injector for the
 // STM engines' chaos tests. It implements the engines' FaultInjector hook
-// (spurious aborts, delayed commits) and provides wrappers that degrade
-// the instrumentation plane (stalled event sinks, starved gates).
+// (spurious aborts, delayed commits), the WAL's DiskFaults hook (fsync
+// errors, torn writes, ENOSPC) and provides wrappers that degrade the
+// instrumentation plane (stalled event sinks, starved gates).
 //
 // Every decision is a pure function of (seed, pair, attempt): fault
 // schedules replay identically regardless of goroutine interleaving, so a
@@ -10,6 +11,7 @@
 package faultinject
 
 import (
+	"errors"
 	"runtime"
 	"sync/atomic"
 
@@ -106,6 +108,110 @@ func (i *Injector) CommitDelay(p txid.Pair, attempt int) int {
 // fired proves nothing.
 func (i *Injector) Counts() (spuriousAborts, commitDelays uint64) {
 	return i.aborts.Load(), i.delays.Load()
+}
+
+// DiskConfig parameterizes a DiskInjector. Zero probabilities disable the
+// corresponding fault point; a zero ENOSPCAfterBytes disables the
+// disk-full point.
+type DiskConfig struct {
+	// Seed keys every decision, like Config.Seed.
+	Seed uint64
+
+	// FsyncErrorProb is the probability that one fsync call fails with
+	// ErrFsyncInjected. The log must fail closed: no acknowledgement may
+	// be issued for records whose durability the failed fsync covered.
+	FsyncErrorProb float64
+
+	// TornWriteProb is the probability that one write(2) is torn: only a
+	// deterministic prefix of the buffer reaches the file and the write
+	// returns ErrTornWrite. Recovery must treat the torn bytes as a
+	// garbage tail and never replay a partial record.
+	TornWriteProb float64
+
+	// ENOSPCAfterBytes, when positive, fails any write that would push the
+	// file past this many cumulative bytes, writing only the part that
+	// fits and returning ErrNoSpace — a deterministic disk-full cliff.
+	ENOSPCAfterBytes int64
+}
+
+// Fault sentinels returned by the disk fault points.
+var (
+	ErrFsyncInjected = errors.New("faultinject: injected fsync error")
+	ErrTornWrite     = errors.New("faultinject: injected torn write")
+	ErrNoSpace       = errors.New("faultinject: injected ENOSPC")
+)
+
+// DiskInjector implements wal.DiskFaults: deterministic fault decisions
+// for the write-ahead log's file operations. Like Injector, every
+// decision is a pure function of (seed, op ordinal[, offset]) — the WAL
+// numbers its writes and fsyncs, so a fault schedule replays identically
+// regardless of flusher timing — and the injector keeps only observation
+// counters.
+type DiskInjector struct {
+	cfg DiskConfig
+
+	fsyncErrs  atomic.Uint64
+	tornWrites atomic.Uint64
+	noSpace    atomic.Uint64
+}
+
+// NewDisk returns a DiskInjector for cfg.
+func NewDisk(cfg DiskConfig) *DiskInjector { return &DiskInjector{cfg: cfg} }
+
+// Disk decision salts.
+const (
+	saltFsync = 0x1b873593
+	saltTorn  = 0xcc9e2d51
+)
+
+// rollOp returns a deterministic uniform sample in [0,1) for disk
+// operation ordinal op under salt.
+func (d *DiskInjector) rollOp(salt, op uint64) float64 {
+	h := mix(d.cfg.Seed ^ salt ^ op)
+	return float64(h>>11) / (1 << 53)
+}
+
+// WriteFault decides the fate of write ordinal op, which would append n
+// bytes at file offset off. It returns how many bytes the caller must
+// actually write and a non-nil error when the write is to be reported
+// failed (torn or out of space). The returned prefix MUST still reach the
+// file: a torn write is precisely a failure that left bytes behind.
+func (d *DiskInjector) WriteFault(op uint64, off int64, n int) (int, error) {
+	if d == nil {
+		return n, nil
+	}
+	if lim := d.cfg.ENOSPCAfterBytes; lim > 0 && off+int64(n) > lim {
+		keep := lim - off
+		if keep < 0 {
+			keep = 0
+		}
+		d.noSpace.Add(1)
+		return int(keep), ErrNoSpace
+	}
+	if d.cfg.TornWriteProb > 0 && d.rollOp(saltTorn, op) < d.cfg.TornWriteProb {
+		// Deterministic cut point strictly inside the buffer.
+		cut := int(mix(d.cfg.Seed^saltTorn^op^0xabcd) % uint64(n))
+		d.tornWrites.Add(1)
+		return cut, ErrTornWrite
+	}
+	return n, nil
+}
+
+// FsyncFault decides the fate of fsync ordinal op.
+func (d *DiskInjector) FsyncFault(op uint64) error {
+	if d == nil || d.cfg.FsyncErrorProb <= 0 {
+		return nil
+	}
+	if d.rollOp(saltFsync, op) < d.cfg.FsyncErrorProb {
+		d.fsyncErrs.Add(1)
+		return ErrFsyncInjected
+	}
+	return nil
+}
+
+// DiskCounts reports how many disk faults of each kind were injected.
+func (d *DiskInjector) DiskCounts() (fsyncErrs, tornWrites, noSpace uint64) {
+	return d.fsyncErrs.Load(), d.tornWrites.Load(), d.noSpace.Load()
 }
 
 // Sink mirrors tl2.EventSink / libtm.EventSink structurally so the

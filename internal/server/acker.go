@@ -1,0 +1,130 @@
+package server
+
+// Asynchronous durability acknowledgment. A worker that commits a durable
+// batch does not block until the batch's WAL records are flushed — it
+// captures each touched shard's record seq, hands the batch to the
+// server's acker goroutine, and immediately starts its next batch. The
+// acker waits for the seqs per the durability mode, performs the
+// post-commit accounting, and writes the client responses. Decoupling the
+// wait from the worker lets group commit batch adaptively: while one
+// flush is in flight the workers keep appending, so the next write(2)
+// carries everything that accumulated, instead of each worker stalling
+// for one flush cycle per batch.
+//
+// Reordering this introduces is invisible to clients: responses carry
+// request IDs and per-connection ordering across workers was never
+// guaranteed (requests round-robin over the pool).
+
+// ackWait is one shard sub-transaction's durability obligation.
+type ackWait struct {
+	sh  int
+	seq uint64 // 0: commit carried no record; nothing to wait for
+}
+
+// ackItem is one durable batch in flight between its worker and the
+// acker. tasks/results are copies (the worker reuses its own slices);
+// shardOf[i] is task i's home shard, for mapping a failed shard's wait
+// back onto exactly its operations.
+type ackItem struct {
+	tasks   []task
+	results []opResult
+	shardOf []int32
+	waits   []ackWait
+}
+
+func (s *Server) getAckItem(n int) *ackItem {
+	v := s.ackPool.Get()
+	if v == nil {
+		v = &ackItem{}
+	}
+	it := v.(*ackItem)
+	if cap(it.shardOf) < n {
+		it.shardOf = make([]int32, n)
+	}
+	it.shardOf = it.shardOf[:n]
+	it.tasks = it.tasks[:0]
+	it.results = it.results[:0]
+	it.waits = it.waits[:0]
+	return it
+}
+
+// ackLoop is the server's single acker goroutine; it exits when s.acks
+// closes (after every producer worker has stopped).
+func (s *Server) ackLoop() {
+	defer close(s.ackDone)
+	var resp []byte
+	for it := range s.acks {
+		resp = s.finishDurable(it, resp)
+	}
+}
+
+// finishDurable settles one durable batch: wait out each shard's
+// obligation, demote a failed shard's operations to StatusUnavailable,
+// account the survivors, write the responses, release the in-flight
+// slots.
+func (s *Server) finishDurable(it *ackItem, resp []byte) []byte {
+	for _, wt := range it.waits {
+		if wt.seq > 0 {
+			if werr := s.wals[wt.sh].WaitAcked(wt.seq); werr != nil {
+				// The commit executed in memory but its record never became
+				// durable; the ack must not happen. (After a crash the replay
+				// won't have it — exactly what StatusUnavailable promises.)
+				for i := range it.tasks {
+					if int(it.shardOf[i]) == wt.sh {
+						it.results[i] = opResult{status: StatusUnavailable}
+					}
+				}
+				continue
+			}
+		}
+		var delta int64
+		n := 0
+		for i := range it.tasks {
+			if int(it.shardOf[i]) == wt.sh {
+				delta += it.results[i].delta
+				n++
+			}
+		}
+		if delta != 0 {
+			s.liveKeys.Add(delta)
+		}
+		s.batches.Add(1)
+		s.batchedOps.Add(uint64(n))
+		s.lcs[wt.sh].noteOps(n)
+	}
+
+	// Same coalescing as the worker's inline path: consecutive
+	// same-connection responses share one buffer and one syscall.
+	i := 0
+	for i < len(it.tasks) {
+		c := it.tasks[i].c
+		resp = resp[:0]
+		j := i
+		for j < len(it.tasks) && it.tasks[j].c == c {
+			resp = AppendResponse(resp, Response{
+				ID:     it.tasks[j].req.ID,
+				Status: it.results[j].status,
+				Value:  it.results[j].value,
+			})
+			j++
+		}
+		c.writeFrames(resp)
+		i = j
+	}
+	for range it.tasks {
+		s.inflight.Done()
+	}
+	s.ackPool.Put(it)
+	return resp
+}
+
+// stopAcker closes the hand-off channel (all workers must have exited)
+// and waits for the acker to drain. Safe to call multiple times and with
+// durability off.
+func (s *Server) stopAcker() {
+	if s.acks == nil {
+		return
+	}
+	s.ackOnce.Do(func() { close(s.acks) })
+	<-s.ackDone
+}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"gstm/internal/xrand"
+)
+
+// Ledger is the client-side record of an add-only load run, kept for
+// kill-and-recover verification. Adds commute, so per-key sums are a
+// complete oracle: after a crash and recovery, every key must hold at
+// least the sum of its acknowledged adds (acked writes are durable by the
+// WAL contract) and at most acked+inflight (an in-flight add may have
+// committed and reached the log just before the kill, or not — either
+// outcome is correct; losing an acked one is not).
+type Ledger struct {
+	// Acked[key] sums the Arg of every add whose StatusOK response was
+	// received. Inflight[key] sums adds that were sent but unanswered when
+	// the run ended (connection died or run stopped).
+	Acked    map[uint64]uint64 `json:"acked"`
+	Inflight map[uint64]uint64 `json:"inflight"`
+	// Ops/Errors describe the run for reporting.
+	Ops    uint64 `json:"ops"`
+	Errors uint64 `json:"errors"`
+}
+
+// merge folds o into l.
+func (l *Ledger) merge(o *Ledger) {
+	for k, v := range o.Acked {
+		l.Acked[k] += v
+	}
+	for k, v := range o.Inflight {
+		l.Inflight[k] += v
+	}
+	l.Ops += o.Ops
+	l.Errors += o.Errors
+}
+
+// WriteFile serializes the ledger as JSON.
+func (l *Ledger) WriteFile(path string) error {
+	buf, err := json.Marshal(l)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadLedger loads a ledger written by WriteFile.
+func ReadLedger(path string) (*Ledger, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	l := &Ledger{}
+	if err := json.Unmarshal(buf, l); err != nil {
+		return nil, err
+	}
+	if l.Acked == nil {
+		l.Acked = map[uint64]uint64{}
+	}
+	if l.Inflight == nil {
+		l.Inflight = map[uint64]uint64{}
+	}
+	return l, nil
+}
+
+// RunLedgerLoad drives an add-only load (Arg always 1) against cfg.Addr,
+// recording every acknowledged add. Unlike RunLoad it expects the server
+// to die mid-run: a connection error ends that connection's work with its
+// last unanswered add recorded as in-flight, not as a run failure. The
+// run ends when every connection has finished its fixed work, hit the
+// deadline, or lost its connection.
+func RunLedgerLoad(cfg LoadConfig) *Ledger {
+	cfg = cfg.normalize()
+	leds := make([]*Ledger, cfg.Conns)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Conns; i++ {
+		leds[i] = &Ledger{Acked: map[uint64]uint64{}, Inflight: map[uint64]uint64{}}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ledgerConn(cfg, i, leds[i])
+		}(i)
+	}
+	wg.Wait()
+	total := &Ledger{Acked: map[uint64]uint64{}, Inflight: map[uint64]uint64{}}
+	for _, l := range leds {
+		total.merge(l)
+	}
+	return total
+}
+
+func ledgerConn(cfg LoadConfig, i int, led *Ledger) {
+	cl, err := Dial(cfg.Addr)
+	if err != nil {
+		return // server already gone: nothing sent, nothing owed
+	}
+	defer cl.Close()
+	r := xrand.NewThread(cfg.Seed, i)
+	deadline := time.Now().Add(cfg.Duration)
+	for n := 0; ; n++ {
+		if cfg.OpsPerConn > 0 {
+			if n >= cfg.OpsPerConn {
+				return
+			}
+		} else if !time.Now().Before(deadline) {
+			return
+		}
+		key := skewKey(r, cfg)
+		st, _, err := cl.Do(OpAdd, key, 1)
+		if err != nil {
+			// Connection died mid-request: the add was sent (or partially
+			// sent) and never answered — in-flight, outcome unknown.
+			led.Inflight[key]++
+			return
+		}
+		led.Ops++
+		if st == StatusOK {
+			led.Acked[key]++
+		} else {
+			// StatusShutdown, StatusUnavailable, ...: answered and
+			// explicitly NOT acknowledged; the server may still have
+			// committed it in memory (Unavailable), but durability makes no
+			// promise either way — same contract as in-flight.
+			led.Errors++
+			led.Inflight[key]++
+		}
+	}
+}
+
+// skewKey mirrors nextOp's key draw (add-only runs share the keyspace
+// shape of the mixed workload).
+func skewKey(r *xrand.Rand, cfg LoadConfig) uint64 {
+	return uint64(float64(cfg.Keys-1) * math.Pow(r.Float64(), cfg.Skew))
+}
+
+// VerifyLedger checks a recovered server against a ledger: for every key,
+// acked ≤ recovered value ≤ acked + inflight. It returns the list of
+// violations (empty = the recovery kept every acknowledged write).
+func VerifyLedger(addr string, led *Ledger) ([]string, error) {
+	cl, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	keys := make(map[uint64]struct{}, len(led.Acked)+len(led.Inflight))
+	for k := range led.Acked {
+		keys[k] = struct{}{}
+	}
+	for k := range led.Inflight {
+		keys[k] = struct{}{}
+	}
+	var violations []string
+	for k := range keys {
+		st, v, err := cl.Do(OpGet, k, 0)
+		if err != nil {
+			return violations, err
+		}
+		if st == StatusNotFound {
+			v = 0
+		} else if st != StatusOK {
+			return violations, fmt.Errorf("get %d: status %d", k, st)
+		}
+		lo := led.Acked[k]
+		hi := lo + led.Inflight[k]
+		if v < lo || v > hi {
+			violations = append(violations,
+				fmt.Sprintf("key %d: recovered %d outside [acked %d, acked+inflight %d]", k, v, lo, hi))
+		}
+	}
+	return violations, nil
+}

@@ -184,6 +184,31 @@ func (lc *lifecycle) guidanceOptions() []gstm.GuidanceOption {
 	return opts
 }
 
+// warmStart installs a model reconstructed from the shard's recovered
+// write-ahead log before serving begins (guided warmup): the same
+// install path as train, minus the profiling that produced the traces.
+// Reports false when the analyzer rejects the model (and ForceGuidance is
+// off) — the caller falls back to the normal cold start.
+func (lc *lifecycle) warmStart(m *gstm.Model) bool {
+	opts := lc.guidanceOptions()
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.gen++
+	if lc.cfg.ForceGuidance {
+		lc.lastModel = m
+		lc.sys.ForceGuidance(m, opts...)
+		lc.mode.Store(uint32(ModeGuided))
+		return true
+	}
+	if err := lc.sys.EnableGuidance(m, opts...); err != nil {
+		lc.reason = err.Error()
+		return false
+	}
+	lc.lastModel = m
+	lc.mode.Store(uint32(ModeGuided))
+	return true
+}
+
 // reinstallGuided force-installs the most recently trained model without
 // re-profiling. Reports false when no model has been trained yet.
 func (lc *lifecycle) reinstallGuided() bool {

@@ -99,6 +99,11 @@ const (
 	StatusUnguidable Status = 4
 	StatusBadRequest Status = 5
 	StatusShutdown   Status = 6
+	// StatusUnavailable: the operation's durability could not be promised —
+	// the shard's write-ahead log refused or failed to acknowledge the
+	// record. The mutation may or may not have executed in memory; it was
+	// never acked, so recovery makes no promise about it either way.
+	StatusUnavailable Status = 7
 )
 
 // Wire format: every frame is a 4-byte big-endian payload length followed

@@ -9,10 +9,12 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gstm"
 	"gstm/internal/shard"
 	"gstm/internal/stmds"
+	"gstm/internal/wal"
 )
 
 // Config parameterizes a Server. The zero value is not usable; call
@@ -82,6 +84,33 @@ type Config struct {
 
 	// Interleave is forwarded to gstm.Config (test machines).
 	Interleave int
+
+	// WALDir, when non-empty, turns durability on: each shard keeps a
+	// write-ahead log of its commit sequence under WALDir/shard<i>, Start
+	// recovers snapshot+log before serving, and mutating operations are
+	// acknowledged only after their record reaches the log (see
+	// internal/wal). Empty keeps the server purely in-memory.
+	WALDir string
+
+	// FsyncInterval selects the WAL durability mode: zero fsyncs every
+	// group-committed batch before acking (strict — acked writes survive
+	// power loss); positive acks on write to the page cache and fsyncs at
+	// most once per interval (relaxed — acked writes survive process
+	// kills; the loss window on OS failure is the interval).
+	FsyncInterval time.Duration
+
+	// SnapshotEvery triggers a WAL snapshot+truncate cycle after that many
+	// logged commits per shard (0 disables automatic snapshots).
+	SnapshotEvery int
+
+	// GuidedWarmup also logs abort events and, on recovery, pre-trains
+	// each shard's model from the replayed Tseq so the shard restarts
+	// guided instead of re-profiling from cold.
+	GuidedWarmup bool
+
+	// DiskFaults, when non-nil, is installed as every shard WAL's disk
+	// fault hook (chaos tests).
+	DiskFaults wal.DiskFaults
 }
 
 func (cfg Config) normalize() Config {
@@ -124,6 +153,20 @@ type Server struct {
 	workers []*worker
 	rr      atomic.Uint32 // round-robin dispatch cursor
 
+	// wals[s] is shard s's write-ahead log (nil slice when durability is
+	// off); warmed[s] records that recovery already installed a guided
+	// model on shard s, so Start leaves its lifecycle alone.
+	wals   []*wal.Log
+	warmed []bool
+
+	// acks hands committed durable batches to the acker goroutine, which
+	// waits out their WAL obligations and writes the responses (see
+	// acker.go). Nil when durability is off.
+	acks    chan *ackItem
+	ackDone chan struct{}
+	ackOnce sync.Once
+	ackPool sync.Pool
+
 	// inflight tracks accepted data operations from enqueue to response
 	// write; Shutdown drains it.
 	inflight sync.WaitGroup
@@ -157,6 +200,14 @@ func New(cfg Config) *Server {
 		stop:  make(chan struct{}),
 		conns: make(map[net.Conn]struct{}),
 	}
+	if cfg.WALDir != "" {
+		s.acks = make(chan *ackItem, 8*cfg.Workers)
+		s.ackDone = make(chan struct{})
+		// The acker lives from New to stopAcker, outside s.wg: it outlives
+		// the workers (its producers) and must drain after they exit even
+		// when Start itself fails.
+		go s.ackLoop()
+	}
 	buckets := cfg.Buckets / cfg.Shards
 	if buckets < 16 {
 		buckets = 16
@@ -187,16 +238,27 @@ func (s *Server) Shards() int { return s.router.Shards() }
 // Addr returns the bound listen address (valid after Start).
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Start binds the listener, launches the worker pool and the accept loop,
-// and starts every shard's guidance lifecycle (profiling, unless
-// cfg.Unguided).
+// Start opens durability (when configured) and recovers each shard from
+// its write-ahead log, binds the listener, launches the worker pool and
+// the accept loop, and starts every shard's guidance lifecycle
+// (profiling, unless cfg.Unguided; shards guided-warmed by recovery keep
+// their recovered model).
 func (s *Server) Start() error {
+	if s.cfg.WALDir != "" && s.wals == nil {
+		if err := s.openDurability(); err != nil {
+			return err
+		}
+	}
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
+		s.closeWALs()
 		return err
 	}
 	s.ln = ln
-	for _, lc := range s.lcs {
+	for i, lc := range s.lcs {
+		if s.warmed != nil && s.warmed[i] {
+			continue // recovery already installed a guided model
+		}
 		if s.cfg.Unguided {
 			lc.forceUnguided()
 		} else {
@@ -461,10 +523,30 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() { s.wg.Wait(); close(done) }()
 	select {
 	case <-done:
-		return err
+		// Workers have exited (no new records, no new ack items) and the
+		// drain above already saw every pending ack written, so the acker
+		// stops immediately; then Close drains and fsyncs everything
+		// staged, which is the clean-shutdown guarantee — every acked
+		// record is on disk before the process exits.
+		s.stopAcker()
+		return errors.Join(err, s.closeWALs())
 	case <-ctx.Done():
-		return errors.Join(err, fmt.Errorf("server: shutdown wait: %w", ctx.Err()))
+		// Abandoning the drain: workers may still be live, so the acks
+		// channel cannot be closed safely; the acker is left to die with
+		// the process. Closing the WALs releases anything it still waits on.
+		return errors.Join(err, s.closeWALs(), fmt.Errorf("server: shutdown wait: %w", ctx.Err()))
 	}
+}
+
+// closeWALs flushes and closes every shard's log (nil-safe, idempotent).
+func (s *Server) closeWALs() error {
+	var err error
+	for _, l := range s.wals {
+		if l != nil {
+			err = errors.Join(err, l.Close())
+		}
+	}
+	return err
 }
 
 // Close force-stops the server without draining.
@@ -473,4 +555,32 @@ func (s *Server) Close() error {
 	cancel()
 	_ = s.Shutdown(ctx)
 	return nil
+}
+
+// Crash force-stops the server the way SIGKILL would, for in-process
+// kill-and-recover chaos tests: no drain, no final WAL fsync. Queued and
+// in-flight operations are abandoned; each shard's log keeps exactly what
+// was already written — which covers every acked record — and loses its
+// staged buffer. The store's in-memory state is discarded with the Server.
+func (s *Server) Crash() {
+	s.draining.Store(true)
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	// Crash the logs before waiting: the acker's pending WaitAcked calls
+	// must be released (with ErrCrashed) so it keeps draining and no
+	// worker stays blocked handing a batch off.
+	for _, l := range s.wals {
+		if l != nil {
+			l.Crash()
+		}
+	}
+	s.connMu.Lock()
+	for nc := range s.conns {
+		_ = nc.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	s.stopAcker()
 }

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gstm/internal/faultinject"
+)
+
+// TestDurableCleanShutdown: every operation acknowledged before a
+// graceful shutdown must be present after recovery — a clean exit leaves
+// no committed-but-unlogged record behind.
+func TestDurableCleanShutdown(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Workers: 2, Batch: 4, Unguided: true,
+		WALDir: dir, FsyncInterval: 5 * time.Millisecond,
+	}
+	s := New(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	addr := s.Addr().String()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	acked := map[uint64]uint64{}
+	for i := uint64(0); i < 300; i++ {
+		k := i % 37
+		st, v, err := cl.Do(OpAdd, k, 1)
+		if err != nil || st != StatusOK {
+			t.Fatalf("add %d: status %d err %v", i, st, err)
+		}
+		acked[k] = v
+	}
+	cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	cancel()
+
+	// Recover into a fresh server on the same directory; acked state must
+	// be exactly there (relaxed mode: the clean shutdown flushed + fsynced
+	// everything on Close, so even the page-cache window is closed).
+	s2 := startServer(t, cfg)
+	cl2, err := Dial(s2.Addr().String())
+	if err != nil {
+		t.Fatalf("dial recovered: %v", err)
+	}
+	defer cl2.Close()
+	for k, want := range acked {
+		st, v, err := cl2.Do(OpGet, k, 0)
+		if err != nil || st != StatusOK {
+			t.Fatalf("get %d after recovery: status %d err %v", k, st, err)
+		}
+		if v != want {
+			t.Fatalf("key %d: recovered %d, acked %d", k, v, want)
+		}
+	}
+	// liveKeys was recounted from the recovered store.
+	n, err := cl2.Info(InfoKeys)
+	if err != nil || n != uint64(len(acked)) {
+		t.Fatalf("InfoKeys = %d (err %v), want %d", n, err, len(acked))
+	}
+}
+
+// TestKillAndRecoverChaos is the tentpole acceptance test: an add-only
+// ledgered load is cut short by Crash (the in-process SIGKILL), the
+// server recovers from the same WAL directory with guided warmup on, and
+// every acknowledged write must be present — with the recovered Tseq
+// pre-training the shard models so the server restarts guided.
+func TestKillAndRecoverChaos(t *testing.T) {
+	dir := t.TempDir()
+	// SnapshotEvery stays 0 here: truncation discards Tseq history, and the
+	// warmup assertion below needs the full commit trace in the log. The
+	// snapshot+crash path is covered by TestSnapshotCrashRecovery.
+	cfg := Config{
+		Shards: 2, Workers: 2, Batch: 4, Unguided: true,
+		WALDir: dir, FsyncInterval: 10 * time.Millisecond,
+		GuidedWarmup: true, ForceGuidance: true,
+	}
+	s := New(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+
+	load := LoadConfig{
+		Addr:  s.Addr().String(),
+		Conns: 4, Duration: 30 * time.Second, // cut short by the crash
+		Keys: 64, Skew: 2, Seed: 0xDEAD,
+	}
+	ledCh := make(chan *Ledger, 1)
+	go func() { ledCh <- RunLedgerLoad(load) }()
+	// Crash only after every shard has logged comfortably more commits
+	// than warmup needs, so the recovered Tseq can train a model per shard.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		minCommits := uint64(1 << 62)
+		for sh := 0; sh < cfg.Shards; sh++ {
+			c, _ := s.Router().System(sh).Stats()
+			if c < minCommits {
+				minCommits = c
+			}
+		}
+		if minCommits >= 4*warmupMinCommits {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("load never reached %d commits per shard", 4*warmupMinCommits)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s.Crash()
+	led := <-ledCh
+	if led.Ops < 100 {
+		t.Fatalf("only %d ops before the crash; load never got going", led.Ops)
+	}
+
+	// Recover. Unguided stays false now so warmup can install guidance.
+	cfg.Unguided = false
+	s2 := New(cfg)
+	if err := s2.Start(); err != nil {
+		t.Fatalf("recovery start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s2.Shutdown(ctx)
+	})
+
+	violations, err := VerifyLedger(s2.Addr().String(), led)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	for _, v := range violations {
+		t.Errorf("ledger violation: %s", v)
+	}
+
+	// Guided warmup: the replayed Tseq trained and force-installed a model
+	// on every shard, so the server serves guided without re-profiling.
+	if m := s2.Mode(); m != ModeGuided {
+		t.Fatalf("recovered mode = %v, want ModeGuided via warmup", m)
+	}
+	for sh := 0; sh < cfg.Shards; sh++ {
+		snap := s2.Router().System(sh).TelemetrySnapshot()
+		if snap.RecoveryReplayed == 0 {
+			t.Errorf("shard %d: recovery_replayed_records = 0 after a loaded crash", sh)
+		}
+	}
+}
+
+// TestSnapshotCrashRecovery: periodic snapshots truncate the log
+// mid-load, the process dies without flushing (Crash), and recovery
+// rebuilds exact acked state from snapshot + the post-snapshot record
+// tail.
+func TestSnapshotCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Workers: 2, Batch: 4, Unguided: true,
+		WALDir: dir, FsyncInterval: 5 * time.Millisecond, SnapshotEvery: 60,
+	}
+	s := New(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	acked := map[uint64]uint64{}
+	for i := uint64(0); i < 300; i++ {
+		k := i % 37
+		st, v, err := cl.Do(OpAdd, k, 1)
+		if err != nil || st != StatusOK {
+			t.Fatalf("add %d: status %d err %v", i, st, err)
+		}
+		acked[k] = v
+	}
+	cl.Close()
+	snaps := s.Router().System(0).TelemetrySnapshot().WALSnapshots
+	if snaps == 0 {
+		t.Fatal("no snapshot fired over 300 appends with SnapshotEvery=60")
+	}
+	s.Crash()
+
+	s2 := startServer(t, cfg)
+	cl2, err := Dial(s2.Addr().String())
+	if err != nil {
+		t.Fatalf("dial recovered: %v", err)
+	}
+	defer cl2.Close()
+	for k, want := range acked {
+		st, v, err := cl2.Do(OpGet, k, 0)
+		if err != nil || st != StatusOK {
+			t.Fatalf("get %d after recovery: status %d err %v", k, st, err)
+		}
+		if v != want {
+			t.Fatalf("key %d: recovered %d, acked %d", k, v, want)
+		}
+	}
+	// Truncation must have done its job: replay handled only the tail
+	// after the last snapshot, not the full history.
+	snap := s2.Router().System(0).TelemetrySnapshot()
+	if snap.RecoveryReplayed >= 300 {
+		t.Fatalf("replayed %d records; snapshots never truncated the log", snap.RecoveryReplayed)
+	}
+}
+
+// TestWALFailureMapsToUnavailable: when a shard's log dies (injected
+// fsync failure in strict mode), mutating operations answer
+// StatusUnavailable rather than acking unlogged state; reads keep
+// working.
+func TestWALFailureMapsToUnavailable(t *testing.T) {
+	inj := faultinject.NewDisk(faultinject.DiskConfig{Seed: 11, FsyncErrorProb: 1})
+	s := startServer(t, Config{
+		Workers: 2, Batch: 4, Unguided: true,
+		WALDir: t.TempDir(), DiskFaults: inj,
+	})
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	sawUnavailable := false
+	for i := uint64(0); i < 50; i++ {
+		st, _, err := cl.Do(OpAdd, i, 1)
+		if err != nil {
+			t.Fatalf("add: %v", err)
+		}
+		if st == StatusUnavailable {
+			sawUnavailable = true
+			break
+		}
+	}
+	if !sawUnavailable {
+		t.Fatal("no StatusUnavailable despite every fsync failing")
+	}
+	if st, _, err := cl.Do(OpGet, 0, 0); err != nil || (st != StatusOK && st != StatusNotFound) {
+		t.Fatalf("read after WAL failure: status %d err %v", st, err)
+	}
+	fsyncErrs, _, _ := inj.DiskCounts()
+	if fsyncErrs == 0 {
+		t.Fatal("injector never fired")
+	}
+}

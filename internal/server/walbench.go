@@ -1,0 +1,196 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gstm/internal/stats"
+)
+
+// WALBenchConfig parameterizes BenchDurability: the same write-heavy
+// pipelined fixed-work load is driven against an in-process server with
+// durability off (baseline) and then across a sweep of fsync windows, so
+// the report isolates what the WAL costs at each point of the
+// strictness/throughput trade-off.
+type WALBenchConfig struct {
+	Runs       int // measured runs per point
+	Workers    int
+	Batch      int
+	Conns      int
+	Window     int // pipeline depth (saturates the commit path)
+	OpsPerConn int
+	Keys       int
+	Skew       float64
+	// SnapshotEvery is forwarded to the durable points (0 = no snapshots).
+	SnapshotEvery int
+	// FsyncIntervals is the sweep; 0 means strict. Default {0, 1ms, 5ms,
+	// 20ms}.
+	FsyncIntervals []time.Duration
+	// Dir is where the points keep their WAL directories (default: a fresh
+	// temp dir, removed afterwards).
+	Dir      string
+	Progress io.Writer
+}
+
+func (cfg WALBenchConfig) normalize() WALBenchConfig {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 3
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 8
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 8
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 32
+	}
+	if cfg.OpsPerConn <= 0 {
+		cfg.OpsPerConn = 6000
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 512
+	}
+	if cfg.Skew < 1 {
+		cfg.Skew = 3
+	}
+	if len(cfg.FsyncIntervals) == 0 {
+		cfg.FsyncIntervals = []time.Duration{0, time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond}
+	}
+	return cfg
+}
+
+// WALBenchPoint is one durability setting's measurement.
+type WALBenchPoint struct {
+	Name          string        `json:"name"` // "off", "strict", "relaxed-1ms", ...
+	Durable       bool          `json:"durable"`
+	FsyncInterval time.Duration `json:"fsync_interval_ns"`
+
+	ThroughputMean  float64 `json:"throughput_mean_ops_per_s"`
+	ThroughputCVPct float64 `json:"throughput_cv_pct"`
+	// RelativeThroughput is this point's mean throughput over the
+	// non-durable baseline's (1.0 for the baseline itself).
+	RelativeThroughput float64 `json:"relative_throughput"`
+
+	// WAL activity over the point's whole life (all shards).
+	WALAppends   uint64 `json:"wal_appends,omitempty"`
+	WALBytes     uint64 `json:"wal_bytes,omitempty"`
+	WALFsyncs    uint64 `json:"wal_fsyncs,omitempty"`
+	WALSnapshots uint64 `json:"wal_snapshots,omitempty"`
+}
+
+// WALBenchReport is the durability cost comparison written to
+// BENCH_wal.json by cmd/gstm-loadgen -durability.
+type WALBenchReport struct {
+	Description string         `json:"description"`
+	Config      WALBenchConfig `json:"config"`
+	Points      []WALBenchPoint `json:"points"`
+	// RelaxedTargetMet reports the acceptance condition: some relaxed
+	// (FsyncInterval > 0) point keeps at least 70% of the non-durable
+	// baseline's write-heavy throughput.
+	RelaxedTargetMet bool `json:"relaxed_target_met"`
+}
+
+// BenchDurability measures the WAL's throughput cost: baseline (no WAL)
+// first, then each fsync window, all serving the same pipelined
+// write-heavy fixed-work load unguided (guidance off isolates the
+// durability cost from the guidance comparison, which BENCH_server.json
+// already covers).
+func BenchDurability(cfg WALBenchConfig) (WALBenchReport, error) {
+	cfg = cfg.normalize()
+	rep := WALBenchReport{
+		Description: "gstm-loadgen durability cost sweep: identical pipelined write-heavy fixed-work runs against an unguided in-process server with durability off (baseline) and a WAL at each fsync window. Strict (interval 0) fsyncs before every ack; relaxed acks from the page cache and fsyncs per window. relative_throughput is vs the baseline.",
+		Config:      cfg,
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "gstm-walbench")
+		if err != nil {
+			return rep, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	points := []WALBenchPoint{{Name: "off"}}
+	for _, iv := range cfg.FsyncIntervals {
+		name := "strict"
+		if iv > 0 {
+			name = fmt.Sprintf("relaxed-%s", iv)
+		}
+		points = append(points, WALBenchPoint{Name: name, Durable: true, FsyncInterval: iv})
+	}
+
+	for i := range points {
+		pt := &points[i]
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "walbench: %s (%d runs x %d conns x %d ops)\n",
+				pt.Name, cfg.Runs, cfg.Conns, cfg.OpsPerConn)
+		}
+		if err := runWALPoint(cfg, dir, pt); err != nil {
+			return rep, fmt.Errorf("point %s: %w", pt.Name, err)
+		}
+		if base := points[0].ThroughputMean; base > 0 {
+			pt.RelativeThroughput = pt.ThroughputMean / base
+		}
+		if pt.Durable && pt.FsyncInterval > 0 && pt.RelativeThroughput >= 0.70 {
+			rep.RelaxedTargetMet = true
+		}
+	}
+	rep.Points = points
+	return rep, nil
+}
+
+func runWALPoint(cfg WALBenchConfig, dir string, pt *WALBenchPoint) error {
+	scfg := Config{
+		Workers:  cfg.Workers,
+		Batch:    cfg.Batch,
+		Buckets:  2 * cfg.Keys,
+		Unguided: true,
+	}
+	if pt.Durable {
+		scfg.WALDir = fmt.Sprintf("%s/%s", dir, pt.Name)
+		scfg.FsyncInterval = pt.FsyncInterval
+		scfg.SnapshotEvery = cfg.SnapshotEvery
+	}
+	srv := New(scfg)
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
+	}()
+
+	load := LoadConfig{
+		Addr:       srv.Addr().String(),
+		Conns:      cfg.Conns,
+		Window:     cfg.Window,
+		OpsPerConn: cfg.OpsPerConn,
+		Keys:       cfg.Keys,
+		Skew:       cfg.Skew,
+		GetPct:     -1, // sentinel: keep 100% Add (see shardbench)
+		Seed:       0xC0FFEE,
+	}
+	var tputs []float64
+	for r := 0; r < cfg.Runs; r++ {
+		st, err := RunLoad(load)
+		if err != nil {
+			return err
+		}
+		tputs = append(tputs, st.Throughput)
+	}
+	pt.ThroughputMean = stats.Mean(tputs)
+	pt.ThroughputCVPct = 100 * stats.CoefficientOfVariation(tputs)
+	if l := srv.WAL(0); l != nil {
+		pt.WALAppends, pt.WALBytes, pt.WALFsyncs, pt.WALSnapshots = l.Stats()
+	}
+	return nil
+}

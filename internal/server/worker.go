@@ -6,6 +6,7 @@ import (
 	"gstm"
 	"gstm/internal/shard"
 	"gstm/internal/stmds"
+	"gstm/internal/wal"
 )
 
 // Transaction sites: one static TM_BEGIN(ID) per operation kind, so the
@@ -19,6 +20,10 @@ const (
 	sitePut
 	siteAdd
 	siteDel
+	// siteScan is the WAL's consistent snapshot scan and recovery replay —
+	// run on the dedicated scan thread (ThreadID Workers), outside the
+	// worker pool, so its commits never touch a worker's staging slot.
+	siteScan
 )
 
 func site(op Op) gstm.TxnID {
@@ -67,6 +72,11 @@ type worker struct {
 	plan    *shard.Plan
 	resp    []byte
 	runOpts [1]gstm.TxOption // reused option slice (ReadOnly or MaxAttempts)
+
+	// stg is the current shard sub-transaction's WAL redo staging; valid
+	// only while logging is true (durable server, mutating batch).
+	stg     wal.Staging
+	logging bool
 }
 
 func newWorker(s *Server, id int) *worker {
@@ -150,7 +160,20 @@ func (w *worker) execBatch() {
 	} else {
 		w.runOpts[0] = gstm.MaxAttempts(s.cfg.MaxAttempts)
 	}
+	durable := s.wals != nil && kind != OpGet
 	w.plan.RunEach(nil, w.id, site(kind), func(tx *gstm.Tx, sh int, idxs []int) error {
+		w.logging = false
+		if durable {
+			// Fail fast on a dead log: committing state whose durability
+			// can never be promised would make memory diverge from disk.
+			if s.wals[sh].Failed() {
+				return errWALUnavailable
+			}
+			// Stage inside the body so a retry starts a fresh record; the
+			// commit event stamps the staged ops with this commit's wv.
+			w.stg = s.wals[sh].Stage(int(w.id), uint16(site(kind)))
+			w.logging = true
+		}
 		st := s.stores[sh]
 		for _, i := range idxs {
 			w.results[i] = w.applyOp(tx, st, w.batch[i].req)
@@ -158,11 +181,41 @@ func (w *worker) execBatch() {
 		return nil
 	}, w.runOpts[:]...)
 
+	var it *ackItem
+	if durable {
+		it = s.getAckItem(len(w.batch))
+	}
 	for _, sh := range w.plan.Active() {
 		idxs := w.plan.Group(sh)
 		err := w.plan.Err(sh)
+		if durable {
+			for _, i := range idxs {
+				it.shardOf[i] = int32(sh)
+			}
+		}
+		if err != nil && durable {
+			// The failed attempt may have staged ops; drop them before the
+			// next transaction on this shard can inherit them.
+			s.wals[sh].Abandon(int(w.id))
+		}
 		switch {
 		case err == nil:
+			if durable {
+				// Don't block for the flush here: capture the record seq and
+				// let the acker withhold the responses until it is durable
+				// per the mode — written (relaxed) or fsynced (strict) —
+				// while this worker moves on to its next batch. The acker
+				// also does this group's accounting, post-ack.
+				seq, werr := s.wals[sh].ThreadSeq(int(w.id))
+				if werr != nil {
+					for _, i := range idxs {
+						w.results[i] = opResult{status: StatusUnavailable}
+					}
+					continue
+				}
+				it.waits = append(it.waits, ackWait{sh: sh, seq: seq})
+				continue
+			}
 			var delta int64
 			for _, i := range idxs {
 				delta += w.results[i].delta
@@ -173,6 +226,10 @@ func (w *worker) execBatch() {
 			s.batches.Add(1)
 			s.batchedOps.Add(uint64(len(idxs)))
 			s.lcs[sh].noteOps(len(idxs))
+		case errors.Is(err, errWALUnavailable) || errors.Is(err, wal.ErrFailed):
+			for _, i := range idxs {
+				w.results[i] = opResult{status: StatusUnavailable}
+			}
 		case errors.Is(err, gstm.ErrRetryBudgetExhausted):
 			for _, i := range idxs {
 				w.results[i] = opResult{status: StatusBudget}
@@ -186,6 +243,15 @@ func (w *worker) execBatch() {
 				w.results[i] = opResult{status: StatusBadRequest}
 			}
 		}
+	}
+
+	if durable {
+		// Hand the batch to the acker (copies: these slices are reused by
+		// the next batch); it writes the responses and releases inflight.
+		it.tasks = append(it.tasks[:0], w.batch...)
+		it.results = append(it.results[:0], w.results[:len(w.batch)]...)
+		s.acks <- it
+		return
 	}
 
 	// Write responses, coalescing consecutive same-connection frames into
@@ -211,7 +277,8 @@ func (w *worker) execBatch() {
 	}
 }
 
-// applyOp performs one operation inside shard st's sub-transaction.
+// applyOp performs one operation inside shard st's sub-transaction,
+// staging each mutation's redo image for the WAL when logging is on.
 func (w *worker) applyOp(tx *gstm.Tx, st *stmds.HashTable[uint64], req Request) opResult {
 	k := int64(req.Key)
 	switch req.Op {
@@ -223,22 +290,35 @@ func (w *worker) applyOp(tx *gstm.Tx, st *stmds.HashTable[uint64], req Request) 
 		return opResult{value: v}
 	case OpPut:
 		if st.Set(tx, k, req.Arg) {
+			w.stagePut(req.Key, req.Arg)
 			return opResult{value: 1}
 		}
 		st.InsertNoCount(tx, k, req.Arg)
+		w.stagePut(req.Key, req.Arg)
 		return opResult{value: 0, delta: 1}
 	case OpAdd:
 		if v, ok := st.Get(tx, k); ok {
 			nv := uint64(int64(v) + int64(req.Arg))
 			st.Set(tx, k, nv)
+			w.stagePut(req.Key, nv)
 			return opResult{value: nv}
 		}
 		st.InsertNoCount(tx, k, req.Arg)
+		w.stagePut(req.Key, req.Arg)
 		return opResult{value: req.Arg, delta: 1}
 	default: // OpDel
 		if !st.RemoveNoCount(tx, k) {
 			return opResult{status: StatusNotFound}
 		}
+		if w.logging {
+			w.stg.Del(req.Key)
+		}
 		return opResult{delta: -1}
+	}
+}
+
+func (w *worker) stagePut(key, val uint64) {
+	if w.logging {
+		w.stg.Put(key, val)
 	}
 }

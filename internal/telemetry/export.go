@@ -38,6 +38,12 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	counter("gstm_write_filter_false_positives_total", "Write-set filter hits that found no entry.", s.FilterFalsePositives)
 	counter("gstm_watchdog_trips_total", "Guidance watchdog armed-to-tripped transitions.", s.WatchdogTrips)
 	counter("gstm_watchdog_rearms_total", "Guidance watchdog tripped-to-armed transitions.", s.WatchdogRearms)
+	counter("gstm_wal_appends_total", "Records appended to the write-ahead log.", s.WALAppends)
+	counter("gstm_wal_fsyncs_total", "Physical fsync calls issued by the write-ahead log.", s.WALFsyncs)
+	counter("gstm_wal_bytes_total", "Bytes appended to the write-ahead log.", s.WALBytes)
+	counter("gstm_wal_snapshots_total", "Completed snapshot+truncate cycles.", s.WALSnapshots)
+	counter("gstm_recovery_replayed_records_total", "Log records re-applied during crash recovery.", s.RecoveryReplayed)
+	counter("gstm_recovery_duration_ns_total", "Wall time spent in crash recovery, nanoseconds.", s.RecoveryNanos)
 
 	fmt.Fprintf(bw, "# HELP gstm_gate_decisions_total Guidance-gate arrival outcomes.\n# TYPE gstm_gate_decisions_total counter\n")
 	fmt.Fprintf(bw, "gstm_gate_decisions_total{outcome=\"passed\"} %d\n", s.GatePassed)
@@ -64,6 +70,17 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			fmt.Fprintf(bw, "gstm_component_gate_decisions_total{component=%s,outcome=\"held\"} %d\n", promQuote(c.Label), c.GateHeld)
 			fmt.Fprintf(bw, "gstm_component_gate_decisions_total{component=%s,outcome=\"escaped\"} %d\n", promQuote(c.Label), c.GateEscaped)
 		}
+		compCounter := func(name, help string, v func(Snapshot) uint64) {
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, c := range s.Components {
+				fmt.Fprintf(bw, "%s{component=%s} %d\n", name, promQuote(c.Label), v(c))
+			}
+		}
+		compCounter("gstm_component_wal_appends_total", "WAL records appended by component (shard).", func(c Snapshot) uint64 { return c.WALAppends })
+		compCounter("gstm_component_wal_fsyncs_total", "WAL fsync calls by component (shard).", func(c Snapshot) uint64 { return c.WALFsyncs })
+		compCounter("gstm_component_wal_bytes_total", "WAL bytes appended by component (shard).", func(c Snapshot) uint64 { return c.WALBytes })
+		compCounter("gstm_component_recovery_replayed_records_total", "Recovery-replayed records by component (shard).", func(c Snapshot) uint64 { return c.RecoveryReplayed })
+		compCounter("gstm_component_recovery_duration_ns_total", "Recovery wall time by component (shard), nanoseconds.", func(c Snapshot) uint64 { return c.RecoveryNanos })
 	}
 
 	if len(s.GateStates) > 0 {

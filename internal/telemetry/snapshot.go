@@ -104,6 +104,13 @@ type Snapshot struct {
 	WatchdogTrips  uint64 `json:"watchdog_trips"`
 	WatchdogRearms uint64 `json:"watchdog_rearms"`
 
+	WALAppends       uint64 `json:"wal_appends"`
+	WALFsyncs        uint64 `json:"wal_fsyncs"`
+	WALBytes         uint64 `json:"wal_bytes"`
+	WALSnapshots     uint64 `json:"wal_snapshots"`
+	RecoveryReplayed uint64 `json:"recovery_replayed_records"`
+	RecoveryNanos    uint64 `json:"recovery_duration_ns"`
+
 	CommitLatency     HistSnapshot `json:"commit_latency"`
 	ValidationLatency HistSnapshot `json:"validation_latency"`
 	GateHoldTime      HistSnapshot `json:"gate_hold"`
@@ -145,6 +152,12 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.GateEscaped += o.GateEscaped
 	s.WatchdogTrips += o.WatchdogTrips
 	s.WatchdogRearms += o.WatchdogRearms
+	s.WALAppends += o.WALAppends
+	s.WALFsyncs += o.WALFsyncs
+	s.WALBytes += o.WALBytes
+	s.WALSnapshots += o.WALSnapshots
+	s.RecoveryReplayed += o.RecoveryReplayed
+	s.RecoveryNanos += o.RecoveryNanos
 	s.CommitLatency = s.CommitLatency.merge(o.CommitLatency)
 	s.ValidationLatency = s.ValidationLatency.merge(o.ValidationLatency)
 	s.GateHoldTime = s.GateHoldTime.merge(o.GateHoldTime)

@@ -102,6 +102,19 @@ type Metrics struct {
 	WatchdogTrips  Counter
 	WatchdogRearms Counter
 
+	// Durability counters (internal/wal). Appends and bytes count records
+	// accepted into the log buffer; fsyncs count physical fsync(2) calls
+	// (group commit batches many appends per fsync); snapshots count
+	// completed snapshot+truncate cycles. RecoveryReplayed counts records
+	// re-applied during crash recovery and RecoveryNanos the wall time it
+	// took, both recorded once at startup.
+	WALAppends       Counter
+	WALFsyncs        Counter
+	WALBytes         Counter
+	WALSnapshots     Counter
+	RecoveryReplayed Counter
+	RecoveryNanos    Counter
+
 	// Latency histograms (nanosecond observations).
 	CommitLatency     Histogram // whole commit protocol, sampled 1/SampleEvery
 	ValidationLatency Histogram // read-set validation when it ran, same samples
@@ -345,6 +358,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		GateEscaped:          m.GateEscaped.Load(),
 		WatchdogTrips:        m.WatchdogTrips.Load(),
 		WatchdogRearms:       m.WatchdogRearms.Load(),
+		WALAppends:           m.WALAppends.Load(),
+		WALFsyncs:            m.WALFsyncs.Load(),
+		WALBytes:             m.WALBytes.Load(),
+		WALSnapshots:         m.WALSnapshots.Load(),
+		RecoveryReplayed:     m.RecoveryReplayed.Load(),
+		RecoveryNanos:        m.RecoveryNanos.Load(),
 		CommitLatency:        m.CommitLatency.Snapshot(),
 		ValidationLatency:    m.ValidationLatency.Snapshot(),
 		GateHoldTime:         m.GateHoldTime.Snapshot(),
@@ -386,6 +405,8 @@ func (m *Metrics) Reset() {
 		&m.ContextCanceled, &m.ClockCASFallbacks, &m.WriteSetSpills,
 		&m.FilterFalsePositives, &m.GatePassed, &m.GateHeld, &m.GateEscaped,
 		&m.WatchdogTrips, &m.WatchdogRearms,
+		&m.WALAppends, &m.WALFsyncs, &m.WALBytes, &m.WALSnapshots,
+		&m.RecoveryReplayed, &m.RecoveryNanos,
 	} {
 		c.reset()
 	}

@@ -52,6 +52,19 @@ func (c *clock) now() uint64 { return c.v.Load() }
 // this is the clock used whenever an event sink is installed.
 func (c *clock) tick() uint64 { return c.v.Add(1) }
 
+// advanceTo raises the clock to at least v (CAS-max; a no-op when the
+// clock already passed v). Recovery uses it to move a rebooted shard's
+// clock past the last durable commit's wv, so versions published by
+// replay and by post-recovery traffic stay monotone with the log.
+func (c *clock) advanceTo(v uint64) {
+	for {
+		cur := c.v.Load()
+		if cur >= v || c.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // tickGV4 draws a write version using TL2's GV4 "pass on failure" variant:
 // one CAS attempt to advance the clock, and on failure the loser adopts the
 // winner's (already advanced) value as its own wv instead of retrying. Two

@@ -205,6 +205,12 @@ func (rt *Runtime) clk() *clock { return rt.clock }
 // number of write commits from below. Exported for tests and harnesses.
 func (rt *Runtime) Clock() uint64 { return rt.clk().now() }
 
+// AdvanceClock raises the runtime's version clock to at least v (no-op
+// when it is already past v). Crash recovery calls this after replaying a
+// durable log so the first post-recovery commit draws a write version
+// strictly above every logged one. Never lowers the clock.
+func (rt *Runtime) AdvanceClock(v uint64) { rt.clk().advanceTo(v) }
+
 // Stats returns the cumulative number of committed transactions and of
 // aborted attempts.
 func (rt *Runtime) Stats() (commits, aborts uint64) {

@@ -1,0 +1,158 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"gstm/internal/stats"
+	"gstm/internal/trace"
+	"gstm/internal/txid"
+)
+
+// Recovery is everything Open salvaged from a log directory: the latest
+// durable snapshot, every structurally valid record above the snapshot
+// stamp, and the replay bookkeeping the serving layer needs.
+type Recovery struct {
+	// SnapWV is the snapshot's clock stamp (0 when no snapshot exists);
+	// SnapKeys/SnapVals are its KV image.
+	SnapWV   uint64
+	SnapKeys []uint64
+	SnapVals []uint64
+
+	// Commits holds the commit records to replay — only those with
+	// wv > SnapWV, sorted ascending by wv (the global commit order).
+	// Records at or below the stamp are already inside the snapshot;
+	// re-applying them would clobber newer snapshot state.
+	Commits []CommitRecord
+
+	// Aborts holds every salvaged abort record (all wvs): input for the
+	// guided-warmup trace, irrelevant to state reconstruction.
+	Aborts []AbortRecord
+
+	// MaxWV is the highest durable write version — max(SnapWV, commit
+	// wvs). The shard clock must be advanced past it before serving.
+	MaxWV uint64
+
+	// Segments is how many log segments were scanned; DroppedBytes is the
+	// total garbage tail abandoned across them (torn final writes).
+	Segments     int
+	DroppedBytes int
+}
+
+// recoverDir loads dir's snapshot and scans every segment's valid prefix.
+// It returns the recovery plus the lowest and highest segment indices
+// found (minSeg 0 / maxSeg -1 when the directory has no segments).
+func recoverDir(dir string) (*Recovery, int, int, error) {
+	rec := &Recovery{}
+	var err error
+	rec.SnapWV, rec.SnapKeys, rec.SnapVals, _, err = readSnapshotFile(dir)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	rec.MaxWV = rec.SnapWV
+	_ = os.Remove(snapPath(dir) + ".tmp") // crash residue, superseded or partial
+
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	idxs := make([]int, 0, len(names))
+	for _, n := range names {
+		var i int
+		if _, err := fmt.Sscanf(filepath.Base(n), "seg-%d.log", &i); err == nil {
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Ints(idxs)
+	minSeg, maxSeg := 0, -1
+	if len(idxs) > 0 {
+		minSeg, maxSeg = idxs[0], idxs[len(idxs)-1]
+	}
+	for _, i := range idxs {
+		buf, rerr := os.ReadFile(segPath(dir, i))
+		if rerr != nil {
+			return nil, 0, 0, rerr
+		}
+		rec.Segments++
+		rec.DroppedBytes += scanSegment(buf,
+			func(c CommitRecord) {
+				if c.WV > rec.MaxWV {
+					rec.MaxWV = c.WV
+				}
+				if c.WV > rec.SnapWV {
+					rec.Commits = append(rec.Commits, c)
+				}
+			},
+			func(a AbortRecord) { rec.Aborts = append(rec.Aborts, a) })
+	}
+	// File order within a segment is append order, not commit order:
+	// commits from different threads interleave arbitrarily. Sort by wv to
+	// recover the serialization the STM chose. Stable is irrelevant — wvs
+	// are unique while a sink is installed, and the log IS a sink.
+	sort.Slice(rec.Commits, func(i, j int) bool { return rec.Commits[i].WV < rec.Commits[j].WV })
+	return rec, minSeg, maxSeg, nil
+}
+
+// Replayed returns how many commit records replay will apply.
+func (r *Recovery) Replayed() int { return len(r.Commits) }
+
+// BuildTrace reconstructs the durable Tseq as a profiling trace: commits
+// in wv order, each paired with the aborts attributed to it — exactly
+// what trace.Collector.Finalize produces from a live run. Feeding it to
+// gstm.BuildModel lets a recovering shard pre-train its TSA from the log
+// and restart guided instead of cold (guided warmup). Returns nil when
+// the log holds no commits.
+func (r *Recovery) BuildTrace() *trace.Trace {
+	if len(r.Commits) == 0 {
+		return nil
+	}
+	byCommit := make(map[uint64][]txid.Packed)
+	unattributed := 0
+	for _, a := range r.Aborts {
+		if !a.Known {
+			unattributed++
+		}
+		p := txid.Pair{Txn: txid.TxnID(a.Site), Thread: txid.ThreadID(a.Thread)}
+		byCommit[a.ByWV] = append(byCommit[a.ByWV], p.Pack())
+	}
+	tr := &trace.Trace{
+		Seq:          make([]trace.State, 0, len(r.Commits)),
+		AbortHist:    make(map[txid.ThreadID]*stats.Histogram),
+		Commits:      len(r.Commits),
+		Aborts:       len(r.Aborts),
+		Unattributed: unattributed,
+	}
+	for _, c := range r.Commits {
+		p := txid.Pair{Txn: txid.TxnID(c.Site), Thread: txid.ThreadID(c.Thread)}
+		tr.Seq = append(tr.Seq, trace.NewState(byCommit[c.WV], p.Pack()))
+		h := tr.AbortHist[txid.ThreadID(c.Thread)]
+		if h == nil {
+			h = stats.NewHistogram()
+			tr.AbortHist[txid.ThreadID(c.Thread)] = h
+		}
+		_ = h.Add(int(c.Aborts))
+	}
+	return tr
+}
+
+// Apply folds the recovery into a fresh KV map — the sequential oracle
+// the property tests compare STM replay against, and a convenient
+// building block for simple embedders.
+func (r *Recovery) Apply() map[uint64]uint64 {
+	m := make(map[uint64]uint64, len(r.SnapKeys)+len(r.Commits))
+	for i := range r.SnapKeys {
+		m[r.SnapKeys[i]] = r.SnapVals[i]
+	}
+	for _, c := range r.Commits {
+		for _, op := range c.Ops {
+			if op.Del {
+				delete(m, op.Key)
+			} else {
+				m[op.Key] = op.Val
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,120 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file layout:
+//
+//	8B magic | u64 snapWV | u64 count | count × (u64 key | u64 val) |
+//	u32 crc32c(everything after the magic)
+//
+// Written to a temp file, fsynced, then renamed over the live name — the
+// snapshot is either the complete old one or the complete new one, never
+// a tear. The directory is fsynced after the rename so the new name
+// itself is durable before any segment is deleted on its authority.
+const snapName = "snapshot"
+
+func snapPath(dir string) string { return filepath.Join(dir, snapName) }
+
+// writeSnapshotFile durably replaces dir's snapshot with (snapWV, keys,
+// vals).
+func writeSnapshotFile(dir string, snapWV uint64, keys, vals []uint64) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("wal: snapshot: %d keys, %d vals", len(keys), len(vals))
+	}
+	buf := make([]byte, 0, len(snapMagic)+16+16*len(keys)+4)
+	buf = append(buf, snapMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, snapWV)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(keys)))
+	for i := range keys {
+		buf = binary.BigEndian.AppendUint64(buf, keys[i])
+		buf = binary.BigEndian.AppendUint64(buf, vals[i])
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf[len(snapMagic):], castagnoli))
+
+	tmp := snapPath(dir) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, snapPath(dir)); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readSnapshotFile loads dir's snapshot. ok is false when none exists. A
+// structurally invalid snapshot is an error — unlike a torn segment tail
+// it cannot be the residue of a crash (the rename is atomic), so serving
+// as if the state were empty would silently lose acked data.
+func readSnapshotFile(dir string) (snapWV uint64, keys, vals []uint64, ok bool, err error) {
+	buf, rerr := os.ReadFile(snapPath(dir))
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return 0, nil, nil, false, nil
+		}
+		return 0, nil, nil, false, rerr
+	}
+	snapWV, keys, vals, err = decodeSnapshot(buf)
+	if err != nil {
+		return 0, nil, nil, false, fmt.Errorf("wal: snapshot %s: %w", snapPath(dir), err)
+	}
+	return snapWV, keys, vals, true, nil
+}
+
+// decodeSnapshot parses a snapshot image. Never panics on any input.
+func decodeSnapshot(buf []byte) (snapWV uint64, keys, vals []uint64, err error) {
+	if len(buf) < len(snapMagic)+16+4 || string(buf[:len(snapMagic)]) != string(snapMagic) {
+		return 0, nil, nil, fmt.Errorf("%w: snapshot header", ErrCorrupt)
+	}
+	body := buf[len(snapMagic) : len(buf)-4]
+	sum := binary.BigEndian.Uint32(buf[len(buf)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return 0, nil, nil, fmt.Errorf("%w: snapshot checksum", ErrCorrupt)
+	}
+	snapWV = binary.BigEndian.Uint64(body[0:8])
+	count := binary.BigEndian.Uint64(body[8:16])
+	if uint64(len(body)-16) != count*16 {
+		return 0, nil, nil, fmt.Errorf("%w: snapshot of %d entries, %d body bytes", ErrCorrupt, count, len(body)-16)
+	}
+	keys = make([]uint64, count)
+	vals = make([]uint64, count)
+	for i := uint64(0); i < count; i++ {
+		keys[i] = binary.BigEndian.Uint64(body[16+16*i:])
+		vals[i] = binary.BigEndian.Uint64(body[24+16*i:])
+	}
+	return snapWV, keys, vals, nil
+}

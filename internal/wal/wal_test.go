@@ -1,0 +1,358 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"gstm/internal/txid"
+)
+
+// commitOne stages ops for thread and delivers the commit event with wv,
+// mimicking what the serving layer + STM do.
+func commitOne(l *Log, thread int, wv uint64, ops ...Op) {
+	stg := l.Stage(thread, 1)
+	for _, op := range ops {
+		if op.Del {
+			stg.Del(op.Key)
+		} else {
+			stg.Put(op.Key, op.Val)
+		}
+	}
+	p := txid.Pair{Txn: 1, Thread: txid.ThreadID(thread)}
+	l.TxCommit(p, wv, 0)
+}
+
+func openT(t *testing.T, cfg Config) (*Log, *Recovery) {
+	t.Helper()
+	l, rec, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := openT(t, Config{Dir: dir, Threads: 2})
+	if rec.Replayed() != 0 || rec.SnapWV != 0 {
+		t.Fatalf("fresh dir recovered %d records, snapWV %d", rec.Replayed(), rec.SnapWV)
+	}
+	commitOne(l, 0, 10, Op{Key: 1, Val: 100})
+	commitOne(l, 1, 11, Op{Key: 2, Val: 200}, Op{Key: 3, Val: 300})
+	commitOne(l, 0, 12, Op{Del: true, Key: 1})
+	if err := l.WaitThread(0); err != nil {
+		t.Fatalf("WaitThread: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec2 := openT(t, Config{Dir: dir, Threads: 2})
+	defer l2.Close()
+	if got := rec2.Replayed(); got != 3 {
+		t.Fatalf("replayed %d records, want 3", got)
+	}
+	for i := 1; i < len(rec2.Commits); i++ {
+		if rec2.Commits[i].WV <= rec2.Commits[i-1].WV {
+			t.Fatalf("commits not sorted by wv: %v then %v", rec2.Commits[i-1].WV, rec2.Commits[i].WV)
+		}
+	}
+	if rec2.MaxWV != 12 {
+		t.Fatalf("MaxWV = %d, want 12", rec2.MaxWV)
+	}
+	m := rec2.Apply()
+	want := map[uint64]uint64{2: 200, 3: 300}
+	if len(m) != len(want) || m[2] != 200 || m[3] != 300 {
+		t.Fatalf("Apply = %v, want %v", m, want)
+	}
+}
+
+func TestStrictAckIsDurable(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Config{Dir: dir, Threads: 1}) // FsyncInterval 0: strict
+	commitOne(l, 0, 5, Op{Key: 7, Val: 70})
+	if err := l.WaitThread(0); err != nil {
+		t.Fatalf("WaitThread: %v", err)
+	}
+	// Acked in strict mode means fsynced: simulate a kill (no final
+	// flush), then recover.
+	l.Crash()
+	_, rec := openT(t, Config{Dir: dir, Threads: 1})
+	if rec.Replayed() != 1 || rec.Commits[0].WV != 5 {
+		t.Fatalf("strict acked record lost across crash: %+v", rec.Commits)
+	}
+}
+
+func TestRelaxedAckSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Config{Dir: dir, Threads: 1, FsyncInterval: time.Hour})
+	for wv := uint64(1); wv <= 20; wv++ {
+		commitOne(l, 0, wv, Op{Key: wv, Val: wv * 10})
+		if err := l.WaitThread(0); err != nil {
+			t.Fatalf("WaitThread(wv %d): %v", wv, err)
+		}
+	}
+	_, _, fsyncs, _ := l.Stats()
+	if fsyncs != 0 {
+		t.Fatalf("relaxed mode fsynced %d times inside the window", fsyncs)
+	}
+	// Crash drops only the unwritten buffer; every acked record was
+	// written to the (real) page cache and survives a process kill.
+	l.Crash()
+	_, rec := openT(t, Config{Dir: dir, Threads: 1})
+	if rec.Replayed() != 20 {
+		t.Fatalf("recovered %d of 20 acked records after crash", rec.Replayed())
+	}
+}
+
+func TestAbandonDropsStagedOps(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Config{Dir: dir, Threads: 1})
+	defer l.Close()
+	stg := l.Stage(0, 2)
+	stg.Put(1, 111) // transaction fails: never commits
+	l.Abandon(0)
+	// Next transaction on the thread is read-only (no Stage); its commit
+	// event must not pick up the abandoned ops.
+	l.TxCommit(txid.Pair{Txn: 0, Thread: 0}, 99, 0)
+	if err := l.WaitThread(0); err != nil {
+		t.Fatalf("WaitThread: %v", err)
+	}
+	appends, _, _, _ := l.Stats()
+	if appends != 0 {
+		t.Fatalf("abandoned ops were appended (%d appends)", appends)
+	}
+}
+
+func TestCommitAfterCloseIsRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Config{Dir: dir, Threads: 1})
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	commitOne(l, 0, 3, Op{Key: 1, Val: 1})
+	err := l.WaitThread(0)
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("WaitThread after close = %v, want ErrClosed", err)
+	}
+}
+
+// fakeSource is a map-backed SnapshotSource driven by the test: the test
+// applies each committed record to the map before the snapshot runs, and
+// clock always covers the highest wv handed out.
+type fakeSource struct {
+	clock uint64
+	state map[uint64]uint64
+}
+
+func (f *fakeSource) ClockNow() uint64 { return f.clock }
+func (f *fakeSource) Scan() (keys, vals []uint64, err error) {
+	for k, v := range f.state {
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	return keys, vals, nil
+}
+
+func TestSnapshotTruncatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	src := &fakeSource{state: map[uint64]uint64{}}
+	l, _ := openT(t, Config{Dir: dir, Threads: 1, Source: src})
+	oracle := map[uint64]uint64{}
+	apply := func(wv uint64, op Op) {
+		commitOne(l, 0, wv, op)
+		if op.Del {
+			delete(oracle, op.Key)
+		} else {
+			oracle[op.Key] = op.Val
+		}
+		src.clock = wv
+	}
+	for wv := uint64(1); wv <= 50; wv++ {
+		apply(wv, Op{Key: wv % 7, Val: wv})
+	}
+	if err := l.WaitThread(0); err != nil {
+		t.Fatalf("WaitThread: %v", err)
+	}
+	// Source state mirrors everything committed so far.
+	for k, v := range oracle {
+		src.state[k] = v
+	}
+	if err := l.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	// Records after the snapshot live only in the new active segment.
+	for wv := uint64(51); wv <= 60; wv++ {
+		apply(wv, Op{Key: wv % 7, Val: wv})
+	}
+	if err := l.WaitThread(0); err != nil {
+		t.Fatalf("WaitThread: %v", err)
+	}
+	l.Crash()
+
+	names, _ := os.ReadDir(dir)
+	segs := 0
+	for _, n := range names {
+		if len(n.Name()) > 4 && n.Name()[:4] == "seg-" {
+			segs++
+		}
+	}
+	if segs > 2 {
+		t.Fatalf("truncation left %d segments", segs)
+	}
+
+	_, rec := openT(t, Config{Dir: dir, Threads: 1})
+	if rec.SnapWV != 50 {
+		t.Fatalf("snapWV = %d, want 50", rec.SnapWV)
+	}
+	if rec.Replayed() != 10 {
+		t.Fatalf("replayed %d post-snapshot records, want 10", rec.Replayed())
+	}
+	got := rec.Apply()
+	if len(got) != len(oracle) {
+		t.Fatalf("recovered %d keys, want %d", len(got), len(oracle))
+	}
+	for k, v := range oracle {
+		if got[k] != v {
+			t.Fatalf("key %d: recovered %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestTruncatedSegmentPrefix cuts a valid segment at every byte offset
+// and checks the scan recovers exactly a prefix of the original records —
+// never a partial record, never a panic (satellite: replay property).
+func TestTruncatedSegmentPrefix(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Config{Dir: dir, Threads: 1})
+	var wvs []uint64
+	for wv := uint64(1); wv <= 8; wv++ {
+		commitOne(l, 0, wv, Op{Key: wv, Val: wv}, Op{Del: wv%2 == 0, Key: wv + 100})
+		wvs = append(wvs, wv)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	l.Crash()
+	buf, err := os.ReadFile(segPath(dir, 0))
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	for cut := 0; cut <= len(buf); cut++ {
+		var got []uint64
+		dropped := scanSegment(buf[:cut], func(c CommitRecord) { got = append(got, c.WV) }, func(AbortRecord) {})
+		for i, wv := range got {
+			if wv != wvs[i] {
+				t.Fatalf("cut %d: record %d has wv %d, want %d (not a prefix)", cut, i, wv, wvs[i])
+			}
+		}
+		if cut == len(buf) && (dropped != 0 || len(got) != len(wvs)) {
+			t.Fatalf("full segment: %d records, %d dropped", len(got), dropped)
+		}
+	}
+}
+
+// TestReplayMatchesOracle is the property test: a pseudo-random op
+// sequence, recovered after a crash, must fold to exactly the state a
+// sequential map execution produces.
+func TestReplayMatchesOracle(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Config{Dir: dir, Threads: 4, FsyncInterval: time.Hour})
+	oracle := map[uint64]uint64{}
+	rng := uint64(0x9e3779b9)
+	next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+	for wv := uint64(1); wv <= 500; wv++ {
+		thread := int(next() % 4)
+		n := 1 + int(next()%3)
+		ops := make([]Op, 0, n)
+		for j := 0; j < n; j++ {
+			k := next() % 32
+			if next()%5 == 0 {
+				ops = append(ops, Op{Del: true, Key: k})
+			} else {
+				ops = append(ops, Op{Key: k, Val: next()})
+			}
+		}
+		commitOne(l, thread, wv, ops...)
+		for _, op := range ops {
+			if op.Del {
+				delete(oracle, op.Key)
+			} else {
+				oracle[op.Key] = op.Val
+			}
+		}
+		if err := l.WaitThread(thread); err != nil {
+			t.Fatalf("WaitThread: %v", err)
+		}
+	}
+	l.Crash()
+	_, rec := openT(t, Config{Dir: dir, Threads: 4})
+	if rec.Replayed() != 500 {
+		t.Fatalf("replayed %d, want 500", rec.Replayed())
+	}
+	got := rec.Apply()
+	if len(got) != len(oracle) {
+		t.Fatalf("recovered %d keys, oracle has %d", len(got), len(oracle))
+	}
+	for k, v := range oracle {
+		if got[k] != v {
+			t.Fatalf("key %d: recovered %d, oracle %d", k, got[k], v)
+		}
+	}
+}
+
+func TestAbortLoggingBuildsTrace(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Config{Dir: dir, Threads: 2, LogAborts: true})
+	// Abort attributed to the commit at wv 7, then the commit itself.
+	l.Stage(0, 3)
+	l.TxAbort(txid.Pair{Txn: 3, Thread: 0}, 7, txid.Pair{Txn: 1, Thread: 1}, true)
+	commitOne(l, 1, 7, Op{Key: 1, Val: 1})
+	commitOne(l, 0, 8, Op{Key: 2, Val: 2})
+	if err := l.WaitThread(0); err != nil {
+		t.Fatalf("WaitThread: %v", err)
+	}
+	l.Abandon(0)
+	l.Crash()
+	_, rec := openT(t, Config{Dir: dir, Threads: 2})
+	if len(rec.Aborts) != 1 || rec.Aborts[0].ByWV != 7 {
+		t.Fatalf("aborts = %+v, want one attributed to wv 7", rec.Aborts)
+	}
+	tr := rec.BuildTrace()
+	if tr == nil || tr.Commits != 2 || tr.Aborts != 1 || len(tr.Seq) != 2 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if len(tr.Seq[0].Aborted) != 1 {
+		t.Fatalf("wv-7 commit should carry the abort, got %v", tr.Seq[0].Aborted)
+	}
+}
+
+// TestAppendZeroAlloc is the allocation gate on the hot path: once the
+// staging slices are warm, one staged commit (Stage + Put + TxCommit)
+// must not allocate — the append encodes into the group buffer in place.
+func TestAppendZeroAlloc(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, Config{Dir: dir, Threads: 1, FsyncInterval: time.Hour})
+	defer l.Close()
+	p := txid.Pair{Txn: 1, Thread: 0}
+	wv := uint64(0)
+	commit := func() {
+		wv++
+		stg := l.Stage(0, 1)
+		stg.Put(wv%64, wv)
+		stg.Put((wv+1)%64, wv)
+		l.TxCommit(p, wv, 1)
+	}
+	for i := 0; i < 256; i++ {
+		commit() // warm the staging slice and group buffer
+	}
+	if err := l.WaitThread(0); err != nil {
+		t.Fatalf("WaitThread: %v", err)
+	}
+	avg := testing.AllocsPerRun(200, commit)
+	if avg != 0 {
+		t.Fatalf("staged commit allocates %.1f allocs/op, want 0", avg)
+	}
+}

@@ -68,6 +68,7 @@ type System struct {
 	dog       *guide.Watchdog // non-nil when guidance runs under a watchdog
 	schedGate tl2.Gate        // non-guidance scheduler, if any
 	schedSink tl2.EventSink   // its observer, if any
+	tap       tl2.EventSink   // persistent observer (WAL), survives hot-swaps
 }
 
 // Scheduler is consulted at every transaction start and may delay the
@@ -204,10 +205,33 @@ func (s *System) Guided() bool {
 	return s.ctrl != nil
 }
 
+// SetTap installs (or, with nil, removes) a persistent event observer that
+// is fenced across guidance hot-swaps: every installSinks rewiring —
+// profiling start/stop, guidance install/disable, scheduler swaps — keeps
+// the tap in the delivery chain, after the scheduler's observer and the
+// collector. The durability layer hangs its write-ahead log here, so no
+// lifecycle transition can silently drop commits from the log. The tap
+// also pins the unique-wv clock discipline: with any sink installed every
+// commit draws its own write version (see tl2.Runtime.Clock).
+func (s *System) SetTap(obs Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tap = obs
+	s.installSinks()
+}
+
+// Clock returns the system's current version-clock value (see
+// tl2.Runtime.Clock for its semantics with and without sinks).
+func (s *System) Clock() uint64 { return s.rt.Clock() }
+
+// AdvanceClock raises the system's version clock to at least v; crash
+// recovery uses it to move past the last durable commit before serving.
+func (s *System) AdvanceClock(v uint64) { s.rt.AdvanceClock(v) }
+
 // installSinks wires the event stream: the active scheduler's observer (a
 // guidance controller needs events for state tracking; a watchdog wraps
 // the controller and must see events for its windows) first, then the
-// collector when profiling. Called with mu held.
+// collector when profiling, then the persistent tap. Called with mu held.
 func (s *System) installSinks() {
 	first := s.schedSink
 	if s.ctrl != nil {
@@ -216,33 +240,47 @@ func (s *System) installSinks() {
 	if s.dog != nil {
 		first = s.dog
 	}
-	switch {
-	case first != nil && s.collector != nil:
-		s.rt.SetSink(teeSink{first: first, col: s.collector})
-	case first != nil:
-		s.rt.SetSink(first)
-	case s.collector != nil:
-		s.rt.SetSink(s.collector)
-	default:
+	var chain multiSink
+	for _, sink := range []tl2.EventSink{first, sinkOrNil(s.collector), s.tap} {
+		if sink != nil {
+			chain = append(chain, sink)
+		}
+	}
+	switch len(chain) {
+	case 0:
 		s.rt.SetSink(nil)
+	case 1:
+		s.rt.SetSink(chain[0])
+	default:
+		s.rt.SetSink(chain)
 	}
 }
 
-// teeSink feeds the scheduler's observer first (online state tracking),
-// then the collector (measurement).
-type teeSink struct {
-	first tl2.EventSink
-	col   *trace.Collector
+// sinkOrNil converts a possibly-nil *trace.Collector into a plain
+// EventSink without smuggling a typed nil into an interface.
+func sinkOrNil(c *trace.Collector) tl2.EventSink {
+	if c == nil {
+		return nil
+	}
+	return c
 }
 
-func (t teeSink) TxCommit(p Pair, wv uint64, aborts int) {
-	t.first.TxCommit(p, wv, aborts)
-	t.col.TxCommit(p, wv, aborts)
+// multiSink fans events out in order: the scheduler's observer first
+// (online state tracking), then the collector (measurement), then the tap
+// (durability). The slice is immutable once installed; rewiring swaps in a
+// freshly built chain.
+type multiSink []tl2.EventSink
+
+func (m multiSink) TxCommit(p Pair, wv uint64, aborts int) {
+	for _, s := range m {
+		s.TxCommit(p, wv, aborts)
+	}
 }
 
-func (t teeSink) TxAbort(p Pair, byWV uint64, by Pair, known bool) {
-	t.first.TxAbort(p, byWV, by, known)
-	t.col.TxAbort(p, byWV, by, known)
+func (m multiSink) TxAbort(p Pair, byWV uint64, by Pair, known bool) {
+	for _, s := range m {
+		s.TxAbort(p, byWV, by, known)
+	}
 }
 
 // Stats returns cumulative committed transactions and aborted attempts.
