@@ -40,6 +40,8 @@ func main() {
 		ledger   = flag.String("ledger", "", "drive an add-only load and write the acked/in-flight ledger JSON here; tolerates the server dying mid-run (kill-and-recover chaos)")
 		verify   = flag.String("verify-ledger", "", "check a recovered server against a ledger file: acked <= value <= acked+inflight for every key")
 		out      = flag.String("out", "", "write the report as JSON to this file (BENCH_server.json / BENCH_shard.json / BENCH_wal.json)")
+		trace    = flag.Bool("trace", false, "set the protocol trace-request bit on every op (server retains a span per op on /debug/trace)")
+		traceTab = flag.String("trace-addr", "", "server telemetry address (host:port): scrape /debug/trace?format=agg around the run and print the per-shard per-phase tail-attribution table")
 	)
 	flag.Parse()
 
@@ -83,6 +85,29 @@ func main() {
 		DelPct:     *delPct,
 		Seed:       *seed,
 		Window:     *window,
+		Trace:      *trace,
+	}
+
+	// Tail attribution: scrape the observatory's aggregation before the
+	// measured work and again after it, so the printed table covers exactly
+	// this invocation's requests.
+	var aggBefore server.TraceAgg
+	if *traceTab != "" {
+		var err error
+		if aggBefore, err = server.FetchTraceAgg(*traceTab); err != nil {
+			fatal(fmt.Errorf("trace scrape (%s): %w", *traceTab, err))
+		}
+	}
+	printTail := func() {
+		if *traceTab == "" {
+			return
+		}
+		aggAfter, err := server.FetchTraceAgg(*traceTab)
+		if err != nil {
+			fatal(fmt.Errorf("trace scrape (%s): %w", *traceTab, err))
+		}
+		fmt.Println("tail attribution (this run; phase latencies per shard):")
+		fmt.Print(server.FormatTailTable(server.DiffTraceAgg(aggAfter, aggBefore)))
 	}
 
 	if *ledger != "" {
@@ -114,6 +139,7 @@ func main() {
 			fmt.Printf("spread: conns %.2f%%  shards %.2f%%  per-shard ops %v\n",
 				st.ConnSpreadPct, st.ShardSpreadPct, st.ShardOps)
 		}
+		printTail()
 		if st.Ops == 0 {
 			fatal(fmt.Errorf("no operations completed"))
 		}
@@ -139,6 +165,7 @@ func main() {
 	printMode(rep.Unguided)
 	printMode(rep.Guided)
 	fmt.Printf("variance reduced (guided cv <= unguided cv): %v\n", rep.VarianceReduced)
+	printTail()
 
 	if *out != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")

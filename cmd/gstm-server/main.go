@@ -75,17 +75,21 @@ func main() {
 		cfg.Watchdog = &gstm.WatchdogOptions{}
 	}
 
+	s := server.New(cfg)
+
 	var drainTelemetry func(context.Context) error
 	if *metrics != "" {
-		srv, err := gstm.ServeTelemetry(*metrics)
+		srv, err := gstm.ServeTelemetry(*metrics, gstm.TelemetryMount{
+			Pattern: "/debug/trace",
+			Handler: gstm.TraceHandler(s.Observatory()),
+		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.BoundAddr)
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof, /debug/trace on http://%s\n", srv.BoundAddr)
 		drainTelemetry = srv.Shutdown
 	}
 
-	s := server.New(cfg)
 	if err := s.Start(); err != nil {
 		fatal(err)
 	}

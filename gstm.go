@@ -40,8 +40,10 @@ package gstm
 
 import (
 	"context"
+	"net/http"
 
 	"gstm/internal/model"
+	"gstm/internal/obs"
 	"gstm/internal/retry"
 	"gstm/internal/telemetry"
 	"gstm/internal/tl2"
@@ -130,17 +132,39 @@ type TelemetrySnapshot = telemetry.Snapshot
 // TelemetryHist is one latency histogram inside a TelemetrySnapshot.
 type TelemetryHist = telemetry.HistSnapshot
 
+// Span is a per-request variance-observatory timeline (see internal/obs):
+// attach one to a Run call with WithSpan to record gate waits, aborted
+// attempts with their causes, and the commit protocol's phases.
+type Span = obs.Span
+
+// SpanCause is the abort-cause taxonomy recorded on spans and exported as
+// the gstm_tx_aborts_by_cause_total telemetry series.
+type SpanCause = obs.Cause
+
 // GatherTelemetry merges the telemetry of every live runtime in the process
 // into one snapshot — the view the -metrics-addr HTTP endpoint serves.
 func GatherTelemetry() TelemetrySnapshot { return telemetry.Gather() }
 
+// TelemetryMount is an extra route served by the telemetry endpoint
+// alongside /metrics, /debug/vars and /debug/pprof — the server mounts
+// /debug/trace (the variance observatory) this way.
+type TelemetryMount = telemetry.Mount
+
 // ServeTelemetry starts the observability HTTP endpoint on addr (":0" picks
 // a free port), serving /metrics (Prometheus text format), /debug/vars
-// (JSON) and /debug/pprof for the whole process. It returns the bound
-// address; shut the server down with its Close or Shutdown method.
-func ServeTelemetry(addr string) (*telemetry.Server, error) {
-	return telemetry.ServeAddr(addr)
+// (JSON) and /debug/pprof for the whole process, plus any extra mounts. It
+// returns the bound address; shut the server down with its Close or
+// Shutdown method.
+func ServeTelemetry(addr string, mounts ...TelemetryMount) (*telemetry.Server, error) {
+	return telemetry.ServeAddr(addr, mounts...)
 }
+
+// TraceHandler returns the /debug/trace HTTP handler for an observatory
+// owned by a serving layer (see internal/obs): ?format=json (default) for
+// the K-slowest / forced / sampled spans, ?format=agg for per-shard
+// per-phase histogram buckets, ?format=chrome for a Chrome trace_event
+// file loadable in chrome://tracing or Perfetto.
+func TraceHandler(o *obs.Observatory) http.Handler { return o.Handler() }
 
 // WithRetryBudget returns a context carrying a per-call attempt budget for
 // Run: a budget of n allows the initial attempt plus n-1 retries.

@@ -23,7 +23,7 @@ type spyScheduler struct {
 	commits  atomic.Int64
 }
 
-func (s *spyScheduler) Arrive(p gstm.Pair) { s.arrivals.Add(1) }
+func (s *spyScheduler) Arrive(p gstm.Pair) gstm.GateOutcome { s.arrivals.Add(1); return gstm.GatePass }
 func (s *spyScheduler) TxCommit(p gstm.Pair, wv uint64, aborts int) {
 	s.commits.Add(1)
 }

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"gstm/internal/telemetry"
 	"gstm/internal/txid"
 )
 
@@ -60,10 +61,10 @@ func NewPolite(maxExponent int) *Polite {
 
 // Arrive implements tl2.Gate: exponential yield backoff in the current
 // abort streak.
-func (p *Polite) Arrive(pair txid.Pair) {
+func (p *Polite) Arrive(pair txid.Pair) telemetry.GateOutcome {
 	n := int(p.streak[slot(pair.Thread)].Load())
 	if n == 0 {
-		return
+		return telemetry.GatePass
 	}
 	if n > p.MaxExponent {
 		n = p.MaxExponent
@@ -71,6 +72,7 @@ func (p *Polite) Arrive(pair txid.Pair) {
 	for i := 0; i < 1<<n; i++ {
 		runtime.Gosched()
 	}
+	return telemetry.GateHold
 }
 
 // TxCommit implements tl2.EventSink: a commit clears the thread's streak.
@@ -121,15 +123,19 @@ func (k *Karma) maxKarma() int64 {
 }
 
 // Arrive implements tl2.Gate.
-func (k *Karma) Arrive(pair txid.Pair) {
+func (k *Karma) Arrive(pair txid.Pair) telemetry.GateOutcome {
 	mine := k.karma[slot(pair.Thread)].Load()
 	for i := 0; i < k.MaxYields; i++ {
 		if k.maxKarma()-mine <= k.Threshold {
-			return
+			if i == 0 {
+				return telemetry.GatePass
+			}
+			return telemetry.GateHold
 		}
 		runtime.Gosched()
 		mine = k.karma[slot(pair.Thread)].Load()
 	}
+	return telemetry.GateEscape
 }
 
 // TxCommit implements tl2.EventSink: karma decays on commit (the priority
@@ -166,7 +172,7 @@ func NewGreedy(maxYields int) *Greedy {
 // Arrive implements tl2.Gate: stamp the transaction's start (kept across
 // retries — retries keep their seniority, as in Greedy) and defer to
 // older active transactions.
-func (g *Greedy) Arrive(pair txid.Pair) {
+func (g *Greedy) Arrive(pair txid.Pair) telemetry.GateOutcome {
 	s := slot(pair.Thread)
 	mine := g.start[s].Load()
 	if mine == 0 {
@@ -175,10 +181,14 @@ func (g *Greedy) Arrive(pair txid.Pair) {
 	}
 	for i := 0; i < g.MaxYields; i++ {
 		if !g.olderActive(mine, s) {
-			return
+			if i == 0 {
+				return telemetry.GatePass
+			}
+			return telemetry.GateHold
 		}
 		runtime.Gosched()
 	}
+	return telemetry.GateEscape
 }
 
 func (g *Greedy) olderActive(mine uint64, self int) bool {

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"gstm/internal/telemetry"
 	"gstm/internal/txid"
 )
 
@@ -43,13 +44,18 @@ func NewRoundRobin(threads, maxYields int) *RoundRobin {
 // idle thread (0 means the run was fully round-robin deterministic).
 func (rr *RoundRobin) Steals() uint64 { return rr.steals.Load() }
 
-// Arrive implements tl2.Gate: wait for the token.
-func (rr *RoundRobin) Arrive(pair txid.Pair) {
+// Arrive implements tl2.Gate: wait for the token. Returns GatePass when the
+// token was already held, GateHold after waiting for it, and GateEscape when
+// the wait bound expired and the token was stolen.
+func (rr *RoundRobin) Arrive(pair txid.Pair) telemetry.GateOutcome {
 	want := int(pair.Thread) % rr.threads
 	cur := rr.turn.Load()
 	for i := 0; i < rr.MaxYields; i++ {
 		if int(cur%uint64(rr.threads)) == want {
-			return
+			if i == 0 {
+				return telemetry.GatePass
+			}
+			return telemetry.GateHold
 		}
 		runtime.Gosched()
 		cur = rr.turn.Load()
@@ -59,12 +65,12 @@ func (rr *RoundRobin) Arrive(pair txid.Pair) {
 	for {
 		cur = rr.turn.Load()
 		if int(cur%uint64(rr.threads)) == want {
-			return
+			return telemetry.GateHold
 		}
 		next := cur + uint64((want-int(cur%uint64(rr.threads)))+rr.threads)%uint64(rr.threads)
 		if rr.turn.CompareAndSwap(cur, next) {
 			rr.steals.Add(1)
-			return
+			return telemetry.GateEscape
 		}
 	}
 }

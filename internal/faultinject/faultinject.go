@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"gstm/internal/telemetry"
 	"gstm/internal/txid"
 )
 
@@ -223,7 +224,7 @@ type Sink interface {
 
 // Gate mirrors tl2.Gate / libtm.Gate.
 type Gate interface {
-	Arrive(p txid.Pair)
+	Arrive(p txid.Pair) telemetry.GateOutcome
 }
 
 // StallingSink delays every event delivery by a fixed number of scheduler
@@ -285,12 +286,20 @@ func NewStarvingGate(inner Gate, yields int) *StarvingGate {
 func (g *StarvingGate) Arrivals() uint64 { return g.arrivals.Load() }
 
 // Arrive implements Gate.
-func (g *StarvingGate) Arrive(p txid.Pair) {
+func (g *StarvingGate) Arrive(p txid.Pair) telemetry.GateOutcome {
 	g.arrivals.Add(1)
 	for i := 0; i < g.yields; i++ {
 		runtime.Gosched()
 	}
 	if g.inner != nil {
-		g.inner.Arrive(p)
+		out := g.inner.Arrive(p)
+		if out == telemetry.GatePass && g.yields > 0 {
+			out = telemetry.GateHold
+		}
+		return out
 	}
+	if g.yields > 0 {
+		return telemetry.GateHold
+	}
+	return telemetry.GatePass
 }

@@ -138,7 +138,7 @@ func (c *Controller) GateStats() (passed, held, escaped uint64) {
 // up to retries re-checks while its pair is outside every high-probability
 // destination of the current state; an unknown current state, or exhausting
 // the retries, lets the thread proceed (Section V progress rule).
-func (c *Controller) Arrive(p txid.Pair) {
+func (c *Controller) Arrive(p txid.Pair) telemetry.GateOutcome {
 	pk := p.Pack()
 	heldOnce := false
 	var stateKey string
@@ -157,7 +157,7 @@ func (c *Controller) Arrive(p txid.Pair) {
 		if i >= c.retries {
 			c.escaped.Add(1)
 			c.tel.GateArrival(stateKey, telemetry.GateEscape, uint64(p.Thread), time.Since(t0))
-			return
+			return telemetry.GateEscape
 		}
 		if !heldOnce {
 			t0 = time.Now()
@@ -176,10 +176,11 @@ func (c *Controller) Arrive(p txid.Pair) {
 	if heldOnce {
 		c.held.Add(1)
 		c.tel.GateArrival(stateKey, telemetry.GateHold, uint64(p.Thread), time.Since(t0))
-	} else {
-		c.passed.Add(1)
-		c.tel.GateArrival(stateKey, telemetry.GatePass, uint64(p.Thread), 0)
+		return telemetry.GateHold
 	}
+	c.passed.Add(1)
+	c.tel.GateArrival(stateKey, telemetry.GatePass, uint64(p.Thread), 0)
+	return telemetry.GatePass
 }
 
 // heldYield yields the processor with the same tiered schedule as

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gstm/internal/telemetry"
 	"gstm/internal/txid"
 )
 
@@ -206,11 +207,11 @@ func (w *Watchdog) Snapshot() WatchdogSnapshot {
 }
 
 // Arrive implements the gate: pass-through while tripped, guided otherwise.
-func (w *Watchdog) Arrive(p txid.Pair) {
+func (w *Watchdog) Arrive(p txid.Pair) telemetry.GateOutcome {
 	if w.tripped.Load() {
-		return
+		return telemetry.GatePass
 	}
-	w.ctrl.Arrive(p)
+	return w.ctrl.Arrive(p)
 }
 
 // TxCommit implements the event sink: state tracking first, then window

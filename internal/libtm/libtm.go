@@ -25,6 +25,7 @@ package libtm
 import (
 	"sync/atomic"
 
+	"gstm/internal/telemetry"
 	"gstm/internal/txid"
 )
 
@@ -102,7 +103,7 @@ type EventSink interface {
 
 // Gate mirrors tl2.Gate.
 type Gate interface {
-	Arrive(p txid.Pair)
+	Arrive(p txid.Pair) telemetry.GateOutcome
 }
 
 // FaultInjector mirrors tl2.FaultInjector: the chaos-testing hook

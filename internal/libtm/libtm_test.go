@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"gstm/internal/telemetry"
 	"gstm/internal/txid"
 )
 
@@ -292,7 +293,10 @@ func TestSinkReceivesEvents(t *testing.T) {
 
 type recordGate struct{ n int }
 
-func (g *recordGate) Arrive(p txid.Pair) { g.n++ }
+func (g *recordGate) Arrive(p txid.Pair) telemetry.GateOutcome {
+	g.n++
+	return telemetry.GateHold
+}
 
 func TestGateConsulted(t *testing.T) {
 	rt := New(Config{})

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gstm/internal/commitreg"
+	"gstm/internal/obs"
 	"gstm/internal/retry"
 	"gstm/internal/telemetry"
 	"gstm/internal/txid"
@@ -105,7 +106,7 @@ func (rt *Runtime) ResilienceStats() (budgetExceeded, canceled uint64) {
 // thread, retrying on conflicts. A non-nil error from fn aborts the attempt
 // and is returned without retry. Atomic must not be nested.
 func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.run(nil, thread, txn, fn, 0)
+	return rt.run(nil, thread, txn, fn, 0, nil)
 }
 
 // AtomicCtx is Atomic honoring ctx: cancellation/deadline is checked
@@ -114,7 +115,7 @@ func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) err
 // retry.ErrBudgetExceeded when spent. Either way every write lock and
 // reader registration has been released.
 func (rt *Runtime) AtomicCtx(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.run(ctx, thread, txn, fn, 0)
+	return rt.run(ctx, thread, txn, fn, 0, nil)
 }
 
 // Run mirrors tl2.Runtime.Run for this engine: ctx may be nil, and
@@ -122,10 +123,17 @@ func (rt *Runtime) AtomicCtx(ctx context.Context, thread txid.ThreadID, txn txid
 // any retry.WithBudget budget; <= 0 defers to it). LibTM has no read-only
 // fast path, so there is no readOnly parameter.
 func (rt *Runtime) Run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, maxAttempts int) error {
-	return rt.run(ctx, thread, txn, fn, maxAttempts)
+	return rt.run(ctx, thread, txn, fn, maxAttempts, nil)
 }
 
-func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, maxAttempts int) error {
+// RunSpan is Run with a variance-observatory span attached: gate waits and
+// per-attempt retries (with their abort causes) are recorded into span's
+// timeline. span may be nil, in which case RunSpan is exactly Run.
+func (rt *Runtime) RunSpan(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, maxAttempts int, span *obs.Span) error {
+	return rt.run(ctx, thread, txn, fn, maxAttempts, span)
+}
+
+func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, maxAttempts int, span *obs.Span) error {
 	self := txid.Pair{Txn: txn, Thread: thread}
 	tx := rt.pool.Get().(*Tx)
 	defer func() {
@@ -154,14 +162,30 @@ func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID
 			}
 		}
 		if gb := rt.gate.Load(); gb != nil {
-			gb.g.Arrive(self)
+			if span != nil {
+				g0 := time.Now()
+				outcome := gb.g.Arrive(self)
+				gc := obs.CauseNone
+				if outcome == telemetry.GateEscape {
+					gc = obs.CauseGateTimeout
+				}
+				span.AddSince(obs.PhaseGate, gc, attempt+1, g0)
+			} else {
+				gb.g.Arrive(self)
+			}
 		}
 		sampled := rt.tel.TxStart(shard)
 		tx.reset(rt, self, attempt)
+		span.NoteAttempt()
+		// Attempt start = end of the last recorded event (gate, queue, or
+		// the previous retry): a field read instead of a clock read, so the
+		// committing fast path pays no time.Now for abort attribution.
+		attStart := span.LastEndNs()
 
 		err, c := runBody(tx, fn)
 		if c != nil {
 			tx.cleanup()
+			span.AddSinceNs(obs.PhaseRetry, c.cause, attempt+1, attStart)
 			rt.noteAbort(self, c)
 			if rt.budgetSpent(shard, budget, attempt) {
 				return retry.ErrBudgetExceeded
@@ -175,7 +199,8 @@ func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID
 		}
 		if fi := rt.injector(); fi != nil && fi.SpuriousAbort(self, attempt) {
 			tx.cleanup()
-			rt.noteAbort(self, &conflict{})
+			span.AddSinceNs(obs.PhaseRetry, obs.CauseSpurious, attempt+1, attStart)
+			rt.noteAbort(self, &conflict{cause: obs.CauseSpurious})
 			if rt.budgetSpent(shard, budget, attempt) {
 				return retry.ErrBudgetExceeded
 			}
@@ -189,6 +214,7 @@ func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID
 		wv, c, ok := tx.commit()
 		if !ok {
 			tx.cleanup()
+			span.AddSinceNs(obs.PhaseRetry, c.cause, attempt+1, attStart)
 			rt.noteAbort(self, c)
 			if rt.budgetSpent(shard, budget, attempt) {
 				return retry.ErrBudgetExceeded
@@ -222,7 +248,7 @@ func (rt *Runtime) budgetSpent(shard uint64, budget, attempt int) bool {
 // noteAbort counts and reports an abort. Dooming gives exact attribution;
 // lock-wait conflicts fall back to the most recent commit.
 func (rt *Runtime) noteAbort(self txid.Pair, c *conflict) {
-	rt.tel.TxAbort(uint64(self.Thread))
+	rt.tel.TxAbort(uint64(self.Thread), c.cause)
 	sb := rt.sink.Load()
 	if sb == nil {
 		return

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"gstm/internal/obs"
 	"gstm/internal/txid"
 	"gstm/internal/wset"
 )
@@ -27,11 +28,25 @@ func (st *txState) doom(wv uint64, by txid.Pair) {
 	}
 }
 
-// conflict carries abort attribution out of a transaction body.
+// conflict carries abort attribution out of a transaction body. cause
+// classifies the conflict for the abort taxonomy: a doom is a read
+// invalidation (the committing writer invalidated our visible read), a
+// spin-bound exhaustion is lock-busy.
 type conflict struct {
 	byWV    uint64
 	by      txid.Pair
 	byKnown bool
+	cause   obs.Cause
+}
+
+// doomConflict builds the conflict describing this attempt's doom.
+func doomConflict(st *txState) *conflict {
+	return &conflict{
+		byWV:    st.doomWV.Load(),
+		by:      txid.Packed(st.doomPair.Load()).Unpack(),
+		byKnown: true,
+		cause:   obs.CauseReadValidation,
+	}
 }
 
 // Tx is one attempt of a LibTM transaction.
@@ -89,11 +104,7 @@ func (tx *Tx) abort(c *conflict) {
 // checkDoomed aborts the attempt when a committing writer has doomed it.
 func (tx *Tx) checkDoomed() {
 	if tx.st.doomed.Load() {
-		tx.abort(&conflict{
-			byWV:    tx.st.doomWV.Load(),
-			by:      txid.Packed(tx.st.doomPair.Load()).Unpack(),
-			byKnown: true,
-		})
+		tx.abort(doomConflict(tx.st))
 	}
 }
 
@@ -116,7 +127,7 @@ func (tx *Tx) readBase(b *objBase, load func() any) any {
 	pess := tx.rt.cfg.ReadMode == ReadPessimistic
 	for spins := 0; !b.registerReader(tx.st, pess); spins++ {
 		if spins >= tx.rt.cfg.MaxSpin {
-			tx.abort(&conflict{})
+			tx.abort(&conflict{cause: obs.CauseLockBusy})
 		}
 		runtime.Gosched()
 		tx.checkDoomed()
@@ -178,7 +189,7 @@ func (tx *Tx) lockOne(e *wset.Entry[*objBase], b *objBase) {
 			return
 		}
 		if spins >= tx.rt.cfg.MaxSpin {
-			tx.abort(&conflict{})
+			tx.abort(&conflict{cause: obs.CauseLockBusy})
 		}
 		runtime.Gosched()
 		tx.checkDoomed()
@@ -213,11 +224,7 @@ func (tx *Tx) scrub() {
 // configured policy, re-check our own doom flag, publish, release.
 func (tx *Tx) commit() (wv uint64, c *conflict, ok bool) {
 	if tx.st.doomed.Load() {
-		return 0, &conflict{
-			byWV:    tx.st.doomWV.Load(),
-			by:      txid.Packed(tx.st.doomPair.Load()).Unpack(),
-			byKnown: true,
-		}, false
+		return 0, doomConflict(tx.st), false
 	}
 	ents := tx.ws.Entries()
 	if len(ents) == 0 {
@@ -230,7 +237,7 @@ func (tx *Tx) commit() (wv uint64, c *conflict, ok bool) {
 				continue
 			}
 			if !tx.tryLockBounded(&ents[i], ents[i].Key) {
-				return 0, &conflict{}, false
+				return 0, &conflict{cause: obs.CauseLockBusy}, false
 			}
 		}
 	}
@@ -247,15 +254,11 @@ func (tx *Tx) commit() (wv uint64, c *conflict, ok bool) {
 		for spins := 0; !b.resolveReaders(tx.st, abortReaders, wv); spins++ {
 			// wait-for-readers: stall until this object's readers drain.
 			if spins >= tx.rt.cfg.MaxSpin {
-				return 0, &conflict{}, false
+				return 0, &conflict{cause: obs.CauseLockBusy}, false
 			}
 			runtime.Gosched()
 			if tx.st.doomed.Load() {
-				return 0, &conflict{
-					byWV:    tx.st.doomWV.Load(),
-					by:      txid.Packed(tx.st.doomPair.Load()).Unpack(),
-					byKnown: true,
-				}, false
+				return 0, doomConflict(tx.st), false
 			}
 		}
 	}
@@ -263,11 +266,7 @@ func (tx *Tx) commit() (wv uint64, c *conflict, ok bool) {
 	// our dooms above are only undone by those readers retrying, which is
 	// the abort-readers policy's intended behaviour.
 	if tx.st.doomed.Load() {
-		return 0, &conflict{
-			byWV:    tx.st.doomWV.Load(),
-			by:      txid.Packed(tx.st.doomPair.Load()).Unpack(),
-			byKnown: true,
-		}, false
+		return 0, doomConflict(tx.st), false
 	}
 	for i := range ents {
 		b := ents[i].Key

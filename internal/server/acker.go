@@ -1,5 +1,11 @@
 package server
 
+import (
+	"time"
+
+	"gstm/internal/obs"
+)
+
 // Asynchronous durability acknowledgment. A worker that commits a durable
 // batch does not block until the batch's WAL records are flushed — it
 // captures each touched shard's record seq, hands the batch to the
@@ -15,21 +21,27 @@ package server
 // request IDs and per-connection ordering across workers was never
 // guaranteed (requests round-robin over the pool).
 
-// ackWait is one shard sub-transaction's durability obligation.
+// ackWait is one shard sub-transaction's durability obligation. The
+// sub-transaction's span rides along by value: the acker stamps its
+// WAL-ack phase (the time the response was withheld for durability),
+// finishes it with the terminal cause and hands it to the observatory.
 type ackWait struct {
-	sh  int
-	seq uint64 // 0: commit carried no record; nothing to wait for
+	sh   int
+	seq  uint64 // 0: commit carried no record; nothing to wait for
+	span obs.Span
 }
 
 // ackItem is one durable batch in flight between its worker and the
 // acker. tasks/results are copies (the worker reuses its own slices);
 // shardOf[i] is task i's home shard, for mapping a failed shard's wait
-// back onto exactly its operations.
+// back onto exactly its operations; worker attributes the spans to the
+// worker's observatory ring.
 type ackItem struct {
 	tasks   []task
 	results []opResult
 	shardOf []int32
 	waits   []ackWait
+	worker  int
 }
 
 func (s *Server) getAckItem(n int) *ackItem {
@@ -63,12 +75,19 @@ func (s *Server) ackLoop() {
 // account the survivors, write the responses, release the in-flight
 // slots.
 func (s *Server) finishDurable(it *ackItem, resp []byte) []byte {
-	for _, wt := range it.waits {
+	for wi := range it.waits {
+		wt := &it.waits[wi]
+		sp := &wt.span
 		if wt.seq > 0 {
+			w0 := time.Now()
 			if werr := s.wals[wt.sh].WaitAcked(wt.seq); werr != nil {
 				// The commit executed in memory but its record never became
 				// durable; the ack must not happen. (After a crash the replay
 				// won't have it — exactly what StatusUnavailable promises.)
+				sp.AddSince(obs.PhaseWALAck, obs.CauseWALUnavailable, 0, w0)
+				sp.Finish(obs.CauseWALUnavailable, time.Now().UnixNano())
+				s.obs.Collect(it.worker, sp)
+				s.router.System(wt.sh).Telemetry().WALRefused(uint64(it.worker))
 				for i := range it.tasks {
 					if int(it.shardOf[i]) == wt.sh {
 						it.results[i] = opResult{status: StatusUnavailable}
@@ -76,7 +95,10 @@ func (s *Server) finishDurable(it *ackItem, resp []byte) []byte {
 				}
 				continue
 			}
+			sp.AddSince(obs.PhaseWALAck, obs.CauseNone, 0, w0)
 		}
+		sp.Finish(obs.CauseNone, time.Now().UnixNano())
+		s.obs.Collect(it.worker, sp)
 		var delta int64
 		n := 0
 		for i := range it.tasks {

@@ -12,11 +12,18 @@ import (
 // tests open one Client per goroutine, which also gives the server's
 // batching real cross-connection queue depth to coalesce.
 type Client struct {
-	nc  net.Conn
-	br  *bufio.Reader
-	buf []byte
-	id  uint32
+	nc    net.Conn
+	br    *bufio.Reader
+	buf   []byte
+	id    uint32
+	trace bool
 }
+
+// SetTrace toggles the protocol trace-request bit on every subsequent
+// request: the server then retains a full variance-observatory span for
+// each of this client's operations (the /debug/trace "forced" ring)
+// regardless of its sampling rate.
+func (c *Client) SetTrace(on bool) { c.trace = on }
 
 // Dial connects to a gstm-server at addr.
 func Dial(addr string) (*Client, error) {
@@ -33,7 +40,7 @@ func (c *Client) Close() error { return c.nc.Close() }
 // Do sends one operation and waits for its response.
 func (c *Client) Do(op Op, key, arg uint64) (Status, uint64, error) {
 	c.id++
-	c.buf = AppendRequest(c.buf[:0], Request{Op: op, ID: c.id, Key: key, Arg: arg})
+	c.buf = AppendRequest(c.buf[:0], Request{Op: op, ID: c.id, Key: key, Arg: arg, Trace: c.trace})
 	if _, err := c.nc.Write(c.buf); err != nil {
 		return 0, 0, err
 	}

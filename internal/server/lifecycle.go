@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -143,7 +145,8 @@ func (lc *lifecycle) noteOps(n int) {
 	lc.traces = nil
 	lc.mode.Store(uint32(ModeTraining))
 	gen := lc.gen
-	go lc.train(gen, traces)
+	go pprof.Do(context.Background(), pprof.Labels("gstm", "lifecycle-train"),
+		func(context.Context) { lc.train(gen, traces) })
 }
 
 // train builds and analyzes the model off the serving path, then — if it

@@ -44,6 +44,10 @@ type LoadConfig struct {
 	// its home shard (the router's hash) and fill RunStats.ShardOps /
 	// ShardSpreadPct — the client-side view of keyspace balance.
 	Shards int
+	// Trace sets the protocol trace-request bit on every issued operation,
+	// forcing the server's variance observatory to retain a span for each
+	// (the /debug/trace "forced" ring) regardless of its sampling rate.
+	Trace bool
 }
 
 func (cfg LoadConfig) normalize() LoadConfig {
@@ -184,6 +188,7 @@ func syncConn(cfg LoadConfig, i int, out *connOut, start <-chan struct{}) {
 		return
 	}
 	defer cl.Close()
+	cl.SetTrace(cfg.Trace)
 	r := xrand.NewThread(cfg.Seed, i)
 	out.lats = make([]float64, 0, 1<<14)
 	<-start
@@ -266,7 +271,7 @@ func pipeConn(cfg LoadConfig, i int, out *connOut, start <-chan struct{}) {
 			op, key, arg := nextOp(r, cfg)
 			out.noteShard(cfg, key)
 			sent++
-			buf = AppendRequest(buf, Request{Op: op, ID: uint32(sent), Key: key, Arg: arg})
+			buf = AppendRequest(buf, Request{Op: op, ID: uint32(sent), Key: key, Arg: arg, Trace: cfg.Trace})
 		}
 		if len(buf) > 0 {
 			if _, err := nc.Write(buf); err != nil {

@@ -127,12 +127,19 @@ const (
 	MaxFrame = 1 << 10
 )
 
+// TraceBit is the high bit of the wire op byte: a client sets it to demand
+// a full span trace for the request regardless of the observatory's
+// sampling rate. DecodeRequest strips it into Request.Trace, so op codes
+// stay confined to the low 7 bits.
+const TraceBit = 0x80
+
 // Request is one decoded client operation.
 type Request struct {
-	Op  Op
-	ID  uint32 // echoed verbatim in the response
-	Key uint64
-	Arg uint64
+	Op    Op
+	ID    uint32 // echoed verbatim in the response
+	Key   uint64
+	Arg   uint64
+	Trace bool // client set the wire trace bit (see TraceBit)
 }
 
 // Response is one server reply.
@@ -155,10 +162,11 @@ func DecodeRequest(buf []byte) (Request, error) {
 		return Request{}, fmt.Errorf("%w: %d bytes", ErrShortFrame, len(buf))
 	}
 	r := Request{
-		Op:  Op(buf[0]),
-		ID:  binary.BigEndian.Uint32(buf[1:5]),
-		Key: binary.BigEndian.Uint64(buf[5:13]),
-		Arg: binary.BigEndian.Uint64(buf[13:21]),
+		Op:    Op(buf[0] &^ TraceBit),
+		ID:    binary.BigEndian.Uint32(buf[1:5]),
+		Key:   binary.BigEndian.Uint64(buf[5:13]),
+		Arg:   binary.BigEndian.Uint64(buf[13:21]),
+		Trace: buf[0]&TraceBit != 0,
 	}
 	if r.Op < OpGet || r.Op > OpInfo {
 		return Request{}, fmt.Errorf("%w: %d", ErrBadOp, r.Op)
@@ -171,6 +179,9 @@ func AppendRequest(dst []byte, r Request) []byte {
 	var b [ReqFrameLen]byte
 	binary.BigEndian.PutUint32(b[0:4], reqPayloadLen)
 	b[4] = byte(r.Op)
+	if r.Trace {
+		b[4] |= TraceBit
+	}
 	binary.BigEndian.PutUint32(b[5:9], r.ID)
 	binary.BigEndian.PutUint64(b[9:17], r.Key)
 	binary.BigEndian.PutUint64(b[17:25], r.Arg)

@@ -7,13 +7,17 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gstm"
+	"gstm/internal/obs"
 	"gstm/internal/shard"
 	"gstm/internal/stmds"
+	"gstm/internal/telemetry"
 	"gstm/internal/wal"
 )
 
@@ -111,6 +115,12 @@ type Config struct {
 	// DiskFaults, when non-nil, is installed as every shard WAL's disk
 	// fault hook (chaos tests).
 	DiskFaults wal.DiskFaults
+
+	// TraceSampleEvery is the variance observatory's retention sampling
+	// rate: every Nth finished span is kept in its worker's ring (0 =
+	// obs.DefaultSampleEvery; 1 keeps every span — tests). Aggregation and
+	// the K-slowest tail reservoir see every span regardless.
+	TraceSampleEvery int
 }
 
 func (cfg Config) normalize() Config {
@@ -184,6 +194,16 @@ type Server struct {
 	liveKeys   atomic.Int64
 	batches    atomic.Uint64
 	batchedOps atomic.Uint64
+
+	// obs is the variance observatory: every batch sub-transaction records
+	// a span (decode, queue wait, attempts with abort causes, commit
+	// phases, WAL ack wait) into it. Always on; retention is sampled.
+	obs *obs.Observatory
+
+	// unregGauges unhooks the telemetry gauges Start registered (WAL queue
+	// depth per shard, acker backlog); dropped once by dropGauges.
+	unregGauges []func()
+	gaugeOnce   sync.Once
 }
 
 // New builds a Server (not yet listening) with cfg.Shards independent
@@ -199,6 +219,11 @@ func New(cfg Config) *Server {
 		}),
 		stop:  make(chan struct{}),
 		conns: make(map[net.Conn]struct{}),
+		obs: obs.New(obs.Config{
+			Shards:      cfg.Shards,
+			Workers:     cfg.Workers,
+			SampleEvery: cfg.TraceSampleEvery,
+		}),
 	}
 	if cfg.WALDir != "" {
 		s.acks = make(chan *ackItem, 8*cfg.Workers)
@@ -206,7 +231,8 @@ func New(cfg Config) *Server {
 		// The acker lives from New to stopAcker, outside s.wg: it outlives
 		// the workers (its producers) and must drain after they exit even
 		// when Start itself fails.
-		go s.ackLoop()
+		go pprof.Do(context.Background(), pprof.Labels("gstm", "server-acker"),
+			func(context.Context) { s.ackLoop() })
 	}
 	buckets := cfg.Buckets / cfg.Shards
 	if buckets < 16 {
@@ -234,6 +260,10 @@ func (s *Server) System() *gstm.System { return s.router.System(0) }
 
 // Shards returns the shard count.
 func (s *Server) Shards() int { return s.router.Shards() }
+
+// Observatory exposes the server's variance observatory; mount its Handler
+// (or gstm.TraceHandler) as /debug/trace on the telemetry endpoint.
+func (s *Server) Observatory() *obs.Observatory { return s.obs }
 
 // Addr returns the bound listen address (valid after Start).
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
@@ -265,13 +295,61 @@ func (s *Server) Start() error {
 			lc.startAuto(s.cfg.ProfileOps)
 		}
 	}
+	s.registerGauges()
 	for _, w := range s.workers {
 		s.wg.Add(1)
-		go func(w *worker) { defer s.wg.Done(); w.loop() }(w)
+		go func(w *worker) {
+			defer s.wg.Done()
+			pprof.Do(context.Background(),
+				pprof.Labels("gstm", "server-worker", "worker", strconv.Itoa(int(w.id))),
+				func(context.Context) { w.loop() })
+		}(w)
 	}
 	s.wg.Add(1)
-	go func() { defer s.wg.Done(); s.acceptLoop() }()
+	go func() {
+		defer s.wg.Done()
+		pprof.Do(context.Background(), pprof.Labels("gstm", "server-accept"),
+			func(context.Context) { s.acceptLoop() })
+	}()
 	return nil
+}
+
+// registerGauges hooks the server's point-in-time depths into the
+// process-wide telemetry registry: each shard WAL's unflushed queue depth
+// and the acker's backlog of durable batches awaiting their flush. They
+// appear on /metrics until dropGauges (Shutdown/Crash) unhooks them.
+func (s *Server) registerGauges() {
+	label := func(i int) string {
+		if s.cfg.Shards > 1 {
+			return "shard" + strconv.Itoa(i)
+		}
+		return "shard"
+	}
+	for i, l := range s.wals {
+		if l == nil {
+			continue
+		}
+		l := l
+		s.unregGauges = append(s.unregGauges, telemetry.RegisterGauge(
+			"gstm_wal_queue_depth", label(i),
+			func() float64 { return float64(l.QueueDepth()) }))
+	}
+	if s.acks != nil {
+		s.unregGauges = append(s.unregGauges, telemetry.RegisterGauge(
+			"gstm_acker_backlog", "server",
+			func() float64 { return float64(len(s.acks)) }))
+	}
+}
+
+// dropGauges unhooks everything registerGauges registered; idempotent, so
+// both Shutdown and Crash can call it.
+func (s *Server) dropGauges() {
+	s.gaugeOnce.Do(func() {
+		for _, u := range s.unregGauges {
+			u()
+		}
+		s.unregGauges = nil
+	})
 }
 
 func (s *Server) acceptLoop() {
@@ -323,6 +401,10 @@ func (s *Server) serveConn(nc net.Conn) {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return // EOF or forced close
 		}
+		// The span's decode phase starts here: the frame header has
+		// arrived, so everything until dispatch is the server's own work
+		// (payload read off the bufio buffer, decode, routing).
+		dec0 := time.Now()
 		n := uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3])
 		if n == 0 || n > MaxFrame {
 			return // stream out of sync: drop the connection
@@ -348,8 +430,9 @@ func (s *Server) serveConn(nc net.Conn) {
 				continue
 			}
 			w := s.workers[int(s.rr.Add(1))%len(s.workers)]
+			enq := time.Now()
 			select {
-			case w.queue <- task{req: req, c: c}:
+			case w.queue <- task{req: req, c: c, enq: enq.UnixNano(), decNs: enq.Sub(dec0).Nanoseconds()}:
 			case <-s.stop:
 				s.inflight.Done()
 				return
@@ -501,6 +584,7 @@ func (s *Server) RejectReason() string {
 // drain; on expiry remaining work is abandoned and ctx.Err() returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.dropGauges()
 	_ = s.ln.Close()
 
 	drained := make(chan struct{})
@@ -564,6 +648,7 @@ func (s *Server) Close() error {
 // staged buffer. The store's in-memory state is discarded with the Server.
 func (s *Server) Crash() {
 	s.draining.Store(true)
+	s.dropGauges()
 	if s.ln != nil {
 		_ = s.ln.Close()
 	}

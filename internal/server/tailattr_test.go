@@ -1,0 +1,99 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"gstm/internal/obs"
+)
+
+func hist(bucket, count, sum uint64) obs.HistCounts {
+	return obs.HistCounts{Count: count, SumNs: sum, Buckets: []uint64{bucket, count}}
+}
+
+func TestDiffTraceAgg(t *testing.T) {
+	prev := obs.AggSnapshot{Shards: []obs.ShardAggSnapshot{
+		{Shard: 0, Phases: map[string]obs.HistCounts{
+			"lock":    hist(10, 2, 200),
+			"publish": hist(12, 2, 300),
+		}, Total: hist(14, 2, 500)},
+	}}
+	cur := obs.AggSnapshot{Shards: []obs.ShardAggSnapshot{
+		{Shard: 0, Phases: map[string]obs.HistCounts{
+			"lock":    hist(10, 5, 650),
+			"publish": hist(12, 2, 300), // unchanged: must drop from the diff
+		}, Total: hist(14, 5, 1400)},
+		// A shard absent from prev passes through whole.
+		{Shard: 1, Phases: map[string]obs.HistCounts{
+			"lock": hist(10, 3, 330),
+		}, Total: hist(14, 3, 700)},
+	}}
+
+	d := DiffTraceAgg(cur, prev)
+	if len(d.Shards) != 2 {
+		t.Fatalf("diff has %d shards, want 2", len(d.Shards))
+	}
+	s0 := d.Shards[0]
+	if got := s0.Phases["lock"]; got.Count != 3 || got.SumNs != 450 {
+		t.Fatalf("shard0 lock diff = %+v, want count 3 sum 450", got)
+	}
+	if _, ok := s0.Phases["publish"]; ok {
+		t.Fatalf("unchanged publish phase survived the diff: %+v", s0.Phases)
+	}
+	if s0.Total.Count != 3 || s0.Total.SumNs != 900 {
+		t.Fatalf("shard0 total diff = %+v, want count 3 sum 900", s0.Total)
+	}
+	s1 := d.Shards[1]
+	if got := s1.Phases["lock"]; got.Count != 3 || got.SumNs != 330 {
+		t.Fatalf("new shard1 diff = %+v, want pass-through", got)
+	}
+}
+
+func TestFormatTailTable(t *testing.T) {
+	a := obs.AggSnapshot{Shards: []obs.ShardAggSnapshot{
+		// Out of order on purpose: the table must sort by shard.
+		{Shard: 1, Phases: map[string]obs.HistCounts{
+			"queue": hist(40, 4, 40_000),
+		}, Total: hist(44, 4, 90_000)},
+		{Shard: 0, Phases: map[string]obs.HistCounts{
+			"decode":  hist(8, 10, 1_000),
+			"publish": hist(30, 10, 25_000),
+		}, Total: hist(33, 10, 60_000)},
+	}}
+	table := FormatTailTable(a)
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	// Header + (decode, publish, total) for shard 0 + (queue, total) for shard 1.
+	if len(lines) != 6 {
+		t.Fatalf("table has %d lines, want 6:\n%s", len(lines), table)
+	}
+	for i, want := range []string{"phase", "decode", "publish", "total", "queue", "total"} {
+		if !strings.Contains(lines[i], want) {
+			t.Fatalf("line %d = %q, want it to mention %q\n%s", i, lines[i], want, table)
+		}
+	}
+	// Shard 0's rows precede shard 1's despite input order.
+	if !strings.Contains(lines[1], "0") || !strings.Contains(lines[4], "1") {
+		t.Fatalf("shard ordering wrong:\n%s", table)
+	}
+	// Phases print in request order: decode before publish.
+	if strings.Index(table, "decode") > strings.Index(table, "publish") {
+		t.Fatalf("phase ordering wrong:\n%s", table)
+	}
+}
+
+func TestFmtNs(t *testing.T) {
+	for _, tc := range []struct {
+		ns   uint64
+		want string
+	}{
+		{0, "-"},
+		{1_500, "1.50µs"},
+		{45_000, "45.0µs"},
+		{3_200_000, "3.20ms"},
+		{2_000_000_000, "2.00s"},
+	} {
+		if got := fmtNs(tc.ns); got != tc.want {
+			t.Errorf("fmtNs(%d) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}

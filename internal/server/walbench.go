@@ -88,8 +88,8 @@ type WALBenchPoint struct {
 // WALBenchReport is the durability cost comparison written to
 // BENCH_wal.json by cmd/gstm-loadgen -durability.
 type WALBenchReport struct {
-	Description string         `json:"description"`
-	Config      WALBenchConfig `json:"config"`
+	Description string          `json:"description"`
+	Config      WALBenchConfig  `json:"config"`
 	Points      []WALBenchPoint `json:"points"`
 	// RelaxedTargetMet reports the acceptance condition: some relaxed
 	// (FsyncInterval > 0) point keeps at least 70% of the non-durable

@@ -2,8 +2,10 @@ package server
 
 import (
 	"errors"
+	"time"
 
 	"gstm"
+	"gstm/internal/obs"
 	"gstm/internal/shard"
 	"gstm/internal/stmds"
 	"gstm/internal/wal"
@@ -39,10 +41,15 @@ func site(op Op) gstm.TxnID {
 	}
 }
 
-// task is one queued data operation awaiting a worker.
+// task is one queued data operation awaiting a worker. enq/decNs carry the
+// reader's span timestamps: when the task was queued (unix nanos) and how
+// long the frame read + decode took, so the worker can reconstruct the
+// request's decode and queue-wait phases without another clock read.
 type task struct {
-	req Request
-	c   *conn
+	req   Request
+	c     *conn
+	enq   int64
+	decNs int64
 }
 
 // opResult is one operation's outcome, filled inside the batch
@@ -73,6 +80,14 @@ type worker struct {
 	resp    []byte
 	runOpts [1]gstm.TxOption // reused option slice (ReadOnly or MaxAttempts)
 
+	// spans[sh] is the scratch span for shard sh's sub-transaction of the
+	// current batch; spanOpts[sh] is the prebuilt option slice threading it
+	// into that shard's Run call (slot 0 is refilled per batch with the
+	// ReadOnly/MaxAttempts option). Reused every batch: the observatory
+	// retains spans by value, so the record path never allocates.
+	spans    []obs.Span
+	spanOpts [][]gstm.TxOption
+
 	// stg is the current shard sub-transaction's WAL redo staging; valid
 	// only while logging is true (durable server, mutating batch).
 	stg     wal.Staging
@@ -80,14 +95,20 @@ type worker struct {
 }
 
 func newWorker(s *Server, id int) *worker {
-	return &worker{
+	w := &worker{
 		srv:     s,
 		id:      gstm.ThreadID(id),
 		queue:   make(chan task, s.cfg.QueueDepth),
 		batch:   make([]task, 0, s.cfg.Batch),
 		results: make([]opResult, s.cfg.Batch),
 		plan:    s.router.NewPlan(),
+		spans:   make([]obs.Span, s.cfg.Shards),
 	}
+	w.spanOpts = make([][]gstm.TxOption, s.cfg.Shards)
+	for sh := range w.spanOpts {
+		w.spanOpts[sh] = []gstm.TxOption{gstm.MaxAttempts(0), gstm.WithSpan(&w.spans[sh])}
+	}
+	return w
 }
 
 func (w *worker) loop() {
@@ -160,8 +181,31 @@ func (w *worker) execBatch() {
 	} else {
 		w.runOpts[0] = gstm.MaxAttempts(s.cfg.MaxAttempts)
 	}
+
+	// Open one span per touched shard before running: the decode and
+	// queue-wait phases are reconstructed from the first homed task's
+	// timestamps, then the STM run appends gate/retry/commit events.
+	deq := time.Now().UnixNano()
+	for _, sh := range w.plan.Active() {
+		idxs := w.plan.Group(sh)
+		first := &w.batch[idxs[0]]
+		forced := false
+		for _, i := range idxs {
+			if w.batch[i].req.Trace {
+				forced = true
+				break
+			}
+		}
+		sp := &w.spans[sh]
+		begin := first.enq - first.decNs
+		sp.Start(first.req.ID, uint8(kind), uint8(sh), uint8(w.id), len(idxs), forced, begin)
+		sp.Add(obs.PhaseDecode, obs.CauseNone, 0, begin, first.decNs)
+		sp.Add(obs.PhaseQueue, obs.CauseNone, 0, first.enq, deq-first.enq)
+		w.spanOpts[sh][0] = w.runOpts[0]
+	}
+
 	durable := s.wals != nil && kind != OpGet
-	w.plan.RunEach(nil, w.id, site(kind), func(tx *gstm.Tx, sh int, idxs []int) error {
+	w.plan.RunEachOpts(nil, w.id, site(kind), func(tx *gstm.Tx, sh int, idxs []int) error {
 		w.logging = false
 		if durable {
 			// Fail fast on a dead log: committing state whose durability
@@ -179,11 +223,12 @@ func (w *worker) execBatch() {
 			w.results[i] = w.applyOp(tx, st, w.batch[i].req)
 		}
 		return nil
-	}, w.runOpts[:]...)
+	}, func(sh int) []gstm.TxOption { return w.spanOpts[sh] })
 
 	var it *ackItem
 	if durable {
 		it = s.getAckItem(len(w.batch))
+		it.worker = int(w.id)
 	}
 	for _, sh := range w.plan.Active() {
 		idxs := w.plan.Group(sh)
@@ -205,15 +250,18 @@ func (w *worker) execBatch() {
 				// let the acker withhold the responses until it is durable
 				// per the mode — written (relaxed) or fsynced (strict) —
 				// while this worker moves on to its next batch. The acker
-				// also does this group's accounting, post-ack.
+				// also does this group's accounting, post-ack, and stamps
+				// the span's WAL-ack phase (the span rides in the wait).
 				seq, werr := s.wals[sh].ThreadSeq(int(w.id))
 				if werr != nil {
 					for _, i := range idxs {
 						w.results[i] = opResult{status: StatusUnavailable}
 					}
+					s.router.System(sh).Telemetry().WALRefused(uint64(w.id))
+					w.finishSpan(sh, obs.CauseWALUnavailable)
 					continue
 				}
-				it.waits = append(it.waits, ackWait{sh: sh, seq: seq})
+				it.waits = append(it.waits, ackWait{sh: sh, seq: seq, span: w.spans[sh]})
 				continue
 			}
 			var delta int64
@@ -226,22 +274,30 @@ func (w *worker) execBatch() {
 			s.batches.Add(1)
 			s.batchedOps.Add(uint64(len(idxs)))
 			s.lcs[sh].noteOps(len(idxs))
+			w.finishSpan(sh, obs.CauseNone)
 		case errors.Is(err, errWALUnavailable) || errors.Is(err, wal.ErrFailed):
 			for _, i := range idxs {
 				w.results[i] = opResult{status: StatusUnavailable}
 			}
+			s.router.System(sh).Telemetry().WALRefused(uint64(w.id))
+			w.finishSpan(sh, obs.CauseWALUnavailable)
 		case errors.Is(err, gstm.ErrRetryBudgetExhausted):
 			for _, i := range idxs {
 				w.results[i] = opResult{status: StatusBudget}
 			}
+			w.finishSpan(sh, obs.CauseRetryBudget)
 		case errors.Is(err, gstm.ErrCanceled):
 			for _, i := range idxs {
 				w.results[i] = opResult{status: StatusCanceled}
 			}
+			w.finishSpan(sh, obs.CauseCanceled)
 		default:
 			for _, i := range idxs {
 				w.results[i] = opResult{status: StatusBadRequest}
 			}
+			// Not in the abort taxonomy (a body error, not an STM outcome);
+			// spurious is the closest "not a modeled conflict" label.
+			w.finishSpan(sh, obs.CauseSpurious)
 		}
 	}
 
@@ -321,4 +377,12 @@ func (w *worker) stagePut(key, val uint64) {
 	if w.logging {
 		w.stg.Put(key, val)
 	}
+}
+
+// finishSpan closes shard sh's scratch span with the sub-transaction's
+// terminal cause and hands it to the observatory (which copies it out).
+func (w *worker) finishSpan(sh int, cause obs.Cause) {
+	sp := &w.spans[sh]
+	sp.Finish(cause, time.Now().UnixNano())
+	w.srv.obs.Collect(int(w.id), sp)
 }

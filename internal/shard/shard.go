@@ -201,12 +201,21 @@ func (p *Plan) Err(s int) error { return p.errs[s] }
 // (see Err) and do not stop later shards — cross-shard batches are not
 // atomic. Returns true when every active shard committed.
 func (p *Plan) RunEach(ctx context.Context, thread gstm.ThreadID, txn gstm.TxnID, body func(tx *gstm.Tx, s int, idxs []int) error, opts ...gstm.TxOption) bool {
+	return p.RunEachOpts(ctx, thread, txn, body, func(int) []gstm.TxOption { return opts })
+}
+
+// RunEachOpts is RunEach with per-shard options: optsFor(s) supplies shard
+// s's option slice, letting a caller attach shard-specific state — the
+// serving layer threads one variance-observatory span per shard
+// sub-transaction this way. optsFor is called once per active shard; the
+// returned slice is not retained.
+func (p *Plan) RunEachOpts(ctx context.Context, thread gstm.ThreadID, txn gstm.TxnID, body func(tx *gstm.Tx, s int, idxs []int) error, optsFor func(s int) []gstm.TxOption) bool {
 	ok := true
 	for _, s := range p.active {
 		idxs := p.groups[s]
 		err := p.r.systems[s].Run(ctx, thread, txn, func(tx *gstm.Tx) error {
 			return body(tx, s, idxs)
-		}, opts...)
+		}, optsFor(s)...)
 		p.errs[s] = err
 		if err != nil {
 			ok = false

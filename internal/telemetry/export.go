@@ -4,8 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
+
+	"gstm/internal/obs"
 )
 
 // maxExportedGateStates bounds the per-state series the Prometheus encoding
@@ -33,6 +37,7 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	counter("gstm_tx_aborts_total", "Aborted transaction attempts.", s.Aborts)
 	counter("gstm_tx_retry_budget_exceeded_total", "Transactions abandoned on a spent retry budget.", s.RetryBudgetExceeded)
 	counter("gstm_tx_context_canceled_total", "Transactions abandoned on context cancellation.", s.ContextCanceled)
+	counter("gstm_wal_unavailable_total", "Operations refused because the shard's write-ahead log failed.", s.WALUnavailable)
 	counter("gstm_clock_cas_fallbacks_total", "GV4 pass-on-failure adoptions of a winner's clock value.", s.ClockCASFallbacks)
 	counter("gstm_write_set_spills_total", "Write sets that outgrew the inline fast path.", s.WriteSetSpills)
 	counter("gstm_write_filter_false_positives_total", "Write-set filter hits that found no entry.", s.FilterFalsePositives)
@@ -45,10 +50,39 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	counter("gstm_recovery_replayed_records_total", "Log records re-applied during crash recovery.", s.RecoveryReplayed)
 	counter("gstm_recovery_duration_ns_total", "Wall time spent in crash recovery, nanoseconds.", s.RecoveryNanos)
 
+	// Every taxonomy label is always written (zero or not) so scrapers and
+	// tests see a stable series set; CauseNone is skipped — a counted abort
+	// always has a cause.
+	fmt.Fprintf(bw, "# HELP gstm_tx_aborts_by_cause_total Aborted attempts by taxonomy cause.\n# TYPE gstm_tx_aborts_by_cause_total counter\n")
+	for i := 1; i < int(obs.NumCauses); i++ {
+		var v uint64
+		if i < len(s.AbortsByCause) {
+			v = s.AbortsByCause[i]
+		}
+		fmt.Fprintf(bw, "gstm_tx_aborts_by_cause_total{cause=%s} %d\n", promQuote(obs.CauseName(i)), v)
+	}
+
 	fmt.Fprintf(bw, "# HELP gstm_gate_decisions_total Guidance-gate arrival outcomes.\n# TYPE gstm_gate_decisions_total counter\n")
 	fmt.Fprintf(bw, "gstm_gate_decisions_total{outcome=\"passed\"} %d\n", s.GatePassed)
 	fmt.Fprintf(bw, "gstm_gate_decisions_total{outcome=\"held\"} %d\n", s.GateHeld)
 	fmt.Fprintf(bw, "gstm_gate_decisions_total{outcome=\"escaped\"} %d\n", s.GateEscaped)
+
+	if len(s.Gauges) > 0 {
+		written := map[string]bool{}
+		for _, g := range s.Gauges {
+			if !written[g.Name] {
+				fmt.Fprintf(bw, "# TYPE %s gauge\n", g.Name)
+				written[g.Name] = true
+			}
+			if g.Component != "" {
+				fmt.Fprintf(bw, "%s{component=%s} %s\n", g.Name, promQuote(g.Component), formatSeconds(g.Value))
+			} else {
+				fmt.Fprintf(bw, "%s %s\n", g.Name, formatSeconds(g.Value))
+			}
+		}
+	}
+
+	writeBuildInfo(bw)
 
 	histogram(bw, "gstm_commit_latency_seconds", "Commit protocol latency (sampled).", s.CommitLatency)
 	histogram(bw, "gstm_validation_latency_seconds", "Read-set validation latency when validation ran (sampled).", s.ValidationLatency)
@@ -102,6 +136,34 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		}
 	}
 	return bw.err
+}
+
+// buildInfoLine is the gstm_build_info series, computed once: the
+// conventional always-1 gauge whose labels carry the build's identity.
+var buildInfoLine = sync.OnceValue(func() string {
+	goVer, path, rev, modified := "unknown", "unknown", "unknown", ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		goVer = bi.GoVersion
+		path = bi.Main.Path
+		if path == "" {
+			path = bi.Path
+		}
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				rev = kv.Value
+			case "vcs.modified":
+				modified = kv.Value
+			}
+		}
+	}
+	return fmt.Sprintf("gstm_build_info{goversion=%s,path=%s,revision=%s,modified=%s} 1\n",
+		promQuote(goVer), promQuote(path), promQuote(rev), promQuote(modified))
+})
+
+func writeBuildInfo(w io.Writer) {
+	fmt.Fprintf(w, "# HELP gstm_build_info Build identity; the value is always 1.\n# TYPE gstm_build_info gauge\n")
+	io.WriteString(w, buildInfoLine())
 }
 
 // histogram writes one histogram family with cumulative buckets in seconds.

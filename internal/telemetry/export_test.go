@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"gstm/internal/obs"
 	"strconv"
 	"strings"
 	"testing"
@@ -17,7 +18,7 @@ func sampleSnapshot() Snapshot {
 		m.TxStart(uint64(i))
 		m.TxCommit(uint64(i))
 	}
-	m.TxAbort(0)
+	m.TxAbort(0, obs.CauseReadValidation)
 	m.TxBudgetExceeded(0)
 	m.ObserveCommit(0, 5*time.Microsecond, time.Microsecond, true)
 	m.ObserveCommit(1, 50*time.Microsecond, 2*time.Microsecond, true)

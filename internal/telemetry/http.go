@@ -11,16 +11,29 @@ import (
 	"sync"
 )
 
+// Mount is an extra route served by the telemetry endpoint next to the
+// standard ones — the server uses it to expose /debug/trace (the variance
+// observatory) on the same listener as /metrics.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler returns the telemetry endpoint: an http.Handler serving
 //
 //	/metrics     — Prometheus text exposition of src()
 //	/debug/vars  — expvar-shaped JSON: cmdline, memstats and the snapshot
 //	/debug/pprof — the standard net/http/pprof profile endpoints
 //
-// src is called per request; pass Gather for the process-wide view or a
-// specific (*Metrics).Snapshot for one component.
-func Handler(src func() Snapshot) http.Handler {
+// plus any extra mounts. src is called per request; pass Gather for the
+// process-wide view or a specific (*Metrics).Snapshot for one component.
+func Handler(src func() Snapshot, mounts ...Mount) http.Handler {
 	mux := http.NewServeMux()
+	for _, m := range mounts {
+		if m.Pattern != "" && m.Handler != nil {
+			mux.Handle(m.Pattern, m.Handler)
+		}
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WritePrometheus(w, src())
@@ -70,14 +83,15 @@ type Server struct {
 }
 
 // ServeAddr starts the process-wide telemetry endpoint (backed by Gather)
-// on addr. It is the one-call form the -metrics-addr command-line flags use.
-func ServeAddr(addr string) (*Server, error) {
+// on addr, with any extra mounts served from the same listener. It is the
+// one-call form the -metrics-addr command-line flags use.
+func ServeAddr(addr string, mounts ...Mount) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{BoundAddr: ln.Addr()}
-	inner := Handler(Gather)
+	inner := Handler(Gather, mounts...)
 	s.srv = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
 		defer s.inflight.Done()

@@ -92,6 +92,11 @@ type Snapshot struct {
 	Aborts              uint64 `json:"tx_aborts"`
 	RetryBudgetExceeded uint64 `json:"tx_retry_budget_exceeded"`
 	ContextCanceled     uint64 `json:"tx_context_canceled"`
+	WALUnavailable      uint64 `json:"wal_unavailable"`
+
+	// AbortsByCause indexes by obs.Cause (length obs.NumCauses when set);
+	// obs.CauseName maps indexes to labels.
+	AbortsByCause []uint64 `json:"tx_aborts_by_cause,omitempty"`
 
 	ClockCASFallbacks    uint64 `json:"clock_cas_fallbacks"`
 	WriteSetSpills       uint64 `json:"write_set_spills"`
@@ -119,6 +124,10 @@ type Snapshot struct {
 	GateStates []GateStateSnapshot `json:"gate_states,omitempty"`
 	Events     []Event             `json:"events,omitempty"`
 
+	// Gauges are the scrape-time readings (see RegisterGauge); only the
+	// Gather aggregate carries them.
+	Gauges []GaugeSample `json:"gauges,omitempty"`
+
 	// Components holds the per-label breakdown when this snapshot is a
 	// Gather aggregate: one merged snapshot per distinct registration
 	// label ("shard0", "shard1", …), sorted by label. Component snapshots
@@ -144,6 +153,17 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.Aborts += o.Aborts
 	s.RetryBudgetExceeded += o.RetryBudgetExceeded
 	s.ContextCanceled += o.ContextCanceled
+	s.WALUnavailable += o.WALUnavailable
+	if len(o.AbortsByCause) > 0 {
+		if len(s.AbortsByCause) < len(o.AbortsByCause) {
+			grown := make([]uint64, len(o.AbortsByCause))
+			copy(grown, s.AbortsByCause)
+			s.AbortsByCause = grown
+		}
+		for i, n := range o.AbortsByCause {
+			s.AbortsByCause[i] += n
+		}
+	}
 	s.ClockCASFallbacks += o.ClockCASFallbacks
 	s.WriteSetSpills += o.WriteSetSpills
 	s.FilterFalsePositives += o.FilterFalsePositives

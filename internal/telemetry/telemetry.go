@@ -24,6 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gstm/internal/obs"
 )
 
 // SampleEvery is the commit-latency sampling period: one in every
@@ -85,6 +87,12 @@ type Metrics struct {
 	Aborts              Counter // aborted attempts
 	RetryBudgetExceeded Counter // transactions abandoned on a spent retry budget
 	ContextCanceled     Counter // transactions abandoned on ctx cancellation
+	WALUnavailable      Counter // operations refused because the shard's WAL is failed
+
+	// AbortsByCause breaks Aborts down by the obs taxonomy (index =
+	// obs.Cause): the same labels the span tracer stamps on captured
+	// spans, so /metrics and /debug/trace agree on why attempts died.
+	AbortsByCause [obs.NumCauses]Counter
 
 	// Commit-path micro-counters: the engines' hot-path diagnostics added
 	// with the small-vector write set and the GV4 clock (see DESIGN.md
@@ -198,6 +206,7 @@ func Gather() Snapshot {
 		comp.Events = nil // the aggregate ring already has them
 		out.Components = append(out.Components, *comp)
 	}
+	out.Gauges = gatherGauges()
 	return out
 }
 
@@ -230,12 +239,25 @@ func (m *Metrics) TxCommit(thread uint64) {
 	}
 }
 
-// TxAbort records one aborted attempt.
-func (m *Metrics) TxAbort(thread uint64) {
+// TxAbort records one aborted attempt with its taxonomy cause.
+func (m *Metrics) TxAbort(thread uint64, cause obs.Cause) {
 	if m == nil {
 		return
 	}
 	m.Aborts.Inc(thread)
+	if cause >= obs.NumCauses {
+		cause = obs.CauseNone
+	}
+	m.AbortsByCause[cause].Inc(thread)
+}
+
+// WALRefused records an operation refused because the write-ahead log is
+// in a terminal failure state (the serving layer's StatusUnavailable).
+func (m *Metrics) WALRefused(thread uint64) {
+	if m == nil {
+		return
+	}
+	m.WALUnavailable.Inc(thread)
 }
 
 // TxBudgetExceeded records a transaction abandoned on a spent retry budget.
@@ -350,6 +372,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Aborts:               m.Aborts.Load(),
 		RetryBudgetExceeded:  m.RetryBudgetExceeded.Load(),
 		ContextCanceled:      m.ContextCanceled.Load(),
+		WALUnavailable:       m.WALUnavailable.Load(),
 		ClockCASFallbacks:    m.ClockCASFallbacks.Load(),
 		WriteSetSpills:       m.WriteSetSpills.Load(),
 		FilterFalsePositives: m.FilterFalsePositives.Load(),
@@ -374,6 +397,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	// their sum is the attempt-start total (in-flight attempts show up on
 	// the next scrape — fine for a monotone monitoring counter).
 	s.Starts = s.Commits + s.Aborts
+	s.AbortsByCause = make([]uint64, obs.NumCauses)
+	for i := range m.AbortsByCause {
+		s.AbortsByCause[i] = m.AbortsByCause[i].Load()
+	}
 	m.gateStates.Range(func(k, v any) bool {
 		st := v.(*gateStateStats)
 		s.GateStates = append(s.GateStates, GateStateSnapshot{
@@ -402,13 +429,17 @@ func (m *Metrics) Reset() {
 	}
 	for _, c := range []*Counter{
 		&m.Commits, &m.Aborts, &m.RetryBudgetExceeded,
-		&m.ContextCanceled, &m.ClockCASFallbacks, &m.WriteSetSpills,
+		&m.ContextCanceled, &m.WALUnavailable, &m.ClockCASFallbacks,
+		&m.WriteSetSpills,
 		&m.FilterFalsePositives, &m.GatePassed, &m.GateHeld, &m.GateEscaped,
 		&m.WatchdogTrips, &m.WatchdogRearms,
 		&m.WALAppends, &m.WALFsyncs, &m.WALBytes, &m.WALSnapshots,
 		&m.RecoveryReplayed, &m.RecoveryNanos,
 	} {
 		c.reset()
+	}
+	for i := range m.AbortsByCause {
+		m.AbortsByCause[i].reset()
 	}
 	for _, h := range []*Histogram{
 		&m.CommitLatency, &m.ValidationLatency, &m.GateHoldTime, &m.TimeToFirstCommit,

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"gstm/internal/obs"
 	"sync"
 	"testing"
 	"time"
@@ -163,8 +164,8 @@ func TestMetricsLifecycleAndSnapshot(t *testing.T) {
 		}
 		m.TxCommit(0)
 	}
-	m.TxAbort(1)
-	m.TxAbort(1)
+	m.TxAbort(1, obs.CauseReadValidation)
+	m.TxAbort(1, obs.CauseReadValidation)
 	m.TxBudgetExceeded(2)
 	m.TxCanceled(3)
 	m.ObserveCommit(0, 2*time.Microsecond, time.Microsecond, true)
@@ -247,7 +248,7 @@ func TestNilMetricsSafe(t *testing.T) {
 		t.Fatal("nil TxStart sampled")
 	}
 	m.TxCommit(0)
-	m.TxAbort(0)
+	m.TxAbort(0, obs.CauseReadValidation)
 	m.TxBudgetExceeded(0)
 	m.TxCanceled(0)
 	m.ObserveCommit(0, time.Microsecond, 0, false)
@@ -270,7 +271,7 @@ func TestGatherMergesRegisteredMetrics(t *testing.T) {
 	a.TxCommit(0)
 	b.TxStart(0)
 	b.TxCommit(0)
-	b.TxAbort(0)
+	b.TxAbort(0, obs.CauseReadValidation)
 	after := Gather()
 	if d := after.Commits - before.Commits; d != 2 {
 		t.Fatalf("gathered commit delta = %d, want 2", d)
@@ -293,7 +294,7 @@ func TestGatherComponentBreakdown(t *testing.T) {
 	}
 	b.TxStart(0)
 	b.TxCommit(0)
-	b.TxAbort(0)
+	b.TxAbort(0, obs.CauseReadValidation)
 	after := Gather()
 	got := make(map[string]Snapshot)
 	for _, c := range after.Components {
@@ -334,7 +335,7 @@ func TestConcurrentRecordSnapshotReset(t *testing.T) {
 				}
 				sampled := m.TxStart(thread)
 				if i%7 == 0 {
-					m.TxAbort(thread)
+					m.TxAbort(thread, obs.CauseReadValidation)
 				} else {
 					m.TxCommit(thread)
 					if sampled {
@@ -367,7 +368,7 @@ func TestRecordPathZeroAlloc(t *testing.T) {
 		if sampled {
 			m.ObserveCommit(1, time.Microsecond, 100*time.Nanosecond, true)
 		}
-		m.TxAbort(1)
+		m.TxAbort(1, obs.CauseReadValidation)
 	}); n != 0 {
 		t.Fatalf("counter+histogram record path allocates %v bytes-ish/op, want 0", n)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gstm/internal/commitreg"
+	"gstm/internal/obs"
 	"gstm/internal/retry"
 	"gstm/internal/telemetry"
 	"gstm/internal/txid"
@@ -89,9 +90,12 @@ type EventSink interface {
 
 // Gate is consulted at every transaction start (the paper's modified
 // TM_BEGIN). Arrive may delay the calling goroutine to steer execution, and
-// must eventually return to guarantee progress.
+// must eventually return to guarantee progress. The returned outcome feeds
+// the span tracer: GatePass for an undelayed arrival, GateHold when the
+// caller was delayed, GateEscape when a bounded wait gave up (surfaced as a
+// gate-timeout cause on the span's gate event).
 type Gate interface {
-	Arrive(p txid.Pair)
+	Arrive(p txid.Pair) telemetry.GateOutcome
 }
 
 // FaultInjector is the engine's chaos-testing hook (internal/faultinject
@@ -240,7 +244,7 @@ func (rt *Runtime) ResilienceStats() (budgetExceeded, canceled uint64) {
 //
 // Atomic must not be nested.
 func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.run(nil, thread, txn, fn, false, 0)
+	return rt.run(nil, thread, txn, fn, false, 0, nil)
 }
 
 // AtomicRO executes fn as a read-only transaction: TL2's fast path, which
@@ -248,7 +252,7 @@ func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) err
 // access time and a read-only commit validates nothing further. A Write
 // inside fn returns an error without retrying.
 func (rt *Runtime) AtomicRO(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.run(nil, thread, txn, fn, true, 0)
+	return rt.run(nil, thread, txn, fn, true, 0, nil)
 }
 
 // AtomicCtx is Atomic honoring ctx: cancellation or deadline expiry is
@@ -258,12 +262,12 @@ func (rt *Runtime) AtomicRO(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) e
 // budgeted attempt aborts, AtomicCtx returns retry.ErrBudgetExceeded. In
 // both cases no locks remain held and no writes were published.
 func (rt *Runtime) AtomicCtx(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.run(ctx, thread, txn, fn, false, 0)
+	return rt.run(ctx, thread, txn, fn, false, 0, nil)
 }
 
 // AtomicROCtx is AtomicRO honoring ctx like AtomicCtx.
 func (rt *Runtime) AtomicROCtx(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.run(ctx, thread, txn, fn, true, 0)
+	return rt.run(ctx, thread, txn, fn, true, 0, nil)
 }
 
 // Run is the unified entrypoint behind gstm's System.Run: one code path
@@ -273,10 +277,18 @@ func (rt *Runtime) AtomicROCtx(ctx context.Context, thread txid.ThreadID, txn tx
 // allocation, overriding any retry.WithBudget budget carried by ctx;
 // maxAttempts <= 0 defers to the context budget (0 = unlimited).
 func (rt *Runtime) Run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, readOnly bool, maxAttempts int) error {
-	return rt.run(ctx, thread, txn, fn, readOnly, maxAttempts)
+	return rt.run(ctx, thread, txn, fn, readOnly, maxAttempts, nil)
 }
 
-func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, readOnly bool, maxAttempts int) error {
+// RunSpan is Run with a variance-observatory span attached: gate waits,
+// per-attempt retries (with their abort causes) and the commit protocol's
+// lock/validate/publish phases are recorded into span's timeline. span may
+// be nil, in which case RunSpan is exactly Run.
+func (rt *Runtime) RunSpan(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, readOnly bool, maxAttempts int, span *obs.Span) error {
+	return rt.run(ctx, thread, txn, fn, readOnly, maxAttempts, span)
+}
+
+func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, readOnly bool, maxAttempts int, span *obs.Span) error {
 	self := txid.Pair{Txn: txn, Thread: thread}
 	tx := rt.pool.Get().(*Tx)
 	defer func() {
@@ -306,16 +318,34 @@ func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID
 			}
 		}
 		if gb := rt.gate.Load(); gb != nil {
-			gb.g.Arrive(self)
+			if span != nil {
+				g0 := time.Now()
+				outcome := gb.g.Arrive(self)
+				gc := obs.CauseNone
+				if outcome == telemetry.GateEscape {
+					gc = obs.CauseGateTimeout
+				}
+				span.AddSince(obs.PhaseGate, gc, attempt+1, g0)
+			} else {
+				gb.g.Arrive(self)
+			}
 		}
 		sampled := rt.tel.TxStart(shard)
 		tx.reset(rt, self, attempt, readOnly)
 		tx.measure = sampled
+		tx.span = span
+		span.NoteAttempt()
+		// The attempt's start boundary is the end of the last recorded event
+		// (gate wait, queue, or the previous retry) — a field read, not a
+		// clock read, so the committing fast path pays no time.Now here and
+		// backoff gaps fold into the retry event that caused them.
+		attStart := span.LastEndNs()
 
 		err, conflict := runBody(tx, fn)
 		if conflict != nil {
 			tx.releaseLocks(0) // eager mode may hold encounter-time locks
-			rt.noteAbort(self, conflict.byWV)
+			span.AddSinceNs(obs.PhaseRetry, conflict.cause, attempt+1, attStart)
+			rt.noteAbort(self, conflict.byWV, conflict.cause)
 			if rt.budgetSpent(shard, budget, attempt) {
 				return retry.ErrBudgetExceeded
 			}
@@ -328,7 +358,8 @@ func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID
 		}
 		if fi := rt.injector(); fi != nil && fi.SpuriousAbort(self, attempt) {
 			tx.releaseLocks(0)
-			rt.noteAbort(self, 0)
+			span.AddSinceNs(obs.PhaseRetry, obs.CauseSpurious, attempt+1, attStart)
+			rt.noteAbort(self, 0, obs.CauseSpurious)
 			if rt.budgetSpent(shard, budget, attempt) {
 				return retry.ErrBudgetExceeded
 			}
@@ -343,9 +374,10 @@ func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID
 		// (unique ticks vs GV4/tick elision) matches the delivery decision;
 		// installs racing the commit are picked up by the next transaction.
 		sb := rt.sink.Load()
-		wv, byWV, ok := tx.commit(sb != nil)
+		wv, byWV, cause, ok := tx.commit(sb != nil)
 		if !ok {
-			rt.noteAbort(self, byWV)
+			span.AddSinceNs(obs.PhaseRetry, cause, attempt+1, attStart)
+			rt.noteAbort(self, byWV, cause)
 			if rt.budgetSpent(shard, budget, attempt) {
 				return retry.ErrBudgetExceeded
 			}
@@ -373,12 +405,13 @@ func (rt *Runtime) budgetSpent(shard uint64, budget, attempt int) bool {
 	return false
 }
 
-// noteAbort counts an abort and reports it, resolving the invalidating
-// commit's identity through the registry. When attribution is impossible
-// (byWV == 0 or the registry slot was recycled) the most recent commit is
-// reported as a best-effort guess, flagged byKnown=false.
-func (rt *Runtime) noteAbort(self txid.Pair, byWV uint64) {
-	rt.tel.TxAbort(uint64(self.Thread))
+// noteAbort counts an abort (under its taxonomy cause) and reports it,
+// resolving the invalidating commit's identity through the registry. When
+// attribution is impossible (byWV == 0 or the registry slot was recycled)
+// the most recent commit is reported as a best-effort guess, flagged
+// byKnown=false.
+func (rt *Runtime) noteAbort(self txid.Pair, byWV uint64, cause obs.Cause) {
+	rt.tel.TxAbort(uint64(self.Thread), cause)
 	sb := rt.sink.Load()
 	if sb == nil {
 		return

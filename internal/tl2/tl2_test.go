@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"gstm/internal/telemetry"
 	"gstm/internal/txid"
 )
 
@@ -298,7 +299,10 @@ func TestReadOnlyCommitTicksClockOnlyWhenTraced(t *testing.T) {
 
 type countingGate struct{ n atomic.Int64 }
 
-func (g *countingGate) Arrive(p txid.Pair) { g.n.Add(1) }
+func (g *countingGate) Arrive(p txid.Pair) telemetry.GateOutcome {
+	g.n.Add(1)
+	return telemetry.GatePass
+}
 
 func TestGateCalledPerAttempt(t *testing.T) {
 	rt := New(Config{})

@@ -5,6 +5,7 @@ import (
 	"time"
 	"unsafe"
 
+	"gstm/internal/obs"
 	"gstm/internal/txid"
 	"gstm/internal/wset"
 )
@@ -21,9 +22,11 @@ var tagSeq atomic.Uint64
 // the commit protocol) when a conflict is detected. byWV is the write
 // version of the commit that invalidated this transaction, or 0 when the
 // invalidating commit could not be identified (e.g. the location stayed
-// locked past the spin bound).
+// locked past the spin bound). cause classifies the conflict for the abort
+// taxonomy.
 type conflictSignal struct {
-	byWV uint64
+	byWV  uint64
+	cause obs.Cause
 }
 
 // Tx is a single attempt of a transaction. A Tx is only valid inside the
@@ -47,6 +50,11 @@ type Tx struct {
 	measure   bool
 	valDur    time.Duration
 	validated bool
+
+	// span, when non-nil, receives the commit protocol's phase timeline
+	// (lock / validate / publish). It is owned by the caller of Run and all
+	// Span methods are nil-safe, so the untraced path stays branch-cheap.
+	span *obs.Span
 }
 
 // errWriteInReadOnly reports a Write inside a read-only transaction.
@@ -67,6 +75,7 @@ func (tx *Tx) reset(rt *Runtime, self txid.Pair, attempt int, readOnly bool) {
 	tx.measure = false
 	tx.valDur = 0
 	tx.validated = false
+	tx.span = nil
 	if tx.tag == 0 {
 		tx.tag = tagSeq.Add(1)
 	}
@@ -107,8 +116,8 @@ func (tx *Tx) maybeYield() {
 	}
 }
 
-func (tx *Tx) conflict(byWV uint64) {
-	panic(&conflictSignal{byWV: byWV})
+func (tx *Tx) conflict(byWV uint64, cause obs.Cause) {
+	panic(&conflictSignal{byWV: byWV, cause: cause})
 }
 
 // baseAddr is the write-set key of b: its address, which is also the
@@ -138,7 +147,7 @@ func (tx *Tx) readBase(b *base, load func() any) any {
 			// The lock holder is mid-commit and will bump the version past
 			// rv the moment it finishes; treat it as the invalidator but
 			// its wv is not yet knowable.
-			tx.conflict(0)
+			tx.conflict(0, obs.CauseLockBusy)
 		}
 		val := load()
 		w2 := b.word.Load()
@@ -147,7 +156,7 @@ func (tx *Tx) readBase(b *base, load func() any) any {
 			continue
 		}
 		if v := wordVersion(w1); v > tx.rv {
-			tx.conflict(v)
+			tx.conflict(v, obs.CauseReadValidation)
 		}
 		// TL2's read-only fast path: reads are fully validated here
 		// against rv, and a read-only commit performs no further
@@ -219,13 +228,13 @@ func (tx *Tx) lockEager(e *wset.Entry[*base], b *base) {
 		w := b.word.Load()
 		if wordLocked(w) {
 			if spins >= tx.rt.cfg.MaxLockSpin {
-				tx.conflict(0)
+				tx.conflict(0, obs.CauseLockBusy)
 			}
 			spinYield()
 			continue
 		}
 		if v := wordVersion(w); v > tx.rv {
-			tx.conflict(v)
+			tx.conflict(v, obs.CauseReadValidation)
 		}
 		if b.word.CompareAndSwap(w, w|lockedBit) {
 			b.owner.Store(tx.tag)
@@ -331,8 +340,9 @@ func (tx *Tx) ownedPre(b *base) (uint64, bool) {
 
 // commit runs the TL2 commit protocol. On success it returns the commit's
 // write version. On conflict it returns the invalidating write version (0
-// when unknown) and ok=false; all locks are released and no writes are
-// published.
+// when unknown), the taxonomy cause, and ok=false; all locks are released
+// and no writes are published. When tx.span is set, the lock / validate /
+// publish phases are recorded into its timeline.
 //
 // traced selects the clock discipline. With a sink installed (traced), every
 // commit — including read-only ones — draws a unique tick so the tracing
@@ -342,16 +352,30 @@ func (tx *Tx) ownedPre(b *base) (uint64, bool) {
 // consumes the sequence number), and write commits draw wv through the GV4
 // pass-on-failure clock (see tickGV4), so a failed clock CAS is never
 // retried.
-func (tx *Tx) commit(traced bool) (wv uint64, byWV uint64, ok bool) {
+func (tx *Tx) commit(traced bool) (wv uint64, byWV uint64, cause obs.Cause, ok bool) {
 	if tx.ws.Len() == 0 {
 		// Reads were validated against rv at access time; nothing to do.
 		if traced {
-			return tx.rt.clk().tick(), 0, true
+			return tx.rt.clk().tick(), 0, obs.CauseNone, true
 		}
-		return tx.rv, 0, true
+		return tx.rv, 0, obs.CauseNone, true
+	}
+	att := tx.attempt + 1
+	spanned := tx.span != nil
+	// The traced commit shares one clock read per phase boundary (lock end
+	// doubles as validate start, validate end as publish start), so a fully
+	// validated commit costs four time.Now calls, not per-phase pairs.
+	var lockStart, mark time.Time
+	if spanned {
+		lockStart = time.Now()
 	}
 	if !tx.lockWriteSet() {
-		return 0, 0, false
+		tx.span.AddSince(obs.PhaseLock, obs.CauseLockBusy, att, lockStart)
+		return 0, 0, obs.CauseLockBusy, false
+	}
+	if spanned {
+		mark = time.Now()
+		tx.span.Add(obs.PhaseLock, obs.CauseNone, att, lockStart.UnixNano(), mark.Sub(lockStart).Nanoseconds())
 	}
 	if fi := tx.rt.injector(); fi != nil {
 		// Fault point: hold the write-set locks longer, widening the
@@ -359,13 +383,16 @@ func (tx *Tx) commit(traced bool) (wv uint64, byWV uint64, ok bool) {
 		for i, n := 0, fi.CommitDelay(tx.self, tx.attempt); i < n; i++ {
 			spinYield()
 		}
+		if spanned {
+			mark = time.Now() // the injected hold is not a validate cost
+		}
 	}
 	needValidate := true
+	adopted := false
 	if traced {
 		wv = tx.rt.clk().tick()
 		needValidate = wv != tx.rv+1
 	} else {
-		var adopted bool
 		wv, needValidate, adopted = tx.rt.clk().tickGV4(tx.rv)
 		if adopted {
 			tx.rt.tel.ClockCASFallbacks.Inc(uint64(tx.self.Thread))
@@ -373,8 +400,17 @@ func (tx *Tx) commit(traced bool) (wv uint64, byWV uint64, ok bool) {
 	}
 	if needValidate {
 		// Something committed since we sampled rv: validate the read set.
+		// A failure after a GV4 adoption is classified clock-cas — the
+		// adopted (reused) tick forced a validation the unique-tick path
+		// might have skipped.
+		valCause := obs.CauseReadValidation
+		if adopted {
+			valCause = obs.CauseClockCAS
+		}
 		var vt0 time.Time
-		if tx.measure {
+		if spanned {
+			vt0 = mark
+		} else if tx.measure {
 			vt0 = time.Now()
 		}
 		for _, b := range tx.reads {
@@ -383,18 +419,27 @@ func (tx *Tx) commit(traced bool) (wv uint64, byWV uint64, ok bool) {
 				pre, mine := tx.ownedPre(b)
 				if !mine {
 					tx.releaseLocks(0)
-					return 0, 0, false
+					tx.span.AddSince(obs.PhaseValidate, obs.CauseLockBusy, att, vt0)
+					return 0, 0, obs.CauseLockBusy, false
 				}
 				w = pre
 			}
 			if v := wordVersion(w); v > tx.rv {
 				tx.releaseLocks(0)
-				return 0, v, false
+				tx.span.AddSince(obs.PhaseValidate, valCause, att, vt0)
+				return 0, v, valCause, false
 			}
 		}
-		if tx.measure {
-			tx.valDur = time.Since(vt0)
-			tx.validated = true
+		if tx.measure || spanned {
+			end := time.Now()
+			if tx.measure {
+				tx.valDur = end.Sub(vt0)
+				tx.validated = true
+			}
+			if spanned {
+				tx.span.Add(obs.PhaseValidate, obs.CauseNone, att, vt0.UnixNano(), end.Sub(vt0).Nanoseconds())
+				mark = end
+			}
 		}
 	}
 	ents := tx.ws.Entries()
@@ -404,5 +449,8 @@ func (tx *Tx) commit(traced bool) (wv uint64, byWV uint64, ok bool) {
 	// Publish attribution before the new version becomes observable.
 	tx.rt.reg.Record(wv, tx.self)
 	tx.releaseLocks(wv)
-	return wv, 0, true
+	if spanned {
+		tx.span.AddSinceNs(obs.PhasePublish, obs.CauseNone, att, mark.UnixNano())
+	}
+	return wv, 0, obs.CauseNone, true
 }

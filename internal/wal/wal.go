@@ -1,10 +1,12 @@
 package wal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -189,7 +191,13 @@ func Open(cfg Config) (*Log, *Recovery, error) {
 	}
 	l.f = f
 	l.written = int64(len(segMagic))
-	go l.flushLoop()
+	go func() {
+		// The pprof label makes the flusher identifiable in goroutine and
+		// CPU profiles of a multi-shard server (one flusher per shard log).
+		pprof.Do(context.Background(), pprof.Labels("gstm", "wal-flusher", "dir", cfg.Dir), func(context.Context) {
+			l.flushLoop()
+		})
+	}()
 	return l, rec, nil
 }
 
@@ -366,6 +374,18 @@ func (l *Log) Failed() bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.err != nil || l.crashed
+}
+
+// QueueDepth returns how many appended records the flusher has not yet
+// acknowledged — the group-commit backlog. Exported as the per-shard
+// gstm_wal_queue_depth gauge.
+func (l *Log) QueueDepth() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.bufSeq <= l.acked {
+		return 0
+	}
+	return l.bufSeq - l.acked
 }
 
 func (l *Log) terminalErr() error {

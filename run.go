@@ -1,6 +1,10 @@
 package gstm
 
-import "context"
+import (
+	"context"
+
+	"gstm/internal/obs"
+)
 
 // TxOption configures one Run call. Options are plain values; building a
 // []TxOption once and reusing it across calls is fine and allocation-free
@@ -10,6 +14,7 @@ type TxOption func(*txSettings)
 type txSettings struct {
 	readOnly    bool
 	maxAttempts int
+	span        *obs.Span
 }
 
 // ReadOnly selects TL2's read-only fast path: no read-set bookkeeping,
@@ -27,6 +32,17 @@ func ReadOnly() TxOption {
 // when both are present.
 func MaxAttempts(n int) TxOption {
 	return func(s *txSettings) { s.maxAttempts = n }
+}
+
+// WithSpan attaches a variance-observatory span to the Run call: gate
+// waits, every aborted attempt (with its taxonomy cause) and the commit
+// protocol's lock/validate/publish phases are recorded into sp's timeline.
+// sp may be nil (the option is then a no-op). The caller owns sp's
+// lifecycle — Start it before Run and Finish it after; Run only appends
+// events. The untraced path (no WithSpan) records nothing and allocates
+// nothing.
+func WithSpan(sp *Span) TxOption {
+	return func(s *txSettings) { s.span = sp }
 }
 
 // Run executes fn transactionally as transaction site txn on worker
@@ -47,6 +63,9 @@ func (s *System) Run(ctx context.Context, thread ThreadID, txn TxnID, fn func(*T
 	var set txSettings
 	for _, o := range opts {
 		o(&set)
+	}
+	if set.span != nil {
+		return s.rt.RunSpan(ctx, thread, txn, fn, set.readOnly, set.maxAttempts, set.span)
 	}
 	return s.rt.Run(ctx, thread, txn, fn, set.readOnly, set.maxAttempts)
 }

@@ -73,8 +73,21 @@ type System struct {
 
 // Scheduler is consulted at every transaction start and may delay the
 // caller; it must eventually return. Guided execution is one Scheduler;
-// contention-manager policies (internal/cm) are others.
+// contention-manager policies (internal/cm) are others. Arrive reports how
+// the transaction got through — GatePass (no delay), GateHold (delayed),
+// GateEscape (forced through by an escape hatch) — which feeds the gate
+// telemetry counters and the variance observatory's gate-phase spans.
 type Scheduler = tl2.Gate
+
+// GateOutcome is a Scheduler.Arrive result.
+type GateOutcome = telemetry.GateOutcome
+
+// GateOutcome values.
+const (
+	GatePass   = telemetry.GatePass
+	GateHold   = telemetry.GateHold
+	GateEscape = telemetry.GateEscape
+)
 
 // Observer receives the commit/abort event stream (see tl2.EventSink).
 type Observer = tl2.EventSink

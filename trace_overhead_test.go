@@ -1,0 +1,68 @@
+// Traced-overhead gate for the variance observatory: attaching a span to a
+// Run call must stay cheap enough to leave on in production serving. The
+// traced commit takes three clock reads (lock start, lock end / publish
+// start shared, publish end — four when validation runs), so its fixed cost
+// is a few hundred nanoseconds; against a transaction with a non-trivial
+// footprint that must stay under 5%.
+//
+// The comparison is noisy on shared runners, so the gate is opt-in
+// (GSTM_OVERHEAD_GATE=1, set by CI's bench-smoke job) and takes the best of
+// several benchmark runs for each side before comparing.
+package gstm_test
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"gstm/internal/obs"
+	"gstm/internal/tl2"
+)
+
+// overheadWorkload is one read-modify-write transaction over nvars
+// locations, the denominator the traced fixed cost is measured against.
+func overheadWorkload(b *testing.B, span *obs.Span) {
+	const nvars = 64
+	rt := tl2.New(tl2.Config{})
+	arr := tl2.NewArray[int](nvars)
+	ctx := context.Background()
+	begin := time.Now().UnixNano()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		span.Start(uint32(i), 0, 0, 0, 1, false, begin)
+		_ = rt.RunSpan(ctx, 0, 0, func(tx *tl2.Tx) error {
+			for j := 0; j < nvars; j++ {
+				tl2.WriteAt(tx, arr, j, tl2.ReadAt(tx, arr, j)+1)
+			}
+			return nil
+		}, false, 0, span)
+	}
+}
+
+func TestTracedRunOverheadGate(t *testing.T) {
+	if os.Getenv("GSTM_OVERHEAD_GATE") == "" {
+		t.Skip("set GSTM_OVERHEAD_GATE=1 to run the traced-overhead gate (CI bench-smoke)")
+	}
+	// Interleave the two sides round by round so machine drift (thermal,
+	// noisy neighbors, cold caches) lands on both, and keep each side's
+	// fastest run — the minimum is the least-noisy estimator of true cost.
+	const rounds = 5
+	var sp obs.Span
+	untraced, traced := int64(1<<62), int64(1<<62)
+	for i := 0; i < rounds; i++ {
+		if ns := testing.Benchmark(func(b *testing.B) { overheadWorkload(b, nil) }).NsPerOp(); ns < untraced {
+			untraced = ns
+		}
+		if ns := testing.Benchmark(func(b *testing.B) { overheadWorkload(b, &sp) }).NsPerOp(); ns < traced {
+			traced = ns
+		}
+	}
+	overhead := 100 * float64(traced-untraced) / float64(untraced)
+	t.Logf("untraced %dns/op, traced %dns/op, overhead %.2f%%", untraced, traced, overhead)
+	if overhead >= 5.0 {
+		t.Fatalf("traced span overhead %.2f%% (traced %dns vs untraced %dns), gate is <5%%",
+			overhead, traced, untraced)
+	}
+}
