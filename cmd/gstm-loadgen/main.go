@@ -7,7 +7,10 @@
 // the server is in (used by CI's server-smoke job), reporting aggregate
 // and — against a sharded server — per-shard completion spread. With
 // -shard-bench it ignores -addr, boots in-process servers itself, and
-// sweeps shard counts × workloads into BENCH_shard.json.
+// sweeps shard counts × workloads into BENCH_shard.json. With
+// -speed-bench it sweeps the STM engines' hot-path variants (boxed
+// baseline vs unboxed vs unboxed over striped lock tables) across
+// workloads and GOMAXPROCS into BENCH_speed.json.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"time"
 
 	"gstm/internal/server"
+	"gstm/internal/speedbench"
 )
 
 func main() {
@@ -36,6 +40,7 @@ func main() {
 		window   = flag.Int("window", 0, "pipeline depth per connection (0/1 = synchronous request/response)")
 		once     = flag.Bool("once", false, "single run in the server's current mode; skip the guided/unguided comparison")
 		shBench  = flag.Bool("shard-bench", false, "sweep shard counts x workloads against in-process servers (ignores -addr)")
+		spBench  = flag.Bool("speed-bench", false, "sweep engine hot-path variants (boxed/unboxed/unboxed+stripes) x workloads x GOMAXPROCS in-process (ignores -addr; BENCH_speed.json)")
 		durBench = flag.Bool("durability", false, "sweep WAL fsync windows vs a non-durable baseline against in-process servers (ignores -addr; BENCH_wal.json)")
 		ledger   = flag.String("ledger", "", "drive an add-only load and write the acked/in-flight ledger JSON here; tolerates the server dying mid-run (kill-and-recover chaos)")
 		verify   = flag.String("verify-ledger", "", "check a recovered server against a ledger file: acked <= value <= acked+inflight for every key")
@@ -47,6 +52,10 @@ func main() {
 
 	if *shBench {
 		shardBench(*runs, *out)
+		return
+	}
+	if *spBench {
+		speedBench(*out)
 		return
 	}
 	if *durBench {
@@ -176,6 +185,23 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "gstm-loadgen: wrote %s\n", *out)
+	}
+}
+
+// speedBench runs the engine hot-path sweep and writes BENCH_speed.json.
+func speedBench(out string) {
+	fmt.Fprintln(os.Stderr, "gstm-loadgen: engine speed sweep (boxed vs unboxed vs unboxed+stripes x read-only,mixed,write-heavy x GOMAXPROCS 1,2,4,8)")
+	rep := speedbench.Run(speedbench.Config{Progress: os.Stderr})
+	fmt.Printf("unboxed beats boxed on read-only and mixed at every core count: %v\n", rep.UnboxedBeatsBoxed)
+	if out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gstm-loadgen: wrote %s\n", out)
 	}
 }
 

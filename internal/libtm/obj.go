@@ -3,44 +3,52 @@ package libtm
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // objBase is the non-generic core of a transactional object: its writer
-// lock, visible-reader list and the type-erased publish hook. The reader
-// list is guarded by a small mutex; LibTM's visible readers are inherently
-// a shared structure and the experiments run on a single core, where a
-// short critical section costs less than a lock-free multi-writer set.
+// lock, visible-reader list and the published value snapshot as a raw
+// pointer (the same unboxed slot protocol as tl2's base — commit publishes
+// a redo box with one pointer store, no apply closure, no interface hop).
+// The reader list is guarded by a small mutex; LibTM's visible readers are
+// inherently a shared structure and the experiments run on a single core,
+// where a short critical section costs less than a lock-free multi-writer
+// set.
 type objBase struct {
 	mu      sync.Mutex
 	writer  *txState              // commit-lock holder, nil when free
 	readers map[*txState]struct{} // registered active readers
 	version atomic.Uint64
-	apply   func(boxed any)
+	slot    unsafe.Pointer // the current *T snapshot, loaded/stored atomically
 }
+
+// loadPtr atomically loads the published value snapshot.
+func (b *objBase) loadPtr() unsafe.Pointer { return atomic.LoadPointer(&b.slot) }
+
+// storePtr atomically publishes p as the new value snapshot.
+func (b *objBase) storePtr(p unsafe.Pointer) { atomic.StorePointer(&b.slot, p) }
 
 // Obj is a transactional object holding a value of type T, the
 // object-granularity unit of LibTM conflict detection (SynQuake wraps each
 // game entity and spatial cell in one).
 type Obj[T any] struct {
 	b objBase
-	p atomic.Pointer[T]
 }
 
 // NewObj returns an object initialized to val.
 func NewObj[T any](val T) *Obj[T] {
 	o := &Obj[T]{}
-	o.p.Store(&val)
+	o.b.storePtr(unsafe.Pointer(&val))
 	o.b.readers = make(map[*txState]struct{})
-	o.b.apply = func(boxed any) { o.p.Store(boxed.(*T)) }
 	return o
 }
 
 // Peek loads the current value non-transactionally (setup and verification
 // only).
-func (o *Obj[T]) Peek() T { return *o.p.Load() }
+func (o *Obj[T]) Peek() T { return *(*T)(o.b.loadPtr()) }
 
 // Reset stores val non-transactionally (setup only).
-func (o *Obj[T]) Reset(val T) { o.p.Store(&val) }
+func (o *Obj[T]) Reset(val T) { o.b.storePtr(unsafe.Pointer(&val)) }
 
 // LockState reports whether a writer currently holds the object and how
 // many readers are registered. It is a diagnostic for tests and
@@ -53,12 +61,19 @@ func (o *Obj[T]) LockState() (writerHeld bool, readers int) {
 }
 
 // registerReader adds tx to the object's visible-reader list. In
-// pessimistic read mode it refuses while a writer holds the object.
+// pessimistic read mode it refuses while a writer holds the object; in
+// optimistic mode it refuses only while the holder is inside its commit's
+// resolve→publish window (txState.committing), which is what guarantees
+// every registered reader of a pre-publish value is either doomed or
+// waited for — a registration during the window could otherwise load a
+// stale snapshot the resolution pass never saw.
 func (b *objBase) registerReader(tx *txState, pessimistic bool) (ok bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if pessimistic && b.writer != nil && b.writer != tx {
-		return false
+	if b.writer != nil && b.writer != tx {
+		if pessimistic || b.writer.committing.Load() {
+			return false
+		}
 	}
 	b.readers[tx] = struct{}{}
 	return true

@@ -17,6 +17,15 @@ type txState struct {
 	doomed   atomic.Bool
 	doomWV   atomic.Uint64
 	doomPair atomic.Uint32 // txid.Packed of the committing writer
+	// committing is set for the window between the commit's reader
+	// resolution and the end of publishing. Optimistic readers refuse to
+	// register on an object whose writer is in this window: a registration
+	// slipping in after the object's resolveReaders pass but before its
+	// publish would read a stale value without ever being doomed (the torn
+	// read the resolution pass exists to prevent). Readers registered
+	// before resolution are doomed/waited as usual; readers arriving
+	// during the window retry until the writer finishes.
+	committing atomic.Bool
 }
 
 // doom marks the transaction aborted by the commit (wv, by). Only the first
@@ -115,8 +124,11 @@ func objAddr(b *objBase) uintptr { return uintptr(unsafe.Pointer(b)) }
 // readBase implements the LibTM read protocol: register as a visible
 // reader (blocking while a writer holds the object in pessimistic read
 // mode), load the value, then re-check the doom flag so a value published
-// after our registration can never enter the read set unnoticed.
-func (tx *Tx) readBase(b *objBase, load func() any) any {
+// after our registration can never enter the read set unnoticed. The
+// snapshot is returned as a raw pointer for the generic Read to
+// dereference — no closure, no interface conversion (the unboxed protocol
+// mirrored from tl2).
+func (tx *Tx) readBase(b *objBase) unsafe.Pointer {
 	tx.maybeYield()
 	tx.checkDoomed()
 	if e, fp := tx.ws.Lookup(objAddr(b)); e != nil {
@@ -133,15 +145,14 @@ func (tx *Tx) readBase(b *objBase, load func() any) any {
 		tx.checkDoomed()
 	}
 	tx.reads = append(tx.reads, b)
-	val := load()
+	p := b.loadPtr()
 	tx.checkDoomed()
-	return val
+	return p
 }
 
 // Read returns o's value inside the transaction.
 func Read[T any](tx *Tx, o *Obj[T]) T {
-	boxed := tx.readBase(&o.b, func() any { return o.p.Load() })
-	return *(boxed.(*T))
+	return *(*T)(tx.readBase(&o.b))
 }
 
 // box copies val to a fresh heap box, kept out of Write so the in-place
@@ -161,17 +172,15 @@ func Write[T any](tx *Tx, o *Obj[T], val T) {
 	b := &o.b
 	addr := objAddr(b)
 	if e, fp := tx.ws.Lookup(addr); e != nil {
-		if p, ok := e.Val.(*T); ok {
-			*p = val
-		} else {
-			e.Val = box(val) // unreachable for a well-formed Obj; kept for safety
-		}
+		// The entry keyed by b was inserted by a Write through the same
+		// Obj[T] (the base is embedded in it), so the redo box is a *T.
+		*(*T)(e.Val) = val
 		return
 	} else if fp {
 		tx.rt.tel.FilterFalsePositives.Inc(uint64(tx.st.self.Thread))
 	}
 	e, spilled := tx.ws.Insert(b, addr)
-	e.Val = box(val)
+	e.Val = unsafe.Pointer(box(val))
 	if spilled {
 		tx.rt.tel.WriteSetSpills.Inc(uint64(tx.st.self.Thread))
 	}
@@ -241,6 +250,13 @@ func (tx *Tx) commit() (wv uint64, c *conflict, ok bool) {
 			}
 		}
 	}
+	// Enter the resolve→publish window: from here until the publish loop
+	// finishes, optimistic readers cannot register on our locked objects
+	// (registerReader refuses), so every reader that could observe a
+	// pre-publish value is already registered and will be doomed or
+	// drained below. Cleared on every exit path.
+	tx.st.committing.Store(true)
+	defer tx.st.committing.Store(false)
 	if fi := tx.rt.injector(); fi != nil {
 		// Fault point: hold the write locks longer before publishing.
 		for i, n := 0, fi.CommitDelay(tx.st.self, tx.attempt); i < n; i++ {
@@ -270,7 +286,7 @@ func (tx *Tx) commit() (wv uint64, c *conflict, ok bool) {
 	}
 	for i := range ents {
 		b := ents[i].Key
-		b.apply(ents[i].Val)
+		b.storePtr(ents[i].Val)
 		b.version.Add(1)
 	}
 	tx.rt.reg.Record(wv, tx.st.self)

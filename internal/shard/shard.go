@@ -42,6 +42,12 @@ type Config struct {
 	// "<prefix><i>" (default prefix "shard"). With a single shard the
 	// prefix is used bare, so an unsharded deployment keeps its label.
 	LabelPrefix string
+
+	// LockStripes is forwarded to each shard's gstm.Config: positive
+	// selects the striped lock-table engine mode per shard (each shard
+	// gets its own table, so striping never couples shards). Zero keeps
+	// per-location locks.
+	LockStripes int
 }
 
 func (cfg Config) normalize() Config {
@@ -76,6 +82,7 @@ func New(cfg Config) *Router {
 			Interleave:   cfg.Interleave,
 			Label:        label,
 			PrivateClock: cfg.Shards > 1,
+			LockStripes:  cfg.LockStripes,
 		}))
 	}
 	return r

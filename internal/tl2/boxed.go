@@ -1,0 +1,156 @@
+package tl2
+
+import (
+	"unsafe"
+
+	"gstm/internal/obs"
+)
+
+// Boxed baseline.
+//
+// Before the unboxed slot protocol, every transactional access paid
+// interface machinery: reads routed the snapshot load through a func() any
+// closure and asserted boxed.(*T) back out, writes round-tripped the redo
+// box through any, and each Var (and each Array element) carried a
+// func(any) publish closure. BoxedVar preserves that access plumbing on
+// top of the current engine so the -speed-bench sweep can measure boxed
+// vs unboxed in one binary; it is a measurement artifact, not API — the
+// rest of the repository uses Var. Commit publishing is shared with the
+// unboxed path (a raw pointer store), which flatters the baseline if
+// anything: the deltas BENCH_speed reports are per-access costs only.
+
+// BoxedVar is a transactional location accessed through the retired
+// any-boxed protocol. It carries the per-location apply closure the old
+// layout allocated, so footprint and indirection match the baseline.
+type BoxedVar[T any] struct {
+	v     Var[T]
+	apply func(boxed any) // retired publish hook, kept for layout fidelity
+}
+
+// NewBoxedVar returns a boxed-protocol location initialized to val.
+func NewBoxedVar[T any](val T) *BoxedVar[T] {
+	bv := &BoxedVar[T]{}
+	bv.v.b.storePtr(unsafe.Pointer(&val))
+	bv.apply = func(boxed any) { bv.v.b.storePtr(unsafe.Pointer(boxed.(*T))) }
+	return bv
+}
+
+// Reset stores val non-transactionally (setup only).
+func (bv *BoxedVar[T]) Reset(val T) { bv.v.Reset(val) }
+
+// Peek loads the current value non-transactionally (verification only).
+func (bv *BoxedVar[T]) Peek() T { return bv.v.Peek() }
+
+// BoxedArray is the boxed-protocol Array: one BoxedVar per element, each
+// with its own apply closure — exactly the N-closure construction cost
+// NewArray used to pay.
+type BoxedArray[T any] struct {
+	cells []BoxedVar[T]
+}
+
+// NewBoxedArray returns a BoxedArray of n zero-valued elements.
+func NewBoxedArray[T any](n int) *BoxedArray[T] {
+	a := &BoxedArray[T]{cells: make([]BoxedVar[T], n)}
+	for i := range a.cells {
+		bv := &a.cells[i]
+		var zero T
+		bv.v.b.storePtr(unsafe.Pointer(&zero))
+		bv.apply = func(boxed any) { bv.v.b.storePtr(unsafe.Pointer(boxed.(*T))) }
+	}
+	return a
+}
+
+// Len returns the number of elements.
+func (a *BoxedArray[T]) Len() int { return len(a.cells) }
+
+// At returns the i'th element.
+func (a *BoxedArray[T]) At(i int) *BoxedVar[T] { return &a.cells[i] }
+
+// Reset stores val into element i non-transactionally (setup only).
+func (a *BoxedArray[T]) Reset(i int, val T) { a.cells[i].Reset(val) }
+
+// Peek loads element i non-transactionally (verification only).
+func (a *BoxedArray[T]) Peek(i int) T { return a.cells[i].Peek() }
+
+// readBoxed is the retired closure-based read protocol: identical
+// validation to readBase, but the snapshot load is an indirect call
+// returning an interface value the caller asserts back to *T.
+func (tx *Tx) readBoxed(b *base, load func() any) any {
+	lk := tx.rt.lockFor(b)
+	for spins := 0; ; spins++ {
+		w1 := lk.word.Load()
+		if wordLocked(w1) {
+			if pre, mine := tx.ownedPre(lk, b); mine {
+				if v := wordVersion(pre); v > tx.rv {
+					tx.conflict(v, obs.CauseReadValidation)
+				}
+				val := load()
+				if !tx.readOnly {
+					tx.reads = append(tx.reads, b)
+				}
+				return val
+			}
+			if spins < tx.rt.cfg.MaxReadSpin {
+				spinYield()
+				continue
+			}
+			tx.conflict(0, obs.CauseLockBusy)
+		}
+		val := load()
+		w2 := lk.word.Load()
+		if w1 != w2 {
+			continue
+		}
+		if v := wordVersion(w1); v > tx.rv {
+			tx.conflict(v, obs.CauseReadValidation)
+		}
+		if !tx.readOnly {
+			tx.reads = append(tx.reads, b)
+		}
+		return val
+	}
+}
+
+// BoxedRead is the retired read path: closure-loaded snapshot, interface
+// round trip, type assertion.
+func BoxedRead[T any](tx *Tx, bv *BoxedVar[T]) T {
+	tx.maybeYield()
+	b := &bv.v.b
+	if e, fp := tx.ws.Lookup(baseAddr(b)); e != nil {
+		boxed := any((*T)(e.Val))
+		return *(boxed.(*T))
+	} else if fp {
+		tx.rt.tel.FilterFalsePositives.Inc(uint64(tx.self.Thread))
+	}
+	boxed := tx.readBoxed(b, func() any { return (*T)(b.loadPtr()) })
+	return *(boxed.(*T))
+}
+
+// BoxedWrite is the retired write path: the redo box round-trips through
+// any on both the insert and the rewrite branch.
+func BoxedWrite[T any](tx *Tx, bv *BoxedVar[T], val T) {
+	if tx.readOnly {
+		panic(errWriteInReadOnly{})
+	}
+	tx.maybeYield()
+	b := &bv.v.b
+	addr := baseAddr(b)
+	if e, fp := tx.ws.Lookup(addr); e != nil {
+		boxed := any((*T)(e.Val))
+		if p, ok := boxed.(*T); ok {
+			*p = val
+		}
+		return
+	} else if fp {
+		tx.rt.tel.FilterFalsePositives.Inc(uint64(tx.self.Thread))
+	}
+	e, spilled := tx.ws.Insert(b, addr)
+	var boxed any = box(val)
+	e.Val = unsafe.Pointer(boxed.(*T))
+	if spilled {
+		tx.rt.tel.WriteSetSpills.Inc(uint64(tx.self.Thread))
+	}
+	if tx.rt.cfg.EagerWriteLock {
+		tx.lockEager(e, b)
+	}
+}

@@ -145,7 +145,7 @@ func TestEagerLockedEntryOwnerTagVisible(t *testing.T) {
 	v := NewVar(7)
 	if err := rt.Atomic(0, 0, func(tx *Tx) error {
 		Write(tx, v, 8)
-		if pre, owned := tx.ownedPre(&v.b); !owned {
+		if pre, owned := tx.ownedPre(tx.rt.lockFor(&v.b), &v.b); !owned {
 			t.Error("ownedPre does not recognize our eager lock")
 		} else if wordLocked(pre) {
 			t.Error("recorded pre-lock word already locked")
@@ -159,7 +159,7 @@ func TestEagerLockedEntryOwnerTagVisible(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if v.b.owner.Load() != 0 {
+	if v.b.lk.owner.Load() != 0 {
 		t.Fatal("owner tag not cleared on release")
 	}
 }

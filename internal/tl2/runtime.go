@@ -54,6 +54,15 @@ type Config struct {
 	// router relies on this to keep unrelated transactions off a shared
 	// clock cache line entirely.
 	PrivateClock bool
+
+	// LockStripes, when positive, replaces per-location versioned lock
+	// words with a striped lock table of that many cache-line-padded
+	// stripes (rounded up to a power of two): location addresses hash to
+	// stripes, so Array elements share lock words instead of carrying one
+	// each. Aliased locations conflict falsely but never unsafely (see
+	// stripe.go). Like PrivateClock, a striped runtime's Vars must be used
+	// exclusively under that runtime. Zero keeps the per-location default.
+	LockStripes int
 }
 
 // Normalize returns cfg with defaults applied to zero fields.
@@ -66,6 +75,17 @@ func (cfg Config) Normalize() Config {
 	}
 	if cfg.RegistryCapacity <= 0 {
 		cfg.RegistryCapacity = 1 << 16
+	}
+	if cfg.LockStripes < 0 {
+		cfg.LockStripes = 0
+	}
+	if cfg.LockStripes > 0 {
+		// Round up to a power of two so stripe selection is a mask.
+		n := 1
+		for n < cfg.LockStripes {
+			n <<= 1
+		}
+		cfg.LockStripes = n
 	}
 	return cfg
 }
@@ -130,6 +150,10 @@ type Runtime struct {
 	fault atomic.Pointer[faultBox]
 	pool  sync.Pool
 
+	// stripes is the striped lock table (Config.LockStripes), or nil in
+	// the default per-location mode. Immutable after New.
+	stripes *stripeTable
+
 	// tel holds all runtime counters and latency histograms (sharded by
 	// worker thread), registered in the process-wide telemetry registry.
 	tel *telemetry.Metrics
@@ -148,6 +172,9 @@ func New(cfg Config) *Runtime {
 	rt := &Runtime{cfg: cfg.Normalize(), tel: telemetry.New(label), clock: &globalClock}
 	if cfg.PrivateClock {
 		rt.clock = new(clock)
+	}
+	if rt.cfg.LockStripes > 0 {
+		rt.stripes = newStripeTable(rt.cfg.LockStripes)
 	}
 	rt.reg = commitreg.New(rt.cfg.RegistryCapacity)
 	rt.pool.New = func() any { return &Tx{} }

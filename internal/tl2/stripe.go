@@ -1,0 +1,109 @@
+package tl2
+
+import "unsafe"
+
+// Striped lock tables.
+//
+// Config.LockStripes > 0 switches a Runtime from per-location versioned
+// lock words to a fixed table of 2^k cache-line-padded stripes: every
+// location address hashes to a stripe, and the stripe's lockSlot is the
+// versioned write-lock for all locations that hash to it. This is the
+// classic ownership-record (orec) layout of word-based STMs — SNIPPETS.md
+// Snippet 1 shows the single-lock degenerate case — generalized to a
+// power-of-two table with Fibonacci-hash placement (the same multiplier the
+// wset filter word uses, so hot write sets and hot stripes shade together).
+//
+// What striping buys: Array[T] elements stop carrying a 16-byte lock slot
+// each, dense sweeps touch a handful of stripe cache lines instead of one
+// lock word per element, and the lock-metadata footprint of a shard becomes
+// a constant independent of how much data it serves.
+//
+// What it costs: two locations that hash to the same stripe falsely
+// conflict — a commit locking one blocks or aborts readers/writers of the
+// other, and publishing either advances the shared version, forcing the
+// other's readers to revalidate. Both effects are conservative (safety is
+// never weakened: a too-new shared version can only cause spurious aborts,
+// never a stale read). The telemetry counter StripeCollisions counts
+// write-set aliasing so sweeps can size tables against observed collision
+// rates.
+//
+// Ownership rule: a striped runtime's transactions must only touch Vars
+// used exclusively under that runtime — the same exclusivity contract as
+// Config.PrivateClock, and the shard router already guarantees it. Mixing
+// runtimes on one Var would split its lock protocol across two tables.
+
+// stripe is one versioned write-lock, padded so adjacent stripes never
+// share a cache line (the table is written by every committer; false
+// sharing here would serialize unrelated commits).
+type stripe struct {
+	lockSlot
+	_ [6]uint64 // lockSlot is 16 bytes; pad the rest of the 64-byte line
+}
+
+// stripeTable maps location addresses onto stripes.
+type stripeTable struct {
+	mask  uint64
+	slots []stripe
+}
+
+// newStripeTable returns a table of n stripes; n must be a power of two
+// (Config.Normalize rounds up).
+func newStripeTable(n int) *stripeTable {
+	return &stripeTable{mask: uint64(n - 1), slots: make([]stripe, n)}
+}
+
+// of returns the stripe guarding addr. The low alignment bits are discarded
+// before the Fibonacci-hash multiply, then the high bits select the slot —
+// consecutive Array cells (24 bytes apart) spread over the whole table
+// instead of marching through adjacent stripes in lockstep.
+func (t *stripeTable) of(addr uintptr) *lockSlot {
+	h := (uint64(addr) >> 4) * 0x9e3779b97f4a7c15
+	return &t.slots[(h>>40)&t.mask].lockSlot
+}
+
+// locked counts stripes whose lock bit is currently set: the striped-mode
+// analogue of sweeping Var.LockState over every location.
+func (t *stripeTable) locked() int {
+	n := 0
+	for i := range t.slots {
+		if wordLocked(t.slots[i].word.Load()) {
+			n++
+		}
+	}
+	return n
+}
+
+// lockFor returns the versioned lock slot guarding b under this runtime's
+// engine mode: b's own embedded slot in per-location mode, the stripe b's
+// address hashes to in striped mode. This is the single indirection the
+// striped engine adds to the read/validate/lock protocol.
+func (rt *Runtime) lockFor(b *base) *lockSlot {
+	if t := rt.stripes; t != nil {
+		return t.of(uintptr(unsafe.Pointer(b)))
+	}
+	return &b.lk
+}
+
+// Striped reports whether this runtime uses a striped lock table.
+func (rt *Runtime) Striped() bool { return rt.stripes != nil }
+
+// LockedStripes returns how many stripes of the runtime's lock table are
+// currently locked, and the table size. At any quiescent point the count
+// must be zero, or an abort path leaked a stripe lock — the striped-mode
+// replacement for sweeping Var.LockState. On a per-location runtime it
+// returns (0, 0).
+func (rt *Runtime) LockedStripes() (locked, total int) {
+	if rt.stripes == nil {
+		return 0, 0
+	}
+	return rt.stripes.locked(), len(rt.stripes.slots)
+}
+
+// stripeRef records one stripe lock held by a transaction: the slot, its
+// pre-lock word (restored on abort), and whether the acquisition succeeded
+// (refs are appended only after a successful CAS, but the flag keeps
+// release idempotent during partial-failure unwinding).
+type stripeRef struct {
+	lk  *lockSlot
+	pre uint64
+}

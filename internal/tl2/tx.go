@@ -36,13 +36,25 @@ type Tx struct {
 	rt       *Runtime
 	self     txid.Pair
 	rv       uint64
-	tag      uint64 // nonzero ownership tag stamped into base.owner while locking
+	tag      uint64 // nonzero ownership tag stamped into lock-slot owners while locking
 	reads    []*base
 	ws       wset.Set[*base] // redo log: sorted small-vector write set with lock bookkeeping
 	attempt  int
 	rng      uint64
 	ops      int
 	readOnly bool
+
+	// Striped-mode lock bookkeeping: every stripeRef in stripes is a
+	// stripe lock this attempt currently holds (appended only after a
+	// successful CAS); stripePlan is the reusable scratch list of stripes
+	// the commit still needs, kept sorted by slot address for the
+	// deterministic acquisition order striping takes away from the
+	// write set's address sort. Both retain capacity across attempts (the
+	// per-Tx arena pattern), so steady-state striped commits allocate
+	// nothing for lock bookkeeping. Unused (always empty) in per-location
+	// mode, where the write-set entries carry Pre/Locked instead.
+	stripes    []stripeRef
+	stripePlan []*lockSlot
 
 	// Latency-sampling state: when measure is set (1 in telemetry.SampleEvery
 	// commits per shard) the commit protocol times its read-set validation
@@ -71,6 +83,8 @@ func (tx *Tx) reset(rt *Runtime, self txid.Pair, attempt int, readOnly bool) {
 	tx.rv = rt.clk().now()
 	tx.reads = tx.reads[:0]
 	tx.ws.Reset()
+	tx.stripes = tx.stripes[:0]
+	tx.stripePlan = tx.stripePlan[:0]
 	tx.attempt = attempt
 	tx.measure = false
 	tx.valDur = 0
@@ -121,13 +135,19 @@ func (tx *Tx) conflict(byWV uint64, cause obs.Cause) {
 }
 
 // baseAddr is the write-set key of b: its address, which is also the
-// deterministic commit-time lock ordering key.
+// deterministic commit-time lock ordering key (and, under striping, the
+// stripe hash input).
 func baseAddr(b *base) uintptr { return uintptr(unsafe.Pointer(b)) }
 
+// slotAddr is the striped-mode lock acquisition ordering key.
+func slotAddr(lk *lockSlot) uintptr { return uintptr(unsafe.Pointer(lk)) }
+
 // readBase performs the TL2 post-validated read protocol on b and returns
-// the consistent value snapshot. It panics with a conflictSignal when the
-// location's version exceeds rv or the location stays locked.
-func (tx *Tx) readBase(b *base, load func() any) any {
+// the consistent value snapshot as a raw pointer (a *T the generic Read
+// dereferences — no interface hop, no closure). It panics with a
+// conflictSignal when the location's version exceeds rv or the location
+// stays locked.
+func (tx *Tx) readBase(b *base) unsafe.Pointer {
 	tx.maybeYield()
 	// Read-after-write fast path: the filter answers the common miss in
 	// O(1) (read-only transactions keep it at zero, so this is one branch),
@@ -137,9 +157,26 @@ func (tx *Tx) readBase(b *base, load func() any) any {
 	} else if fp {
 		tx.rt.tel.FilterFalsePositives.Inc(uint64(tx.self.Thread))
 	}
+	lk := tx.rt.lockFor(b)
 	for spins := 0; ; spins++ {
-		w1 := b.word.Load()
+		w1 := lk.word.Load()
 		if wordLocked(w1) {
+			// Under striping an eager writer can hold the stripe of a
+			// location it never wrote (an alias of something it did write);
+			// the RAW lookup above cannot catch that, so check ownership
+			// here. Holding the stripe freezes its word and excludes
+			// publishers, so the snapshot is consistent against the
+			// pre-lock version, which eager acquisition validated ≤ rv.
+			if pre, mine := tx.ownedPre(lk, b); mine {
+				if v := wordVersion(pre); v > tx.rv {
+					tx.conflict(v, obs.CauseReadValidation)
+				}
+				p := b.loadPtr()
+				if !tx.readOnly {
+					tx.reads = append(tx.reads, b)
+				}
+				return p
+			}
 			if spins < tx.rt.cfg.MaxReadSpin {
 				spinYield()
 				continue
@@ -149,8 +186,8 @@ func (tx *Tx) readBase(b *base, load func() any) any {
 			// its wv is not yet knowable.
 			tx.conflict(0, obs.CauseLockBusy)
 		}
-		val := load()
-		w2 := b.word.Load()
+		p := b.loadPtr()
+		w2 := lk.word.Load()
 		if w1 != w2 {
 			// Raced with a commit; re-run the protocol.
 			continue
@@ -164,15 +201,15 @@ func (tx *Tx) readBase(b *base, load func() any) any {
 		if !tx.readOnly {
 			tx.reads = append(tx.reads, b)
 		}
-		return val
+		return p
 	}
 }
 
 // Read returns the value of v inside the transaction, observing the
-// transaction's own buffered writes first.
+// transaction's own buffered writes first. The unboxed hot path: one
+// pointer returned by the read protocol, one typed dereference.
 func Read[T any](tx *Tx, v *Var[T]) T {
-	boxed := tx.readBase(&v.b, func() any { return v.p.Load() })
-	return *(boxed.(*T))
+	return *(*T)(tx.readBase(&v.b))
 }
 
 // box copies val to a fresh heap box. Kept out of Write so that escape
@@ -189,9 +226,10 @@ func box[T any](val T) *T {
 // lock is acquired here, at encounter time.
 //
 // A rewrite of an already-buffered location updates the redo box in place
-// (the box is private until commit publishes it), so the buffered-write
-// fast path performs no allocation; only the first write to a location
-// allocates the box that commit will publish.
+// through the raw entry pointer (the box is private until commit publishes
+// it), so the buffered-write fast path performs no allocation and no
+// interface conversion; only the first write to a location allocates the
+// box that commit will publish.
 func Write[T any](tx *Tx, v *Var[T], val T) {
 	if tx.readOnly {
 		panic(errWriteInReadOnly{})
@@ -200,17 +238,15 @@ func Write[T any](tx *Tx, v *Var[T], val T) {
 	b := &v.b
 	addr := baseAddr(b)
 	if e, fp := tx.ws.Lookup(addr); e != nil {
-		if p, ok := e.Val.(*T); ok {
-			*p = val
-		} else {
-			e.Val = box(val) // unreachable for a well-formed Var; kept for safety
-		}
+		// The entry keyed by b was inserted by a Write through the same
+		// Var[T] (the base is embedded in it), so the redo box is a *T.
+		*(*T)(e.Val) = val
 		return
 	} else if fp {
 		tx.rt.tel.FilterFalsePositives.Inc(uint64(tx.self.Thread))
 	}
 	e, spilled := tx.ws.Insert(b, addr)
-	e.Val = box(val)
+	e.Val = unsafe.Pointer(box(val))
 	if spilled {
 		tx.rt.tel.WriteSetSpills.Inc(uint64(tx.self.Thread))
 	}
@@ -221,11 +257,20 @@ func Write[T any](tx *Tx, v *Var[T], val T) {
 
 // lockEager acquires b's versioned lock at encounter time with bounded
 // spinning, validating the version against rv (a newer version means a
-// conflicting commit already happened). On success the lock bookkeeping is
-// recorded in b's write-set entry e.
+// conflicting commit already happened). In per-location mode the lock
+// bookkeeping is recorded in b's write-set entry e; in striped mode it goes
+// to the transaction's stripe list, and a stripe already held (an aliased
+// second write) is counted and reused rather than re-acquired.
 func (tx *Tx) lockEager(e *wset.Entry[*base], b *base) {
+	lk := tx.rt.lockFor(b)
+	striped := tx.rt.stripes != nil
+	if striped && lk.owner.Load() == tx.tag {
+		// Two written locations share this stripe; one lock covers both.
+		tx.rt.tel.StripeCollisions.Inc(uint64(tx.self.Thread))
+		return
+	}
 	for spins := 0; ; spins++ {
-		w := b.word.Load()
+		w := lk.word.Load()
 		if wordLocked(w) {
 			if spins >= tx.rt.cfg.MaxLockSpin {
 				tx.conflict(0, obs.CauseLockBusy)
@@ -236,10 +281,14 @@ func (tx *Tx) lockEager(e *wset.Entry[*base], b *base) {
 		if v := wordVersion(w); v > tx.rv {
 			tx.conflict(v, obs.CauseReadValidation)
 		}
-		if b.word.CompareAndSwap(w, w|lockedBit) {
-			b.owner.Store(tx.tag)
-			e.Pre = w
-			e.Locked = true
+		if lk.word.CompareAndSwap(w, w|lockedBit) {
+			lk.owner.Store(tx.tag)
+			if striped {
+				tx.stripes = append(tx.stripes, stripeRef{lk: lk, pre: w})
+			} else {
+				e.Pre = w
+				e.Locked = true
+			}
 			return
 		}
 	}
@@ -255,12 +304,18 @@ func WriteAt[T any](tx *Tx, a *Array[T], i int, val T) { Write(tx, a.At(i), val)
 // bounded spinning. It reports failure (and releases everything acquired)
 // when some lock cannot be taken, the TL2 deadlock-avoidance rule.
 //
-// Locks are acquired in ascending location address order (the write set is
-// sorted), so any two transactions acquire the locks they share in the same
-// global order: the random-map-iteration livelock window — two commits each
-// holding a lock the other spins on, both aborting, retrying, and colliding
-// again in a new random order — cannot occur.
+// In per-location mode locks are acquired in ascending location address
+// order (the write set is sorted), so any two transactions acquire the
+// locks they share in the same global order: the random-map-iteration
+// livelock window — two commits each holding a lock the other spins on,
+// both aborting, retrying, and colliding again in a new random order —
+// cannot occur. In striped mode the stripe hash destroys that ordering, so
+// the needed stripes are first deduplicated (counting aliases) and sorted
+// by slot address to restore a global acquisition order.
 func (tx *Tx) lockWriteSet() bool {
+	if tx.rt.stripes != nil {
+		return tx.lockStripedWriteSet()
+	}
 	ents := tx.ws.Entries()
 	for i := range ents {
 		e := &ents[i]
@@ -268,17 +323,77 @@ func (tx *Tx) lockWriteSet() bool {
 			continue // already taken at encounter time (eager mode)
 		}
 		b := e.Key
+		lk := &b.lk
 		acquired := false
 		for spins := 0; spins <= tx.rt.cfg.MaxLockSpin; spins++ {
-			w := b.word.Load()
+			w := lk.word.Load()
 			if wordLocked(w) {
 				spinYield()
 				continue
 			}
-			if b.word.CompareAndSwap(w, w|lockedBit) {
-				b.owner.Store(tx.tag)
+			if lk.word.CompareAndSwap(w, w|lockedBit) {
+				lk.owner.Store(tx.tag)
 				e.Pre = w
 				e.Locked = true
+				acquired = true
+				break
+			}
+		}
+		if !acquired {
+			tx.releaseLocks(0)
+			return false
+		}
+	}
+	return true
+}
+
+// lockStripedWriteSet is the striped-mode commit lock phase: map every
+// write-set entry to its stripe, drop duplicates (two entries on one
+// stripe — the aliasing telemetry), skip stripes already taken at
+// encounter time, sort the remainder by slot address for a deterministic
+// global acquisition order, then acquire each with bounded spinning.
+func (tx *Tx) lockStripedWriteSet() bool {
+	t := tx.rt.stripes
+	ents := tx.ws.Entries()
+	tx.stripePlan = tx.stripePlan[:0]
+plan:
+	for i := range ents {
+		lk := t.of(ents[i].Addr())
+		for j := range tx.stripes {
+			if tx.stripes[j].lk == lk {
+				// Held since encounter time (eager) — an alias only if a
+				// previous *entry* mapped here, which eager counting
+				// already recorded; nothing to plan either way.
+				continue plan
+			}
+		}
+		for j := range tx.stripePlan {
+			if tx.stripePlan[j] == lk {
+				tx.rt.tel.StripeCollisions.Inc(uint64(tx.self.Thread))
+				continue plan
+			}
+		}
+		tx.stripePlan = append(tx.stripePlan, lk)
+	}
+	// Insertion sort by slot address: write sets are small (InlineSize 8
+	// before spilling) and sort.Slice's reflection would allocate on every
+	// striped commit.
+	for i := 1; i < len(tx.stripePlan); i++ {
+		for j := i; j > 0 && slotAddr(tx.stripePlan[j]) < slotAddr(tx.stripePlan[j-1]); j-- {
+			tx.stripePlan[j], tx.stripePlan[j-1] = tx.stripePlan[j-1], tx.stripePlan[j]
+		}
+	}
+	for _, lk := range tx.stripePlan {
+		acquired := false
+		for spins := 0; spins <= tx.rt.cfg.MaxLockSpin; spins++ {
+			w := lk.word.Load()
+			if wordLocked(w) {
+				spinYield()
+				continue
+			}
+			if lk.word.CompareAndSwap(w, w|lockedBit) {
+				lk.owner.Store(tx.tag)
+				tx.stripes = append(tx.stripes, stripeRef{lk: lk, pre: w})
 				acquired = true
 				break
 			}
@@ -296,18 +411,31 @@ func (tx *Tx) lockWriteSet() bool {
 // published at version wv (commit path). The owner tag is cleared before
 // the unlocking store so no later lock holder's tag is ever clobbered.
 func (tx *Tx) releaseLocks(wv uint64) {
+	if tx.rt != nil && tx.rt.stripes != nil {
+		for i := range tx.stripes {
+			r := &tx.stripes[i]
+			r.lk.owner.Store(0)
+			if wv == 0 {
+				r.lk.word.Store(r.pre)
+			} else {
+				r.lk.word.Store(makeWord(wv, false))
+			}
+		}
+		tx.stripes = tx.stripes[:0]
+		return
+	}
 	ents := tx.ws.Entries()
 	for i := range ents {
 		e := &ents[i]
 		if !e.Locked {
 			continue
 		}
-		b := e.Key
-		b.owner.Store(0)
+		lk := &e.Key.lk
+		lk.owner.Store(0)
 		if wv == 0 {
-			b.word.Store(e.Pre)
+			lk.word.Store(e.Pre)
 		} else {
-			b.word.Store(makeWord(wv, false))
+			lk.word.Store(makeWord(wv, false))
 		}
 		e.Locked = false
 	}
@@ -319,16 +447,26 @@ func (tx *Tx) releaseLocks(wv uint64) {
 func (tx *Tx) scrub() {
 	tx.reads = tx.reads[:0]
 	tx.ws.Reset()
+	tx.stripes = tx.stripes[:0]
+	tx.stripePlan = tx.stripePlan[:0]
 }
 
-// ownedPre returns the pre-lock word of b if this transaction holds its
-// lock. The ownership test is one atomic load of b's owner tag — O(1),
-// replacing the linear lock-list scan that made read-set validation
-// O(reads×locks) — and only a positive answer (rare: a location both read
-// and written by this transaction) pays the write-set lookup for the
-// pre-lock word.
-func (tx *Tx) ownedPre(b *base) (uint64, bool) {
-	if b.owner.Load() != tx.tag {
+// ownedPre returns the pre-lock word of lk (the slot guarding b) if this
+// transaction holds its lock. The ownership test is one atomic load of the
+// slot's owner tag — O(1), replacing the linear lock-list scan that made
+// read-set validation O(reads×locks) — and only a positive answer (rare: a
+// location both read and written by this transaction, or an alias of one
+// under striping) pays the lookup for the pre-lock word.
+func (tx *Tx) ownedPre(lk *lockSlot, b *base) (uint64, bool) {
+	if lk.owner.Load() != tx.tag {
+		return 0, false
+	}
+	if tx.rt.stripes != nil {
+		for i := range tx.stripes {
+			if tx.stripes[i].lk == lk {
+				return tx.stripes[i].pre, true
+			}
+		}
 		return 0, false
 	}
 	e, _ := tx.ws.Lookup(baseAddr(b))
@@ -414,9 +552,10 @@ func (tx *Tx) commit(traced bool) (wv uint64, byWV uint64, cause obs.Cause, ok b
 			vt0 = time.Now()
 		}
 		for _, b := range tx.reads {
-			w := b.word.Load()
+			lk := tx.rt.lockFor(b)
+			w := lk.word.Load()
 			if wordLocked(w) {
-				pre, mine := tx.ownedPre(b)
+				pre, mine := tx.ownedPre(lk, b)
 				if !mine {
 					tx.releaseLocks(0)
 					tx.span.AddSince(obs.PhaseValidate, obs.CauseLockBusy, att, vt0)
@@ -444,7 +583,9 @@ func (tx *Tx) commit(traced bool) (wv uint64, byWV uint64, cause obs.Cause, ok b
 	}
 	ents := tx.ws.Entries()
 	for i := range ents {
-		ents[i].Key.apply(ents[i].Val)
+		// Publish the redo box: one raw pointer store per location, the
+		// unboxed replacement for the old per-location apply closure call.
+		ents[i].Key.storePtr(ents[i].Val)
 	}
 	// Publish attribution before the new version becomes observable.
 	tx.rt.reg.Record(wv, tx.self)

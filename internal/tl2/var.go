@@ -1,12 +1,16 @@
 package tl2
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"unsafe"
+)
 
-// base is the non-generic core of a transactional location: its versioned
-// lock word plus a type-erased store hook installed by the generic Var
-// constructor. Transactions track read and write sets as *base pointers so
-// the commit protocol never needs to know element types.
-type base struct {
+// lockSlot is one TL2 versioned write-lock: the lock word (version<<1 |
+// lockedBit) plus the ownership tag of the transaction currently holding
+// the lock bit. In the default per-location mode every base embeds its own
+// slot; in striped mode (Config.LockStripes) the runtime hashes base
+// addresses onto a shared stripe table and the embedded slot is unused.
+type lockSlot struct {
 	word atomic.Uint64
 	// owner is the ownership tag (Tx.tag) of the transaction currently
 	// holding word's lock bit, or zero. It is stored immediately after a
@@ -19,72 +23,99 @@ type base struct {
 	// window only exists on other transactions' acquisitions, never on the
 	// reader's own, whose stores are ordered by program order.
 	owner atomic.Uint64
-	// apply publishes a buffered write (a *T boxed in an any) into the
-	// location. Installed once by NewVar; never nil for a reachable base.
-	apply func(boxed any)
 }
 
+// base is the non-generic core of a transactional location: its versioned
+// lock slot plus the published value snapshot as a raw pointer.
+// Transactions track read and write sets as *base pointers so the commit
+// protocol never needs to know element types.
+//
+// slot is the unboxed replacement for the old (atomic.Pointer[T] + apply
+// closure) pair: the generic Var[T] constructor stores a *T here as an
+// unsafe.Pointer, reads load it and dereference through the statically
+// known T, and commit publishes a buffered write by storing the redo
+// pointer — one word moved, zero interface conversions, zero closures.
+type base struct {
+	lk   lockSlot
+	slot unsafe.Pointer // the current *T snapshot, loaded/stored atomically
+}
+
+// loadPtr atomically loads the published value snapshot.
+func (b *base) loadPtr() unsafe.Pointer { return atomic.LoadPointer(&b.slot) }
+
+// storePtr atomically publishes p as the new value snapshot.
+func (b *base) storePtr(p unsafe.Pointer) { atomic.StorePointer(&b.slot, p) }
+
 // Var is a transactional memory location holding a value of type T.
-// All access inside a transaction must go through Read/Write (or the
-// ReadVar/WriteVar methods on Tx for interface use); the initial value is
-// set at construction and may be reset outside any transaction with Reset.
+// All access inside a transaction must go through Read/Write; the initial
+// value is set at construction and may be reset outside any transaction
+// with Reset.
 //
 // Values are published as immutable *T snapshots: a transactional Write
-// buffers a fresh pointer, and commit swings the atomic pointer. Mutating
+// buffers a fresh pointer, and commit swings the slot pointer. Mutating
 // the interior of a value previously read from a Var without writing a copy
 // back is a logic error, exactly as in any write-back STM.
 type Var[T any] struct {
 	b base
-	p atomic.Pointer[T]
 }
 
 // NewVar returns a transactional location initialized to val.
 func NewVar[T any](val T) *Var[T] {
 	v := &Var[T]{}
-	v.p.Store(&val)
-	v.b.apply = func(boxed any) { v.p.Store(boxed.(*T)) }
+	v.b.storePtr(unsafe.Pointer(&val))
 	return v
 }
 
 // Reset stores val non-transactionally. It must only be used during
 // single-threaded setup or teardown phases (the paper's benchmarks
-// initialize shared data before the timed transactional region).
+// initialize shared data before the timed transactional region). On a
+// striped runtime Reset does not touch the shared stripe table — stripe
+// versions stay monotone across resets, which is exactly what readers
+// validating `version > rv` require.
 func (v *Var[T]) Reset(val T) {
-	v.p.Store(&val)
-	v.b.word.Store(0)
-	v.b.owner.Store(0)
+	v.b.storePtr(unsafe.Pointer(&val))
+	v.b.lk.word.Store(0)
+	v.b.lk.owner.Store(0)
 }
 
 // Peek loads the current value non-transactionally. Like Reset it is only
 // safe when no transactions are running; it exists for result verification
 // after a parallel phase completes.
-func (v *Var[T]) Peek() T { return *v.p.Load() }
+func (v *Var[T]) Peek() T { return *(*T)(v.b.loadPtr()) }
 
-// LockState reports v's versioned lock word split into version and lock
-// bit. It is a diagnostic for tests and fault-injection sweeps: at any
-// quiescent point every location must report locked == false, or an abort
-// path leaked a lock.
+// LockState reports v's embedded versioned lock word split into version
+// and lock bit. It is a diagnostic for tests and fault-injection sweeps: at
+// any quiescent point every location must report locked == false, or an
+// abort path leaked a lock. On a striped runtime the embedded word is
+// unused (always 0/false); use Runtime.LockedStripes for the equivalent
+// quiescence check there.
 func (v *Var[T]) LockState() (version uint64, locked bool) {
-	w := v.b.word.Load()
+	w := v.b.lk.word.Load()
 	return wordVersion(w), wordLocked(w)
 }
 
 // Array is a fixed-length sequence of transactional locations of type T,
-// the analogue of a striped TL2 array: every element has its own versioned
-// lock word, so disjoint-index accesses never conflict.
+// the analogue of a striped TL2 array: in per-location mode every element
+// has its own versioned lock word, so disjoint-index accesses never
+// conflict; under Config.LockStripes elements share the runtime's stripe
+// table, trading occasional false conflicts for a lock-metadata footprint
+// independent of array length.
 type Array[T any] struct {
 	cells []Var[T]
 }
 
 // NewArray returns an Array of n elements, each initialized to the zero
-// value of T.
+// value of T. Construction allocates the cell slice and one shared zero
+// box — published snapshots are immutable (Write buffers a fresh box and
+// commit swings the pointer), so every element can alias the same initial
+// *T. The old per-element apply closure (n func(any) allocations) is gone
+// with the boxed protocol.
 func NewArray[T any](n int) *Array[T] {
 	a := &Array[T]{cells: make([]Var[T], n)}
+	var zero T
+	zp := unsafe.Pointer(&zero)
 	for i := range a.cells {
-		v := &a.cells[i]
-		var zero T
-		v.p.Store(&zero)
-		v.b.apply = func(boxed any) { v.p.Store(boxed.(*T)) }
+		a.cells[i].b.storePtr(zp)
 	}
 	return a
 }

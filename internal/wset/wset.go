@@ -29,6 +29,8 @@
 // concurrent use, exactly like the Tx that embeds it.
 package wset
 
+import "unsafe"
+
 // InlineSize is the number of entries the inline fast path holds before the
 // set spills to a heap-backed slice. Eight covers the write sets of the
 // STAMP ports' common transactions (counters, two-account transfers,
@@ -41,16 +43,19 @@ const InlineSize = 8
 const maxRetainedCap = 1024
 
 // Entry is one buffered write: the location (Key, with its address addr as
-// the sort key), the boxed redo value, and the engine's lock bookkeeping
+// the sort key), the raw redo pointer, and the engine's lock bookkeeping
 // for the location.
 type Entry[K comparable] struct {
 	addr uintptr
 	// Key is the written location.
 	Key K
-	// Val is the engine's boxed redo value (*T in an any). The box is
+	// Val is the engine's redo box as a raw pointer (a *T the generic
+	// entry points publish without an interface conversion). The box is
 	// private to the transaction until commit publishes it, so engines
-	// update it in place on rewrites instead of boxing again.
-	Val any
+	// update it in place on rewrites instead of boxing again. Typed as
+	// unsafe.Pointer (not any) so the hot path moves one word with no
+	// interface header and no type assertion.
+	Val unsafe.Pointer
 	// Pre is the location's pre-lock word, valid while Locked (tl2's abort
 	// path restores it; libtm leaves it zero).
 	Pre uint64

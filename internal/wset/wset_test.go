@@ -19,6 +19,15 @@ func keyPool(n int) []*int {
 
 func addrOf(k *int) uintptr { return uintptr(unsafe.Pointer(k)) }
 
+// boxInt heap-boxes val the way the engines box redo values: Entry.Val
+// carries a raw *T pointer, not an interface.
+func boxInt(val int) unsafe.Pointer {
+	v := val
+	return unsafe.Pointer(&v)
+}
+
+func unboxInt(p unsafe.Pointer) int { return *(*int)(p) }
+
 func TestInsertKeepsEntriesSortedByAddress(t *testing.T) {
 	keys := keyPool(64)
 	rand.New(rand.NewSource(1)).Shuffle(len(keys), func(i, j int) {
@@ -27,7 +36,7 @@ func TestInsertKeepsEntriesSortedByAddress(t *testing.T) {
 	var s Set[*int]
 	for i, k := range keys {
 		e, _ := s.Insert(k, addrOf(k))
-		e.Val = i
+		e.Val = boxInt(i)
 	}
 	ents := s.Entries()
 	if len(ents) != len(keys) {
@@ -45,12 +54,12 @@ func TestInsertExistingReturnsSameEntry(t *testing.T) {
 	if spilled {
 		t.Fatal("first insert reported a spill")
 	}
-	e.Val = 7
+	e.Val = boxInt(7)
 	again, spilled := s.Insert(keys[0], addrOf(keys[0]))
 	if spilled {
 		t.Fatal("duplicate insert reported a spill")
 	}
-	if again.Val != 7 {
+	if again.Val == nil || unboxInt(again.Val) != 7 {
 		t.Fatalf("duplicate insert returned a fresh entry (Val=%v)", again.Val)
 	}
 	if s.Len() != 1 {
@@ -81,7 +90,7 @@ func TestResetDropsEntriesAndFilter(t *testing.T) {
 	var s Set[*int]
 	for _, k := range keys {
 		e, _ := s.Insert(k, addrOf(k))
-		e.Val = new(int)
+		e.Val = unsafe.Pointer(new(int))
 		e.Pre = 5
 		e.Locked = true
 	}
@@ -165,12 +174,12 @@ func FuzzSetVsMapOracle(f *testing.F) {
 			addr := addrOf(k)
 			op, val := data[i+1]%4, int(data[i+1])
 			switch op {
-			case 0, 1: // write: insert-or-update, like writes[b] = val
+			case 0, 1: // write: in-place rewrite or insert, like the engines
 				if e, _ := s.Lookup(addr); e != nil {
-					e.Val = val
+					*(*int)(e.Val) = val
 				} else {
 					e, _ := s.Insert(k, addr)
-					e.Val = val
+					e.Val = boxInt(val)
 				}
 				oracle[k] = val
 			case 2: // read-after-write lookup
@@ -179,8 +188,8 @@ func FuzzSetVsMapOracle(f *testing.F) {
 				if (e != nil) != ok {
 					t.Fatalf("Lookup presence = %v, oracle = %v", e != nil, ok)
 				}
-				if ok && e.Val.(int) != want {
-					t.Fatalf("Lookup value = %v, oracle = %d", e.Val, want)
+				if ok && unboxInt(e.Val) != want {
+					t.Fatalf("Lookup value = %v, oracle = %d", unboxInt(e.Val), want)
 				}
 				if fp && ok {
 					t.Fatal("Lookup reported false positive for a present key")
@@ -211,8 +220,8 @@ func FuzzSetVsMapOracle(f *testing.F) {
 			if !ok {
 				t.Fatalf("entry for key not in oracle")
 			}
-			if ents[i].Val.(int) != want {
-				t.Fatalf("entry value %v, oracle %d", ents[i].Val, want)
+			if unboxInt(ents[i].Val) != want {
+				t.Fatalf("entry value %v, oracle %d", unboxInt(ents[i].Val), want)
 			}
 		}
 	})

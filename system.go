@@ -45,6 +45,16 @@ type Config struct {
 	// another system. The shard router sets this so unrelated transactions
 	// stop contending on one clock cache line.
 	PrivateClock bool
+
+	// LockStripes, when positive, selects the striped lock-table engine
+	// mode: versioned write-locks live in a fixed cache-line-padded table
+	// of that many stripes (rounded up to a power of two) instead of one
+	// lock word per location, so Array elements and data-structure nodes
+	// share lock metadata. Locations hashing to one stripe conflict
+	// falsely but never unsafely. Vars used under a striped system must be
+	// used exclusively by it (the same ownership contract as
+	// PrivateClock). Zero keeps per-location locks.
+	LockStripes int
 }
 
 // WatchdogOptions configures the guidance watchdog (see
@@ -104,6 +114,7 @@ func NewSystem(cfg Config) *System {
 		EagerWriteLock: cfg.EagerWriteLock,
 		Label:          cfg.Label,
 		PrivateClock:   cfg.PrivateClock,
+		LockStripes:    cfg.LockStripes,
 	})
 	return &System{cfg: cfg, rt: rt}
 }
