@@ -1,6 +1,10 @@
 // Typed hot-path microbenchmarks and allocation gates for the unboxed
 // slot protocol and the striped lock table. Paired with BENCH_speed.json,
 // the committed boxed-vs-unboxed sweep (cmd/gstm-loadgen -speed-bench).
+//
+// exactly what these benchmarks exist to measure against.
+//
+//lint:file-ignore SA1019 the boxed protocol is deprecated API-wise but is
 package gstm_test
 
 import (

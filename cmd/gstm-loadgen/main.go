@@ -46,6 +46,7 @@ func main() {
 		verify   = flag.String("verify-ledger", "", "check a recovered server against a ledger file: acked <= value <= acked+inflight for every key")
 		out      = flag.String("out", "", "write the report as JSON to this file (BENCH_server.json / BENCH_shard.json / BENCH_wal.json)")
 		trace    = flag.Bool("trace", false, "set the protocol trace-request bit on every op (server retains a span per op on /debug/trace)")
+		subs     = flag.Int("subscribers", 0, "long-poll watch connections riding alongside the load (each chains OpWatch on one hot key; wakeups reported as sub_wakeups)")
 		traceTab = flag.String("trace-addr", "", "server telemetry address (host:port): scrape /debug/trace?format=agg around the run and print the per-shard per-phase tail-attribution table")
 	)
 	flag.Parse()
@@ -83,18 +84,19 @@ func main() {
 	}
 
 	load := server.LoadConfig{
-		Addr:       *addr,
-		Conns:      *conns,
-		Duration:   *duration,
-		OpsPerConn: *opsPer,
-		Keys:       *keys,
-		Skew:       *skew,
-		GetPct:     *getPct,
-		PutPct:     *putPct,
-		DelPct:     *delPct,
-		Seed:       *seed,
-		Window:     *window,
-		Trace:      *trace,
+		Addr:        *addr,
+		Conns:       *conns,
+		Duration:    *duration,
+		OpsPerConn:  *opsPer,
+		Keys:        *keys,
+		Skew:        *skew,
+		GetPct:      *getPct,
+		PutPct:      *putPct,
+		DelPct:      *delPct,
+		Seed:        *seed,
+		Window:      *window,
+		Trace:       *trace,
+		Subscribers: *subs,
 	}
 
 	// Tail attribution: scrape the observatory's aggregation before the
@@ -147,6 +149,10 @@ func main() {
 		if len(st.ShardOps) > 0 {
 			fmt.Printf("spread: conns %.2f%%  shards %.2f%%  per-shard ops %v\n",
 				st.ConnSpreadPct, st.ShardSpreadPct, st.ShardOps)
+		}
+		if load.Subscribers > 0 {
+			fmt.Printf("subscribers: %d long-poll watchers, %d wakeups\n",
+				load.Subscribers, st.SubWakeups)
 		}
 		printTail()
 		if st.Ops == 0 {

@@ -24,6 +24,14 @@ var ErrRetryBudgetExhausted = retry.ErrBudgetExceeded
 // the same error. No locks remain held and no writes were published.
 var ErrCanceled = retry.ErrCanceled
 
+// ErrWouldBlock is returned by Run when the transaction body called
+// tx.Retry (directly or via Select) and blocking was not enabled for the
+// call (no WithBlocking option), or when it retried with an empty read set
+// — a transaction that read nothing can never be woken, so parking it
+// would sleep forever. No partial effects are visible; enable WithBlocking
+// or handle the sentinel as "not ready yet".
+var ErrWouldBlock = retry.ErrWouldBlock
+
 // ErrGuidanceRejected is returned by EnableGuidance when the model fails
 // the analyzer's validation (not enough bias to guide — the paper's
 // "unguidable" verdict) and ForceGuidance is not used. The returned error

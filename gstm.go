@@ -35,7 +35,13 @@
 // Shared state lives in Var[T] and Array[T] cells accessed with Read and
 // Write inside a Run block. Each Run call names its worker thread and its
 // static transaction site — the paper's TM_BEGIN(ID) — and takes options
-// (ReadOnly, MaxAttempts) plus an optional context for cancellation.
+// (WithReadOnly, WithMaxAttempts, WithBlocking) plus an optional context
+// for cancellation.
+//
+// Blocking transactions compose in the classic STM style: a body that
+// finds the state unusable calls tx.Retry(), Select races alternatives,
+// Compose chains them, and WithBlocking parks the goroutine until a commit
+// changes something the attempt read (see README "Blocking transactions").
 package gstm
 
 import (
@@ -105,6 +111,25 @@ func ReadAt[T any](tx *Tx, a *Array[T], i int) T { return tl2.ReadAt(tx, a, i) }
 
 // WriteAt is Write on an Array element.
 func WriteAt[T any](tx *Tx, a *Array[T], i int, val T) { tl2.WriteAt(tx, a, i, val) }
+
+// Select returns a transaction function that races alternatives: each fn
+// is tried in order and the first that does not call tx.Retry decides the
+// transaction (its error included). When every alternative retries, the
+// combined function retries — under WithBlocking the transaction then
+// parks on the union of everything the alternatives read, so a commit
+// enabling any one of them wakes it; without blocking Run returns
+// ErrWouldBlock.
+//
+// Matching the classic orElse semantics (and the anacrolix/stm surface
+// this mirrors), a retrying alternative's buffered writes are not rolled
+// back: alternatives should check their guard and Retry before writing.
+func Select(fns ...func(*Tx) error) func(*Tx) error { return tl2.Select(fns...) }
+
+// Compose returns a transaction function chaining fns into one atomic
+// unit: each runs in order, a non-nil error stops the chain, and a
+// tx.Retry in any of them blocks (or ErrWouldBlock's) the whole
+// composition.
+func Compose(fns ...func(*Tx) error) func(*Tx) error { return tl2.Compose(fns...) }
 
 // BuildModel runs the paper's Algorithm 1 over profiled traces, producing
 // the Thread State Automaton for a workload trained at the given thread

@@ -282,13 +282,18 @@ func backoff(attempt int) {
 	}
 }
 
-// runBody executes fn, converting a conflict panic into a result while
-// letting other panics propagate.
+// runBody executes fn, converting a conflict panic into a result and a
+// Retry into ErrBlockingUnsupported (ending the call, not the attempt),
+// while letting other panics propagate.
 func runBody(tx *Tx, fn func(*Tx) error) (err error, c *conflict) {
 	defer func() {
 		if r := recover(); r != nil {
 			if cc, ok := r.(*conflict); ok {
 				c = cc
+				return
+			}
+			if _, ok := r.(retrySignal); ok {
+				err = ErrBlockingUnsupported
 				return
 			}
 			panic(r)

@@ -1,6 +1,7 @@
 package libtm
 
 import (
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"unsafe"
@@ -108,6 +109,26 @@ func (tx *Tx) maybeYield() {
 
 func (tx *Tx) abort(c *conflict) {
 	panic(c)
+}
+
+// ErrBlockingUnsupported is returned by a Run whose body called Retry:
+// LibTM's visible-reader protocol has no per-location waiter lists, so the
+// engine cannot park a transaction on its read set the way tl2 does. The
+// sentinel is typed so callers sharing transaction bodies across engines
+// can detect the capability gap with errors.Is instead of blocking forever
+// or silently spinning.
+var ErrBlockingUnsupported = errors.New("libtm: blocking (tx.Retry) is not supported by this engine")
+
+// retrySignal is panicked by Retry and converted by runBody into
+// ErrBlockingUnsupported.
+type retrySignal struct{}
+
+// Retry mirrors the tl2 composable-blocking primitive's signature so
+// transaction bodies stay engine-portable, but LibTM does not implement
+// parking: the enclosing Run returns ErrBlockingUnsupported. Writes
+// buffered before Retry are discarded with the attempt.
+func (tx *Tx) Retry() {
+	panic(retrySignal{})
 }
 
 // checkDoomed aborts the attempt when a committing writer has doomed it.

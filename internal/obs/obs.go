@@ -51,6 +51,11 @@ const (
 	CauseCanceled
 	// CauseSpurious: a fault injector forced the abort (chaos tests).
 	CauseSpurious
+	// CauseWakeup: a blocking transaction's park ended because a commit
+	// published a new version of a location it had read (tx.Retry). Stamped
+	// on the park event of the span timeline, not on an abort — a wakeup is
+	// the park succeeding, not the attempt failing.
+	CauseWakeup
 
 	NumCauses
 )
@@ -65,6 +70,7 @@ var causeNames = [NumCauses]string{
 	"wal-unavailable",
 	"canceled",
 	"spurious",
+	"wakeup",
 }
 
 func (c Cause) String() string {
@@ -100,6 +106,11 @@ const (
 	// PhaseWALAck: waiting for the write-ahead log to acknowledge the
 	// commit record per the durability mode.
 	PhaseWALAck
+	// PhasePark: a blocking transaction (tx.Retry under WithBlocking) parked
+	// on its read set, waiting for a commit to change something it read. The
+	// event's Cause is CauseWakeup when a commit woke it, CauseCanceled when
+	// the park context ended first.
+	PhasePark
 
 	NumPhases
 )
@@ -113,6 +124,7 @@ var phaseNames = [NumPhases]string{
 	"validate",
 	"publish",
 	"walack",
+	"park",
 }
 
 func (p Phase) String() string {

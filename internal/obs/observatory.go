@@ -58,12 +58,16 @@ func (c Config) normalize() Config {
 	return c
 }
 
-// ring is one worker's sampled-span retention. The worker is the only
-// writer; the mutex exists for scrapers (a snapshot copies the slots out
-// under it), so the lock is all but uncontended on the record path.
+// ring is one worker's sampled-span retention. The worker is usually the
+// only writer — the mutex exists for scrapers (a snapshot copies the
+// slots out under it), so the lock is all but uncontended on the record
+// path — but two rings are genuinely shared: the forced ring (any worker
+// with a trace-bit span) and the watch thread's ring (every parked watch
+// goroutine collects under ThreadID Workers+1). The tick is therefore an
+// atomic add, and slot writes are already serialized by mu.
 type ring struct {
 	mu    sync.Mutex
-	tick  uint64 // local sample countdown, single writer
+	tick  atomic.Uint64 // sample countdown; atomic for the shared rings
 	slots []Span
 	next  int
 	full  bool
@@ -71,8 +75,7 @@ type ring struct {
 }
 
 func (r *ring) offer(sp *Span, every int) {
-	r.tick++
-	if r.tick%uint64(every) != 0 {
+	if r.tick.Add(1)%uint64(every) != 0 {
 		return
 	}
 	r.mu.Lock()

@@ -19,6 +19,13 @@ import (
 // safely retried with a fresh budget.
 var ErrBudgetExceeded = errors.New("stm: transaction retry budget exceeded")
 
+// ErrWouldBlock marks a transaction whose body called Retry (the
+// composable-blocking primitive) while blocking was not enabled for the
+// call, or while its read set was empty so no commit could ever wake it.
+// Like the other sentinels it is a policy outcome: no partial effects are
+// visible. The public gstm package re-exports it as gstm.ErrWouldBlock.
+var ErrWouldBlock = errors.New("stm: transaction would block")
+
 // ErrCanceled marks a transaction abandoned because its context was
 // canceled or its deadline passed. Both engines wrap the context's own
 // error with it, so errors.Is matches this sentinel as well as

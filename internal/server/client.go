@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+
+	"gstm"
 )
 
 // Client is a synchronous protocol client: one outstanding request per
@@ -116,6 +118,38 @@ func (c *Client) Del(key uint64) (bool, error) {
 		return false, nil
 	default:
 		return false, fmt.Errorf("server: del status %d", st)
+	}
+}
+
+// Watch long-polls key until its value differs from last (or the key
+// appears when last is its current absence), returning the new value. The
+// call blocks on the wire for as long as the server keeps the watch
+// parked — use one Client per concurrent watch. gstm.ErrWouldBlock is
+// returned when the server refuses to park (it is draining); the caller
+// may poll or retry elsewhere. A server shutting down mid-park surfaces
+// as an error wrapping StatusShutdown.
+func (c *Client) Watch(key, last uint64) (uint64, error) {
+	return c.longPoll(OpWatch, key, last)
+}
+
+// WaitKey blocks until key exists, returning its value (immediately when
+// already present). Same drain semantics as Watch.
+func (c *Client) WaitKey(key uint64) (uint64, error) {
+	return c.longPoll(OpWaitKey, key, 0)
+}
+
+func (c *Client) longPoll(op Op, key, arg uint64) (uint64, error) {
+	st, v, err := c.Do(op, key, arg)
+	if err != nil {
+		return 0, err
+	}
+	switch st {
+	case StatusOK:
+		return v, nil
+	case StatusWouldBlock:
+		return 0, gstm.ErrWouldBlock
+	default:
+		return 0, fmt.Errorf("server: watch status %d", st)
 	}
 }
 

@@ -138,7 +138,7 @@ func (s *Server) replayShard(sh int, rec *wal.Recovery) error {
 		live = 0
 		st.RangeAll(tx, func(int64, uint64) bool { live++; return true })
 		return nil
-	}, gstm.ReadOnly())
+	}, gstm.WithReadOnly())
 	if err != nil {
 		return err
 	}
@@ -178,7 +178,7 @@ func (ss *shardSource) Scan() (keys, vals []uint64, err error) {
 			return true
 		})
 		return nil
-	}, gstm.ReadOnly(), gstm.MaxAttempts(scanAttempts))
+	}, gstm.WithReadOnly(), gstm.WithMaxAttempts(scanAttempts))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -13,6 +13,8 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(AppendRequest(nil, Request{Op: OpGet, ID: 1, Key: 42})[4:])
 	f.Add(AppendRequest(nil, Request{Op: OpPut, ID: 0xFFFFFFFF, Key: ^uint64(0), Arg: 7})[4:])
 	f.Add(AppendRequest(nil, Request{Op: OpCtl, ID: 3, Key: uint64(CtlModeAuto), Arg: 512})[4:])
+	f.Add(AppendRequest(nil, Request{Op: OpWatch, ID: 9, Key: 17, Arg: 3, Trace: true})[4:])
+	f.Add(AppendRequest(nil, Request{Op: OpWaitKey, ID: 10, Key: 99})[4:])
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, reqPayloadLen))
 	f.Add(bytes.Repeat([]byte{0x00}, reqPayloadLen+1))
@@ -25,7 +27,7 @@ func FuzzDecodeRequest(f *testing.F) {
 		if len(payload) != reqPayloadLen {
 			t.Fatalf("accepted %d-byte payload, want exactly %d", len(payload), reqPayloadLen)
 		}
-		if req.Op < OpGet || req.Op > OpInfo {
+		if req.Op < OpGet || req.Op > OpWaitKey {
 			t.Fatalf("accepted invalid op %d", req.Op)
 		}
 		frame := AppendRequest(nil, req)

@@ -48,6 +48,14 @@ type LoadConfig struct {
 	// forcing the server's variance observatory to retain a span for each
 	// (the /debug/trace "forced" ring) regardless of its sampling rate.
 	Trace bool
+	// Subscribers adds that many long-poll connections alongside the load:
+	// each picks one key from the skewed distribution and chains OpWatch
+	// requests on it (last-seen value as the argument), so every response
+	// is a real change notification delivered by a parked transaction
+	// waking — the pub/sub pattern the blocking STM exists for. Their
+	// wakeup counts land in RunStats.SubWakeups; they issue no ops of
+	// their own and stop when the load connections finish.
+	Subscribers int
 }
 
 func (cfg LoadConfig) normalize() LoadConfig {
@@ -97,6 +105,10 @@ type RunStats struct {
 	// when LoadConfig.Shards > 0.
 	ShardOps       []uint64 `json:"shard_ops,omitempty"`
 	ShardSpreadPct float64  `json:"shard_spread_pct,omitempty"`
+	// SubWakeups counts change notifications delivered to the long-poll
+	// subscriber connections (LoadConfig.Subscribers): each is one parked
+	// watch transaction woken by a commit on its key.
+	SubWakeups uint64 `json:"sub_wakeups,omitempty"`
 }
 
 // RunLoad drives one run — fixed-work when OpsPerConn > 0, otherwise
@@ -106,8 +118,17 @@ func RunLoad(cfg LoadConfig) (RunStats, error) {
 	cfg = cfg.normalize()
 
 	outs := make([]connOut, cfg.Conns)
+	subOuts := make([]connOut, cfg.Subscribers)
 	start := make(chan struct{})
-	var wg sync.WaitGroup
+	done := make(chan struct{})
+	var wg, subWG sync.WaitGroup
+	for i := 0; i < cfg.Subscribers; i++ {
+		subWG.Add(1)
+		go func(i int) {
+			defer subWG.Done()
+			subConn(cfg, i, &subOuts[i], start, done)
+		}(i)
+	}
 	for i := 0; i < cfg.Conns; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -123,6 +144,8 @@ func RunLoad(cfg LoadConfig) (RunStats, error) {
 	t0 := time.Now()
 	wg.Wait()
 	elapsed := time.Since(t0)
+	close(done)
+	subWG.Wait()
 
 	var res RunStats
 	var all, took []float64
@@ -140,6 +163,12 @@ func RunLoad(cfg LoadConfig) (RunStats, error) {
 		for s, n := range outs[i].shardOps {
 			res.ShardOps[s] += n
 		}
+	}
+	for i := range subOuts {
+		if subOuts[i].err != nil {
+			return res, fmt.Errorf("subscriber %d: %w", i, subOuts[i].err)
+		}
+		res.SubWakeups += subOuts[i].ops
 	}
 	res.DurationS = elapsed.Seconds()
 	res.Throughput = float64(res.Ops) / elapsed.Seconds()
@@ -290,6 +319,43 @@ func pipeConn(cfg LoadConfig, i int, out *connOut, start <-chan struct{}) {
 	}
 	out.ops = uint64(recvd)
 	out.took = time.Since(begin).Seconds()
+}
+
+// subConn chains long-poll watches on one skew-drawn key until the load
+// connections finish. Each completed Watch is one real change delivery:
+// the server-side transaction parked on the key's cells and a writer's
+// commit woke it. The final park is broken by closing the connection —
+// the server-side watch stays parked until a later commit or shutdown
+// resolves it, which is the long-poll contract.
+func subConn(cfg LoadConfig, i int, out *connOut, start, done <-chan struct{}) {
+	cl, err := Dial(cfg.Addr)
+	if err != nil {
+		out.err = err
+		return
+	}
+	defer cl.Close()
+	cl.SetTrace(cfg.Trace)
+	go func() { <-done; cl.Close() }() // unblock a parked watch at run end
+	r := xrand.NewThread(cfg.Seed, 1<<20+i)
+	key := uint64(float64(cfg.Keys-1) * math.Pow(r.Float64(), cfg.Skew))
+	<-start
+	var last uint64
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		v, err := cl.Watch(key, last)
+		if err != nil {
+			// A wire error after done is the expected close; anything else
+			// (including a would-block refusal) just ends this subscriber —
+			// the load run's outcome should not hinge on watch timing.
+			return
+		}
+		last = v
+		out.ops++
+	}
 }
 
 // nextOp draws one operation from the configured mix and key skew.

@@ -37,6 +37,17 @@ const (
 	// OpInfo reads one server gauge: Key selects an InfoSelector; the
 	// response carries the value. Bypasses the STM.
 	OpInfo Op = 6
+	// OpWatch long-polls Key for a change: it blocks while the key is
+	// absent or its value equals Arg (the client's last-seen value), and
+	// responds with the new value once a commit changes it. Served by a
+	// blocking transaction parked on the key's cells — no server-side
+	// polling. During graceful drain a parked watch completes with
+	// StatusShutdown; a newly arriving one gets StatusWouldBlock.
+	OpWatch Op = 7
+	// OpWaitKey blocks until Key exists, responding with its value
+	// (immediately when already present). Arg is ignored. Same long-poll
+	// and drain semantics as OpWatch.
+	OpWaitKey Op = 8
 )
 
 // CtlCommand values travel in the Key field of an OpCtl request.
@@ -104,6 +115,11 @@ const (
 	// record. The mutation may or may not have executed in memory; it was
 	// never acked, so recovery makes no promise about it either way.
 	StatusUnavailable Status = 7
+	// StatusWouldBlock: the wire mapping of gstm.ErrWouldBlock — a watch
+	// (or other blocking op) could not park, e.g. because it arrived while
+	// the server was draining. The state is unchanged; the client may retry
+	// against another replica or poll.
+	StatusWouldBlock Status = 8
 )
 
 // Wire format: every frame is a 4-byte big-endian payload length followed
@@ -168,7 +184,7 @@ func DecodeRequest(buf []byte) (Request, error) {
 		Arg:   binary.BigEndian.Uint64(buf[13:21]),
 		Trace: buf[0]&TraceBit != 0,
 	}
-	if r.Op < OpGet || r.Op > OpInfo {
+	if r.Op < OpGet || r.Op > OpWaitKey {
 		return Request{}, fmt.Errorf("%w: %d", ErrBadOp, r.Op)
 	}
 	return r, nil

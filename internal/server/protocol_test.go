@@ -59,7 +59,7 @@ func TestDecodeRequestErrors(t *testing.T) {
 	if _, err := DecodeRequest(bad[4:]); !errors.Is(err, ErrBadOp) {
 		t.Fatalf("op 0: got %v, want ErrBadOp", err)
 	}
-	bad[4] = byte(OpInfo) + 1
+	bad[4] = byte(OpWaitKey) + 1
 	if _, err := DecodeRequest(bad[4:]); !errors.Is(err, ErrBadOp) {
 		t.Fatalf("op out of range: got %v, want ErrBadOp", err)
 	}

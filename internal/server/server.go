@@ -191,6 +191,14 @@ type Server struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
+	// watchCtx is the park context of every blocking watch transaction
+	// (OpWatch/OpWaitKey long-polls). watchCancel fires at the start of
+	// Shutdown and Crash — before inflight.Wait — so parked watches wake,
+	// answer StatusShutdown, and release their inflight slots; without it a
+	// drain would wait forever on a watch whose key never changes.
+	watchCtx    context.Context
+	watchCancel context.CancelFunc
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
@@ -227,11 +235,15 @@ func New(cfg Config) *Server {
 		stop:  make(chan struct{}),
 		conns: make(map[net.Conn]struct{}),
 		obs: obs.New(obs.Config{
-			Shards:      cfg.Shards,
-			Workers:     cfg.Workers,
+			Shards: cfg.Shards,
+			// Two rings beyond the worker pool: the WAL scan thread
+			// (Workers) and the watch thread (Workers+1), so long-poll spans
+			// land in their own ring instead of clamping into worker 0's.
+			Workers:     cfg.Workers + 2,
 			SampleEvery: cfg.TraceSampleEvery,
 		}),
 	}
+	s.watchCtx, s.watchCancel = context.WithCancel(context.Background())
 	if cfg.WALDir != "" {
 		s.acks = make(chan *ackItem, 8*cfg.Workers)
 		s.ackDone = make(chan struct{})
@@ -428,6 +440,23 @@ func (s *Server) serveConn(nc net.Conn) {
 		case OpCtl, OpInfo:
 			respBuf = AppendResponse(respBuf[:0], s.handleControl(req))
 			c.writeFrames(respBuf)
+		case OpWatch, OpWaitKey:
+			// Long-polls bypass the worker queue: each gets its own
+			// goroutine that parks inside a blocking transaction, so a
+			// thousand idle watches occupy zero workers. A watch arriving
+			// mid-drain is refused before it can park.
+			s.inflight.Add(1)
+			if s.draining.Load() {
+				s.inflight.Done()
+				respBuf = AppendResponse(respBuf[:0], Response{ID: req.ID, Status: StatusWouldBlock})
+				c.writeFrames(respBuf)
+				continue
+			}
+			s.wg.Add(1)
+			go func(req Request) {
+				defer s.wg.Done()
+				s.serveWatch(req, c)
+			}(req)
 		default:
 			s.inflight.Add(1)
 			if s.draining.Load() {
@@ -591,6 +620,9 @@ func (s *Server) RejectReason() string {
 // drain; on expiry remaining work is abandoned and ctx.Err() returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Wake every parked watch before waiting on inflight: a long-poll whose
+	// key never changes would otherwise hold the drain open forever.
+	s.watchCancel()
 	s.dropGauges()
 	_ = s.ln.Close()
 
@@ -655,6 +687,7 @@ func (s *Server) Close() error {
 // staged buffer. The store's in-memory state is discarded with the Server.
 func (s *Server) Crash() {
 	s.draining.Store(true)
+	s.watchCancel() // parked watch goroutines must exit before wg.Wait
 	s.dropGauges()
 	if s.ln != nil {
 		_ = s.ln.Close()

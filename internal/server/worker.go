@@ -26,6 +26,10 @@ const (
 	// run on the dedicated scan thread (ThreadID Workers), outside the
 	// worker pool, so its commits never touch a worker's staging slot.
 	siteScan
+	// siteWatch is the blocking long-poll site (OpWatch/OpWaitKey), run on
+	// the dedicated watch thread (ThreadID Workers+1) — any number of
+	// watches may be parked on it concurrently (see watch.go).
+	siteWatch
 )
 
 func site(op Op) gstm.TxnID {
@@ -106,7 +110,7 @@ func newWorker(s *Server, id int) *worker {
 	}
 	w.spanOpts = make([][]gstm.TxOption, s.cfg.Shards)
 	for sh := range w.spanOpts {
-		w.spanOpts[sh] = []gstm.TxOption{gstm.MaxAttempts(0), gstm.WithSpan(&w.spans[sh])}
+		w.spanOpts[sh] = []gstm.TxOption{gstm.WithMaxAttempts(0), gstm.WithSpan(&w.spans[sh])}
 	}
 	return w
 }
@@ -177,9 +181,9 @@ func (w *worker) execBatch() {
 	kind := w.batch[0].req.Op
 	w.plan.Build(len(w.batch), func(i int) uint64 { return w.batch[i].req.Key })
 	if kind == OpGet {
-		w.runOpts[0] = gstm.ReadOnly()
+		w.runOpts[0] = gstm.WithReadOnly()
 	} else {
-		w.runOpts[0] = gstm.MaxAttempts(s.cfg.MaxAttempts)
+		w.runOpts[0] = gstm.WithMaxAttempts(s.cfg.MaxAttempts)
 	}
 
 	// Open one span per touched shard before running: the decode and

@@ -220,7 +220,7 @@ func TestRouterPropertyVsOracle(t *testing.T) {
 		err := r.Run(nil, s, 0, 0, func(tx *gstm.Tx) error {
 			got = applyOp(tx, stores[s], op{kind: opGet, key: k})
 			return nil
-		}, gstm.ReadOnly())
+		}, gstm.WithReadOnly())
 		if err != nil {
 			t.Fatalf("final read key %d: %v", k, err)
 		}
@@ -325,7 +325,7 @@ func TestRouterConcurrentAdds(t *testing.T) {
 		if err := r.Run(nil, s, 0, 0, func(tx *gstm.Tx) error {
 			got = applyOp(tx, stores[s], op{kind: opGet, key: k})
 			return nil
-		}, gstm.ReadOnly()); err != nil {
+		}, gstm.WithReadOnly()); err != nil {
 			t.Fatalf("read key %d: %v", k, err)
 		}
 		if !got.ok || got.val != wv {

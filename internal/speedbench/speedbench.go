@@ -1,3 +1,6 @@
+//lint:file-ignore SA1019 the boxed protocol is deprecated API-wise but is
+// exactly what this sweep exists to measure against.
+
 // Package speedbench measures the per-access cost of the TL2 engine's
 // hot path: the retired any-boxed read/write protocol (kept alive as
 // tl2.BoxedVar for exactly this comparison) against the unboxed slot

@@ -1,0 +1,182 @@
+package stmds
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gstm/internal/tl2"
+	"gstm/internal/txid"
+)
+
+// TestSelectProducersConsumers is the blocking-composition property test
+// (run under -race in CI): N producers feed two queues, M consumers drain
+// them through a single Select — parking when both are empty, woken by
+// whichever enqueue commits first — and the union of everything consumed
+// must be exactly the multiset produced: nothing lost (a lost wakeup
+// would park a consumer forever and hang the drain), nothing duplicated,
+// and no deadlock (a watchdog bounds the whole run).
+//
+// The oracle is the produced multiset itself — the same check a channel
+// fan-in would give: every value sent is received exactly once.
+func TestSelectProducersConsumers(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 3
+		perProd   = 250
+		total     = producers * perProd
+		poison    = -1
+	)
+	rt := tl2.New(tl2.Config{})
+	qa, qb := NewQueue[int](), NewQueue[int]()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var consumed atomic.Int64
+		var mu sync.Mutex
+		var got []int
+
+		var consWG sync.WaitGroup
+		for c := 0; c < consumers; c++ {
+			consWG.Add(1)
+			go func(c int) {
+				defer consWG.Done()
+				thread := txid.ThreadID(producers + c)
+				var local []int
+				for {
+					var v int
+					sel := tl2.Select(
+						func(tx *tl2.Tx) error { v = qa.DequeueWait(tx); return nil },
+						func(tx *tl2.Tx) error { v = qb.DequeueWait(tx); return nil },
+					)
+					if err := rt.RunOpt(nil, thread, 0, sel, tl2.RunOpts{Block: true}); err != nil {
+						t.Errorf("consumer %d: %v", c, err)
+						return
+					}
+					if v == poison {
+						break
+					}
+					local = append(local, v)
+					consumed.Add(1)
+				}
+				mu.Lock()
+				got = append(got, local...)
+				mu.Unlock()
+			}(c)
+		}
+
+		var prodWG sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			prodWG.Add(1)
+			go func(p int) {
+				defer prodWG.Done()
+				thread := txid.ThreadID(p)
+				for i := 0; i < perProd; i++ {
+					val := p*perProd + i
+					q := qa
+					if i%2 == 1 {
+						q = qb
+					}
+					if err := rt.Atomic(thread, 1, func(tx *tl2.Tx) error {
+						q.Enqueue(tx, val)
+						return nil
+					}); err != nil {
+						t.Errorf("producer %d: %v", p, err)
+						return
+					}
+				}
+			}(p)
+		}
+		prodWG.Wait()
+
+		// Poison only after every real value is consumed, so no consumer
+		// can exit past items still sitting in the other queue.
+		for consumed.Load() < total {
+			time.Sleep(time.Millisecond)
+		}
+		for c := 0; c < consumers; c++ {
+			if err := rt.Atomic(txid.ThreadID(producers+consumers), 1, func(tx *tl2.Tx) error {
+				qa.Enqueue(tx, poison)
+				return nil
+			}); err != nil {
+				t.Errorf("poison: %v", err)
+				return
+			}
+		}
+		consWG.Wait()
+
+		sort.Ints(got)
+		if len(got) != total {
+			t.Errorf("consumed %d values, want %d", len(got), total)
+			return
+		}
+		for i, v := range got {
+			if v != i {
+				t.Errorf("consumed multiset diverges at %d: got %d", i, v)
+				return
+			}
+		}
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("producer/consumer run deadlocked (lost wakeup?)")
+	}
+}
+
+// TestDequeueWaitWouldBlock: without blocking enabled, DequeueWait on an
+// empty queue surfaces the sentinel instead of parking.
+func TestDequeueWaitWouldBlock(t *testing.T) {
+	rt := tl2.New(tl2.Config{})
+	q := NewQueue[int]()
+	err := rt.Atomic(0, 0, func(tx *tl2.Tx) error {
+		q.DequeueWait(tx)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("DequeueWait on empty queue succeeded without blocking mode")
+	}
+}
+
+// TestPopWaitWakesOnPush: a blocked PopWait parks on the heap cells and
+// wakes when a Push commits.
+func TestPopWaitWakesOnPush(t *testing.T) {
+	rt := tl2.New(tl2.Config{})
+	h := NewHeap[int](8, func(a, b int) bool { return a < b })
+	got := make(chan int, 1)
+	go func() {
+		var v int
+		if err := rt.RunOpt(nil, 0, 0, func(tx *tl2.Tx) error {
+			v = h.PopWait(tx)
+			return nil
+		}, tl2.RunOpts{Block: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		got <- v
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Telemetry().Snapshot().Parked == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("PopWait never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := rt.Atomic(1, 1, func(tx *tl2.Tx) error {
+		return h.Push(tx, 42)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("PopWait = %d, want 42", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PopWait did not wake on Push")
+	}
+}

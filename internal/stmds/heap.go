@@ -102,6 +102,18 @@ func (h *Heap[V]) Pop(tx *tl2.Tx) (v V, ok bool) {
 	return top, true
 }
 
+// PopWait removes and returns the minimum element, calling tx.Retry when
+// the heap is empty: under a blocking Run the goroutine parks on the heap
+// size cell until a Push commits; without blocking the Run returns
+// ErrWouldBlock.
+func (h *Heap[V]) PopWait(tx *tl2.Tx) V {
+	v, ok := h.Pop(tx)
+	if !ok {
+		tx.Retry()
+	}
+	return v
+}
+
 // Peek returns the minimum element without removing it.
 func (h *Heap[V]) Peek(tx *tl2.Tx) (v V, ok bool) {
 	if tl2.Read(tx, h.size) == 0 {

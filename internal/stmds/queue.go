@@ -55,6 +55,19 @@ func (q *Queue[V]) Dequeue(tx *tl2.Tx) (v V, ok bool) {
 	return h.val, true
 }
 
+// DequeueWait removes and returns the oldest element, calling tx.Retry
+// when the queue is empty: under a blocking Run the goroutine parks on the
+// queue head until an Enqueue commits; without blocking the Run returns
+// ErrWouldBlock. The wakeup is precise — the park registers on exactly the
+// cells this attempt read, so only commits touching this queue wake it.
+func (q *Queue[V]) DequeueWait(tx *tl2.Tx) V {
+	v, ok := q.Dequeue(tx)
+	if !ok {
+		tx.Retry()
+	}
+	return v
+}
+
 // Peek returns the oldest element without removing it.
 func (q *Queue[V]) Peek(tx *tl2.Tx) (v V, ok bool) {
 	h := tl2.Read(tx, q.head)

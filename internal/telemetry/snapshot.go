@@ -93,6 +93,7 @@ type Snapshot struct {
 	RetryBudgetExceeded uint64 `json:"tx_retry_budget_exceeded"`
 	ContextCanceled     uint64 `json:"tx_context_canceled"`
 	WALUnavailable      uint64 `json:"wal_unavailable"`
+	Parked              uint64 `json:"tx_parked"`
 
 	// AbortsByCause indexes by obs.Cause (length obs.NumCauses when set);
 	// obs.CauseName maps indexes to labels.
@@ -155,6 +156,7 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.RetryBudgetExceeded += o.RetryBudgetExceeded
 	s.ContextCanceled += o.ContextCanceled
 	s.WALUnavailable += o.WALUnavailable
+	s.Parked += o.Parked
 	if len(o.AbortsByCause) > 0 {
 		if len(s.AbortsByCause) < len(o.AbortsByCause) {
 			grown := make([]uint64, len(o.AbortsByCause))

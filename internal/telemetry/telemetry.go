@@ -88,6 +88,7 @@ type Metrics struct {
 	RetryBudgetExceeded Counter // transactions abandoned on a spent retry budget
 	ContextCanceled     Counter // transactions abandoned on ctx cancellation
 	WALUnavailable      Counter // operations refused because the shard's WAL is failed
+	Parked              Counter // blocking transactions parked on their read set (tx.Retry)
 
 	// AbortsByCause breaks Aborts down by the obs taxonomy (index =
 	// obs.Cause): the same labels the span tracer stamps on captured
@@ -261,6 +262,16 @@ func (m *Metrics) WALRefused(thread uint64) {
 	m.WALUnavailable.Inc(thread)
 }
 
+// TxParked records one blocking transaction parking on its read set after
+// tx.Retry: the goroutine is about to sleep until a commit wakes it (or its
+// park context ends).
+func (m *Metrics) TxParked(thread uint64) {
+	if m == nil {
+		return
+	}
+	m.Parked.Inc(thread)
+}
+
 // TxBudgetExceeded records a transaction abandoned on a spent retry budget.
 func (m *Metrics) TxBudgetExceeded(thread uint64) {
 	if m == nil {
@@ -374,6 +385,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		RetryBudgetExceeded:  m.RetryBudgetExceeded.Load(),
 		ContextCanceled:      m.ContextCanceled.Load(),
 		WALUnavailable:       m.WALUnavailable.Load(),
+		Parked:               m.Parked.Load(),
 		ClockCASFallbacks:    m.ClockCASFallbacks.Load(),
 		WriteSetSpills:       m.WriteSetSpills.Load(),
 		FilterFalsePositives: m.FilterFalsePositives.Load(),
@@ -431,7 +443,7 @@ func (m *Metrics) Reset() {
 	}
 	for _, c := range []*Counter{
 		&m.Commits, &m.Aborts, &m.RetryBudgetExceeded,
-		&m.ContextCanceled, &m.WALUnavailable, &m.ClockCASFallbacks,
+		&m.ContextCanceled, &m.WALUnavailable, &m.Parked, &m.ClockCASFallbacks,
 		&m.WriteSetSpills,
 		&m.FilterFalsePositives, &m.StripeCollisions,
 		&m.GatePassed, &m.GateHeld, &m.GateEscaped,

@@ -22,12 +22,18 @@ import (
 // BoxedVar is a transactional location accessed through the retired
 // any-boxed protocol. It carries the per-location apply closure the old
 // layout allocated, so footprint and indirection match the baseline.
+//
+// Deprecated: BoxedVar is a measurement baseline for the -speed-bench
+// sweep, not API. Use Var; the boxed protocol exists only so the unboxed
+// redesign's deltas stay reproducible in one binary.
 type BoxedVar[T any] struct {
 	v     Var[T]
 	apply func(boxed any) // retired publish hook, kept for layout fidelity
 }
 
 // NewBoxedVar returns a boxed-protocol location initialized to val.
+//
+// Deprecated: measurement baseline only; use NewVar.
 func NewBoxedVar[T any](val T) *BoxedVar[T] {
 	bv := &BoxedVar[T]{}
 	bv.v.b.storePtr(unsafe.Pointer(&val))
@@ -44,11 +50,16 @@ func (bv *BoxedVar[T]) Peek() T { return bv.v.Peek() }
 // BoxedArray is the boxed-protocol Array: one BoxedVar per element, each
 // with its own apply closure — exactly the N-closure construction cost
 // NewArray used to pay.
+//
+// Deprecated: BoxedArray is a measurement baseline for the -speed-bench
+// sweep, not API. Use Array.
 type BoxedArray[T any] struct {
 	cells []BoxedVar[T]
 }
 
 // NewBoxedArray returns a BoxedArray of n zero-valued elements.
+//
+// Deprecated: measurement baseline only; use NewArray.
 func NewBoxedArray[T any](n int) *BoxedArray[T] {
 	a := &BoxedArray[T]{cells: make([]BoxedVar[T], n)}
 	for i := range a.cells {
@@ -85,7 +96,7 @@ func (tx *Tx) readBoxed(b *base, load func() any) any {
 					tx.conflict(v, obs.CauseReadValidation)
 				}
 				val := load()
-				if !tx.readOnly {
+				if tx.trackReads {
 					tx.reads = append(tx.reads, b)
 				}
 				return val
@@ -104,7 +115,7 @@ func (tx *Tx) readBoxed(b *base, load func() any) any {
 		if v := wordVersion(w1); v > tx.rv {
 			tx.conflict(v, obs.CauseReadValidation)
 		}
-		if !tx.readOnly {
+		if tx.trackReads {
 			tx.reads = append(tx.reads, b)
 		}
 		return val

@@ -264,6 +264,37 @@ func (rt *Runtime) ResilienceStats() (budgetExceeded, canceled uint64) {
 	return rt.tel.RetryBudgetExceeded.Load(), rt.tel.ContextCanceled.Load()
 }
 
+// RunOpts bundles the per-call execution options of RunOpt, the options
+// form of Run. The zero value is a plain read-write, non-blocking,
+// unbounded, untraced transaction.
+type RunOpts struct {
+	// ReadOnly selects TL2's read-only fast path; a Write inside the body
+	// returns an error without retrying.
+	ReadOnly bool
+
+	// MaxAttempts > 0 bounds attempts without a context allocation,
+	// overriding any retry.WithBudget budget carried by ctx; <= 0 defers to
+	// the context budget (0 = unlimited).
+	MaxAttempts int
+
+	// Span, when non-nil, receives the variance-observatory timeline: gate
+	// waits, aborted attempts with causes, commit phases, and parks.
+	Span *obs.Span
+
+	// Block enables composable blocking: a tx.Retry parks the goroutine on
+	// the attempt's read set until a commit changes one of those locations,
+	// then the transaction re-runs. Without Block a Retry returns
+	// retry.ErrWouldBlock. Blocking forces read-set tracking even when
+	// ReadOnly is set.
+	Block bool
+
+	// BlockCtx, when non-nil, bounds parks separately from the run context:
+	// its cancellation or deadline ends a park (and the Run call) with
+	// retry.ErrCanceled wrapping the context's error. When nil, parks are
+	// bounded by the run ctx; with neither, a park waits indefinitely.
+	BlockCtx context.Context
+}
+
 // Atomic executes fn transactionally as transaction site txn on worker
 // thread. fn may be re-executed any number of times; it must not have side
 // effects outside transactional Reads/Writes. A non-nil error from fn
@@ -271,7 +302,7 @@ func (rt *Runtime) ResilienceStats() (budgetExceeded, canceled uint64) {
 //
 // Atomic must not be nested.
 func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.run(nil, thread, txn, fn, false, 0, nil)
+	return rt.run(nil, thread, txn, fn, RunOpts{})
 }
 
 // AtomicRO executes fn as a read-only transaction: TL2's fast path, which
@@ -279,7 +310,7 @@ func (rt *Runtime) Atomic(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) err
 // access time and a read-only commit validates nothing further. A Write
 // inside fn returns an error without retrying.
 func (rt *Runtime) AtomicRO(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.run(nil, thread, txn, fn, true, 0, nil)
+	return rt.run(nil, thread, txn, fn, RunOpts{ReadOnly: true})
 }
 
 // AtomicCtx is Atomic honoring ctx: cancellation or deadline expiry is
@@ -289,12 +320,12 @@ func (rt *Runtime) AtomicRO(thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) e
 // budgeted attempt aborts, AtomicCtx returns retry.ErrBudgetExceeded. In
 // both cases no locks remain held and no writes were published.
 func (rt *Runtime) AtomicCtx(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.run(ctx, thread, txn, fn, false, 0, nil)
+	return rt.run(ctx, thread, txn, fn, RunOpts{})
 }
 
 // AtomicROCtx is AtomicRO honoring ctx like AtomicCtx.
 func (rt *Runtime) AtomicROCtx(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error) error {
-	return rt.run(ctx, thread, txn, fn, true, 0, nil)
+	return rt.run(ctx, thread, txn, fn, RunOpts{ReadOnly: true})
 }
 
 // Run is the unified entrypoint behind gstm's System.Run: one code path
@@ -304,7 +335,7 @@ func (rt *Runtime) AtomicROCtx(ctx context.Context, thread txid.ThreadID, txn tx
 // allocation, overriding any retry.WithBudget budget carried by ctx;
 // maxAttempts <= 0 defers to the context budget (0 = unlimited).
 func (rt *Runtime) Run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, readOnly bool, maxAttempts int) error {
-	return rt.run(ctx, thread, txn, fn, readOnly, maxAttempts, nil)
+	return rt.run(ctx, thread, txn, fn, RunOpts{ReadOnly: readOnly, MaxAttempts: maxAttempts})
 }
 
 // RunSpan is Run with a variance-observatory span attached: gate waits,
@@ -312,10 +343,17 @@ func (rt *Runtime) Run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID
 // lock/validate/publish phases are recorded into span's timeline. span may
 // be nil, in which case RunSpan is exactly Run.
 func (rt *Runtime) RunSpan(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, readOnly bool, maxAttempts int, span *obs.Span) error {
-	return rt.run(ctx, thread, txn, fn, readOnly, maxAttempts, span)
+	return rt.run(ctx, thread, txn, fn, RunOpts{ReadOnly: readOnly, MaxAttempts: maxAttempts, Span: span})
 }
 
-func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, readOnly bool, maxAttempts int, span *obs.Span) error {
+// RunOpt is Run taking the full options struct — the entrypoint gstm's
+// System.Run uses, and the only one exposing blocking mode.
+func (rt *Runtime) RunOpt(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, o RunOpts) error {
+	return rt.run(ctx, thread, txn, fn, o)
+}
+
+func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID, fn func(*Tx) error, o RunOpts) error {
+	readOnly, maxAttempts, span := o.ReadOnly, o.MaxAttempts, o.Span
 	self := txid.Pair{Txn: txn, Thread: thread}
 	tx := rt.pool.Get().(*Tx)
 	defer func() {
@@ -358,7 +396,7 @@ func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID
 			}
 		}
 		sampled := rt.tel.TxStart(shard)
-		tx.reset(rt, self, attempt, readOnly)
+		tx.reset(rt, self, attempt, readOnly, o.Block)
 		tx.measure = sampled
 		tx.span = span
 		span.NoteAttempt()
@@ -368,7 +406,33 @@ func (rt *Runtime) run(ctx context.Context, thread txid.ThreadID, txn txid.TxnID
 		// backoff gaps fold into the retry event that caused them.
 		attStart := span.LastEndNs()
 
-		err, conflict := runBody(tx, fn)
+		err, conflict, retried := runBody(tx, fn)
+		if retried {
+			// The body called Retry: the attempt is abandoned (not an abort
+			// — the state simply wasn't usable yet).
+			tx.releaseLocks(0) // eager mode may hold encounter-time locks
+			if !o.Block {
+				return retry.ErrWouldBlock
+			}
+			parkCtx := o.BlockCtx
+			if parkCtx == nil {
+				parkCtx = ctx
+			}
+			parked, perr := tx.parkOnReads(parkCtx)
+			if perr != nil {
+				if perr == retry.ErrWouldBlock {
+					// Empty read set: no commit could ever wake us.
+					return perr
+				}
+				span.AddSinceNs(obs.PhasePark, obs.CauseCanceled, attempt+1, attStart)
+				rt.tel.TxCanceled(shard)
+				return fmt.Errorf("%w: %w", retry.ErrCanceled, perr)
+			}
+			if parked {
+				span.AddSinceNs(obs.PhasePark, obs.CauseWakeup, attempt+1, attStart)
+			}
+			continue
+		}
 		if conflict != nil {
 			tx.releaseLocks(0) // eager mode may hold encounter-time locks
 			span.AddSinceNs(obs.PhaseRetry, conflict.cause, attempt+1, attStart)
@@ -483,12 +547,17 @@ func backoff(attempt int) {
 }
 
 // runBody executes fn, converting a conflictSignal panic into a conflict
-// result while letting every other panic propagate.
-func runBody(tx *Tx, fn func(*Tx) error) (err error, conflict *conflictSignal) {
+// result and a retrySignal (tx.Retry) into the retried flag, while letting
+// every other panic propagate.
+func runBody(tx *Tx, fn func(*Tx) error) (err error, conflict *conflictSignal, retried bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if c, ok := r.(*conflictSignal); ok {
 				conflict = c
+				return
+			}
+			if _, ok := r.(retrySignal); ok {
+				retried = true
 				return
 			}
 			if e, ok := r.(errWriteInReadOnly); ok {
@@ -498,5 +567,5 @@ func runBody(tx *Tx, fn func(*Tx) error) (err error, conflict *conflictSignal) {
 			panic(r)
 		}
 	}()
-	return fn(tx), nil
+	return fn(tx), nil, false
 }

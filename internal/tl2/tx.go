@@ -44,6 +44,17 @@ type Tx struct {
 	ops      int
 	readOnly bool
 
+	// trackReads records read bases into tx.reads. True for every
+	// read-write transaction (commit-time validation needs the read set)
+	// and, independently of readOnly, for blockable transactions: a park
+	// registers waiters on exactly the bases the attempt read, so the
+	// blocking mode of a Run call forces read tracking even on the
+	// read-only fast path.
+	trackReads bool
+
+	// parkW is the reusable wakeup record for blocking parks (waiters.go).
+	parkW parkWaiter
+
 	// Striped-mode lock bookkeeping: every stripeRef in stripes is a
 	// stripe lock this attempt currently holds (appended only after a
 	// successful CAS); stripePlan is the reusable scratch list of stripes
@@ -76,10 +87,11 @@ func (errWriteInReadOnly) Error() string {
 	return "tl2: Write inside a read-only transaction"
 }
 
-func (tx *Tx) reset(rt *Runtime, self txid.Pair, attempt int, readOnly bool) {
+func (tx *Tx) reset(rt *Runtime, self txid.Pair, attempt int, readOnly, blockable bool) {
 	tx.rt = rt
 	tx.self = self
 	tx.readOnly = readOnly
+	tx.trackReads = !readOnly || blockable
 	tx.rv = rt.clk().now()
 	tx.reads = tx.reads[:0]
 	tx.ws.Reset()
@@ -172,7 +184,7 @@ func (tx *Tx) readBase(b *base) unsafe.Pointer {
 					tx.conflict(v, obs.CauseReadValidation)
 				}
 				p := b.loadPtr()
-				if !tx.readOnly {
+				if tx.trackReads {
 					tx.reads = append(tx.reads, b)
 				}
 				return p
@@ -197,8 +209,10 @@ func (tx *Tx) readBase(b *base) unsafe.Pointer {
 		}
 		// TL2's read-only fast path: reads are fully validated here
 		// against rv, and a read-only commit performs no further
-		// validation, so the read set need not be recorded at all.
-		if !tx.readOnly {
+		// validation, so the read set need not be recorded at all —
+		// unless the call is blockable, in which case a park needs to
+		// know what was read.
+		if tx.trackReads {
 			tx.reads = append(tx.reads, b)
 		}
 		return p
@@ -592,6 +606,16 @@ func (tx *Tx) commit(traced bool) (wv uint64, byWV uint64, cause obs.Cause, ok b
 	tx.releaseLocks(wv)
 	if spanned {
 		tx.span.AddSinceNs(obs.PhasePublish, obs.CauseNone, att, mark.UnixNano())
+	}
+	// Wake transactions parked on any written location (waiters.go). The
+	// versions published above are already observable, so a parker that
+	// registers after the detach below re-validates against them and never
+	// sleeps through this commit. On the non-blocking fast path this is one
+	// atomic nil-load per written location and nothing else.
+	for i := range ents {
+		if b := ents[i].Key; b.wtrs.Load() != nil {
+			b.wakeWaiters()
+		}
 	}
 	return wv, 0, obs.CauseNone, true
 }

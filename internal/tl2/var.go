@@ -38,6 +38,14 @@ type lockSlot struct {
 type base struct {
 	lk   lockSlot
 	slot unsafe.Pointer // the current *T snapshot, loaded/stored atomically
+
+	// wtrs heads the Treiber stack of transactions parked on this location
+	// (tx.Retry under blocking mode; see waiters.go). The commit publish
+	// path checks it with one atomic load per written location and wakes the
+	// whole stack when it installs a new version — per-base wakeups instead
+	// of a global broadcast. nil whenever nothing is parked here, which is
+	// the permanent state of every location non-blocking workloads touch.
+	wtrs atomic.Pointer[waiterNode]
 }
 
 // loadPtr atomically loads the published value snapshot.

@@ -4,35 +4,54 @@ import (
 	"context"
 
 	"gstm/internal/obs"
+	"gstm/internal/tl2"
 )
 
 // TxOption configures one Run call. Options are plain values; building a
 // []TxOption once and reusing it across calls is fine and allocation-free
 // when passed as a pre-built slice.
+//
+// All constructors follow the With* naming convention (WithReadOnly,
+// WithMaxAttempts, WithSpan, WithBlocking, WithNoBlock); the pre-v1 names
+// ReadOnly and MaxAttempts remain as deprecated aliases.
 type TxOption func(*txSettings)
 
 type txSettings struct {
 	readOnly    bool
 	maxAttempts int
 	span        *obs.Span
+	block       bool
+	blockCtx    context.Context
 }
 
-// ReadOnly selects TL2's read-only fast path: no read-set bookkeeping,
+// WithReadOnly selects TL2's read-only fast path: no read-set bookkeeping,
 // because access-time validation already covers a transaction that writes
 // nothing. A Write inside the body returns an error without retrying.
-func ReadOnly() TxOption {
+// (Combined with WithBlocking, reads are tracked after all — a park needs
+// to know what was read — but the commit stays validation-free.)
+func WithReadOnly() TxOption {
 	return func(s *txSettings) { s.readOnly = true }
 }
 
-// MaxAttempts bounds the attempts one Run call may make: n allows the
+// ReadOnly selects the read-only fast path.
+//
+// Deprecated: use WithReadOnly, the With*-aligned name.
+func ReadOnly() TxOption { return WithReadOnly() }
+
+// WithMaxAttempts bounds the attempts one Run call may make: n allows the
 // initial attempt plus n-1 retries; when the last allowed attempt aborts
 // on a conflict Run returns ErrRetryBudgetExhausted. n <= 0 means
 // unlimited (the classic STM contract). It subsumes WithRetryBudget
 // without the context allocation, and overrides a context-carried budget
 // when both are present.
-func MaxAttempts(n int) TxOption {
+func WithMaxAttempts(n int) TxOption {
 	return func(s *txSettings) { s.maxAttempts = n }
 }
+
+// MaxAttempts bounds the attempts one Run call may make.
+//
+// Deprecated: use WithMaxAttempts, the With*-aligned name.
+func MaxAttempts(n int) TxOption { return WithMaxAttempts(n) }
 
 // WithSpan attaches a variance-observatory span to the Run call: gate
 // waits, every aborted attempt (with its taxonomy cause) and the commit
@@ -43,6 +62,35 @@ func MaxAttempts(n int) TxOption {
 // nothing.
 func WithSpan(sp *Span) TxOption {
 	return func(s *txSettings) { s.span = sp }
+}
+
+// WithBlocking enables composable blocking for the Run call: when the
+// transaction body calls tx.Retry (directly, or because every Select
+// alternative retried), the goroutine parks on the locations the attempt
+// read and the transaction re-runs when a concurrent commit changes one of
+// them — no polling, no spin-retrying. ctx bounds the parks: its
+// cancellation or deadline ends a park (and the Run call) with an error
+// matching ErrCanceled. A nil ctx bounds parks by Run's own context
+// instead; with neither, a park waits indefinitely.
+//
+// Parked time is visible in the variance observatory as the PhasePark
+// phase ("wakeup" cause) and counted by gstm_tx_parked_total.
+func WithBlocking(ctx context.Context) TxOption {
+	return func(s *txSettings) {
+		s.block = true
+		s.blockCtx = ctx
+	}
+}
+
+// WithNoBlock restores the default fail-fast behavior (a tx.Retry returns
+// ErrWouldBlock immediately), overriding an earlier WithBlocking in the
+// same option list — useful when a call site layers options over a shared
+// pre-built slice.
+func WithNoBlock() TxOption {
+	return func(s *txSettings) {
+		s.block = false
+		s.blockCtx = nil
+	}
 }
 
 // Run executes fn transactionally as transaction site txn on worker
@@ -57,15 +105,21 @@ func WithSpan(sp *Span) TxOption {
 // between attempts (an in-flight attempt always finishes aborting or
 // committing first) and surfaces as an error matching both ErrCanceled
 // and the context's own error, with no locks held and no writes
-// published. A retry bound set with MaxAttempts (or carried by ctx via
+// published. A retry bound set with WithMaxAttempts (or carried by ctx via
 // WithRetryBudget) turns budget exhaustion into ErrRetryBudgetExhausted.
+//
+// A tx.Retry inside fn returns ErrWouldBlock unless WithBlocking enabled
+// parking for this call.
 func (s *System) Run(ctx context.Context, thread ThreadID, txn TxnID, fn func(*Tx) error, opts ...TxOption) error {
 	var set txSettings
 	for _, o := range opts {
 		o(&set)
 	}
-	if set.span != nil {
-		return s.rt.RunSpan(ctx, thread, txn, fn, set.readOnly, set.maxAttempts, set.span)
-	}
-	return s.rt.Run(ctx, thread, txn, fn, set.readOnly, set.maxAttempts)
+	return s.rt.RunOpt(ctx, thread, txn, fn, tl2.RunOpts{
+		ReadOnly:    set.readOnly,
+		MaxAttempts: set.maxAttempts,
+		Span:        set.span,
+		Block:       set.block,
+		BlockCtx:    set.blockCtx,
+	})
 }
