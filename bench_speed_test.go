@@ -1,10 +1,7 @@
 // Typed hot-path microbenchmarks and allocation gates for the unboxed
 // slot protocol and the striped lock table. Paired with BENCH_speed.json,
-// the committed boxed-vs-unboxed sweep (cmd/gstm-loadgen -speed-bench).
-//
-// exactly what these benchmarks exist to measure against.
-//
-//lint:file-ignore SA1019 the boxed protocol is deprecated API-wise but is
+// the committed per-location-vs-striped sweep (cmd/gstm-loadgen
+// -speed-bench).
 package gstm_test
 
 import (
@@ -14,13 +11,11 @@ import (
 	"gstm/internal/tl2"
 )
 
-// BenchmarkTypedReadWrite puts the unboxed protocol next to the retired
-// boxed one on the two hottest operations: a transactional read on the
-// read-only fast path, and an in-place rewrite of an already-buffered
-// location. The unboxed variants move one raw pointer per access; the
-// boxed ones pay the retired closure load and any round-trip. The whole
-// loop runs inside one transaction so access cost, not commit cost, is on
-// the clock.
+// BenchmarkTypedReadWrite times the unboxed protocol's two hottest
+// operations: a transactional read on the read-only fast path, and an
+// in-place rewrite of an already-buffered location — one raw pointer
+// moved per access. The whole loop runs inside one transaction so access
+// cost, not commit cost, is on the clock.
 func BenchmarkTypedReadWrite(b *testing.B) {
 	const cells = 1024
 	b.Run("unboxed-read", func(b *testing.B) {
@@ -32,22 +27,6 @@ func BenchmarkTypedReadWrite(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sum += tl2.ReadAt(tx, arr, i&(cells-1))
-			}
-			return nil
-		}); err != nil {
-			b.Fatal(err)
-		}
-		sinkVal = sum
-	})
-	b.Run("boxed-read", func(b *testing.B) {
-		rt := tl2.New(tl2.Config{})
-		arr := tl2.NewBoxedArray[int64](cells)
-		b.ReportAllocs()
-		var sum int64
-		if err := rt.AtomicRO(0, 0, func(tx *tl2.Tx) error {
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				sum += tl2.BoxedRead(tx, arr.At(i&(cells-1)))
 			}
 			return nil
 		}); err != nil {
@@ -68,27 +47,6 @@ func BenchmarkTypedReadWrite(b *testing.B) {
 				j := i & 15
 				tl2.WriteAt(tx, arr, j, int64(i))
 				if tl2.ReadAt(tx, arr, j) != int64(i) {
-					b.Fatal("buffered read mismatch")
-				}
-			}
-			return nil
-		}); err != nil {
-			b.Fatal(err)
-		}
-	})
-	b.Run("boxed-rewrite", func(b *testing.B) {
-		rt := tl2.New(tl2.Config{})
-		arr := tl2.NewBoxedArray[int64](16)
-		b.ReportAllocs()
-		if err := rt.Atomic(0, 0, func(tx *tl2.Tx) error {
-			for j := 0; j < 16; j++ {
-				tl2.BoxedWrite(tx, arr.At(j), int64(j))
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				j := i & 15
-				tl2.BoxedWrite(tx, arr.At(j), int64(i))
-				if tl2.BoxedRead(tx, arr.At(j)) != int64(i) {
 					b.Fatal("buffered read mismatch")
 				}
 			}

@@ -8,9 +8,12 @@
 // and — against a sharded server — per-shard completion spread. With
 // -shard-bench it ignores -addr, boots in-process servers itself, and
 // sweeps shard counts × workloads into BENCH_shard.json. With
-// -speed-bench it sweeps the STM engines' hot-path variants (boxed
-// baseline vs unboxed vs unboxed over striped lock tables) across
-// workloads and GOMAXPROCS into BENCH_speed.json.
+// -speed-bench it sweeps the STM engine's hot-path variants (unboxed
+// slot protocol over per-location lock words vs over striped lock
+// tables) across workloads and GOMAXPROCS into BENCH_speed.json. With
+// -xshard-bench it sweeps cross-shard transfer percentages into
+// BENCH_xshard.json; standalone runs can mix transfers into any load via
+// -transfer-pct and assert conservation with -check-balance.
 package main
 
 import (
@@ -40,8 +43,11 @@ func main() {
 		window   = flag.Int("window", 0, "pipeline depth per connection (0/1 = synchronous request/response)")
 		once     = flag.Bool("once", false, "single run in the server's current mode; skip the guided/unguided comparison")
 		shBench  = flag.Bool("shard-bench", false, "sweep shard counts x workloads against in-process servers (ignores -addr)")
-		spBench  = flag.Bool("speed-bench", false, "sweep engine hot-path variants (boxed/unboxed/unboxed+stripes) x workloads x GOMAXPROCS in-process (ignores -addr; BENCH_speed.json)")
+		spBench  = flag.Bool("speed-bench", false, "sweep engine hot-path variants (unboxed/unboxed+stripes) x workloads x GOMAXPROCS in-process (ignores -addr; BENCH_speed.json)")
 		durBench = flag.Bool("durability", false, "sweep WAL fsync windows vs a non-durable baseline against in-process servers (ignores -addr; BENCH_wal.json)")
+		xsBench  = flag.Bool("xshard-bench", false, "sweep cross-shard transfer percentages against an in-process sharded server (ignores -addr; BENCH_xshard.json)")
+		xferPct  = flag.Int("transfer-pct", 0, "percent of ops issued as two-key cross-shard transfers (one OpTxn each, zero-sum)")
+		balance  = flag.Bool("check-balance", false, "after the run, sum the signed key-space total and fail unless it is zero (transfers conserve balance)")
 		ledger   = flag.String("ledger", "", "drive an add-only load and write the acked/in-flight ledger JSON here; tolerates the server dying mid-run (kill-and-recover chaos)")
 		verify   = flag.String("verify-ledger", "", "check a recovered server against a ledger file: acked <= value <= acked+inflight for every key")
 		out      = flag.String("out", "", "write the report as JSON to this file (BENCH_server.json / BENCH_shard.json / BENCH_wal.json)")
@@ -61,6 +67,10 @@ func main() {
 	}
 	if *durBench {
 		durabilityBench(*runs, *out)
+		return
+	}
+	if *xsBench {
+		xshardBench(*runs, *out)
 		return
 	}
 	if *verify != "" {
@@ -93,6 +103,7 @@ func main() {
 		GetPct:      *getPct,
 		PutPct:      *putPct,
 		DelPct:      *delPct,
+		TransferPct: *xferPct,
 		Seed:        *seed,
 		Window:      *window,
 		Trace:       *trace,
@@ -150,6 +161,9 @@ func main() {
 			fmt.Printf("spread: conns %.2f%%  shards %.2f%%  per-shard ops %v\n",
 				st.ConnSpreadPct, st.ShardSpreadPct, st.ShardOps)
 		}
+		if st.Transfers > 0 {
+			fmt.Printf("transfers: %d two-key atomic transfers committed\n", st.Transfers)
+		}
 		if load.Subscribers > 0 {
 			fmt.Printf("subscribers: %d long-poll watchers, %d wakeups\n",
 				load.Subscribers, st.SubWakeups)
@@ -157,6 +171,16 @@ func main() {
 		printTail()
 		if st.Ops == 0 {
 			fatal(fmt.Errorf("no operations completed"))
+		}
+		if *balance {
+			total, err := server.VerifyBalance(*addr, *keys)
+			if err != nil {
+				fatal(err)
+			}
+			if total != 0 {
+				fatal(fmt.Errorf("balance check: signed key-space total %d, want 0 (a transfer tore)", total))
+			}
+			fmt.Printf("balance check: key-space total 0 across %d keys\n", *keys)
 		}
 		return
 	}
@@ -196,9 +220,9 @@ func main() {
 
 // speedBench runs the engine hot-path sweep and writes BENCH_speed.json.
 func speedBench(out string) {
-	fmt.Fprintln(os.Stderr, "gstm-loadgen: engine speed sweep (boxed vs unboxed vs unboxed+stripes x read-only,mixed,write-heavy x GOMAXPROCS 1,2,4,8)")
+	fmt.Fprintln(os.Stderr, "gstm-loadgen: engine speed sweep (unboxed vs unboxed+stripes x read-only,mixed,write-heavy x GOMAXPROCS 1,2,4,8)")
 	rep := speedbench.Run(speedbench.Config{Progress: os.Stderr})
-	fmt.Printf("unboxed beats boxed on read-only and mixed at every core count: %v\n", rep.UnboxedBeatsBoxed)
+	fmt.Printf("striped within bound of per-location on read-only and mixed at every core count: %v\n", rep.StripedWithinBound)
 	if out != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -224,6 +248,37 @@ func durabilityBench(runs int, out string) {
 			pt.WALAppends, pt.WALFsyncs)
 	}
 	fmt.Printf("relaxed >= 70%% of baseline: %v\n", rep.RelaxedTargetMet)
+	if out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gstm-loadgen: wrote %s\n", out)
+	}
+}
+
+// xshardBench runs the in-process cross-shard transfer sweep and writes
+// BENCH_xshard.json.
+func xshardBench(runs int, out string) {
+	fmt.Fprintln(os.Stderr, "gstm-loadgen: cross-shard transfer sweep (transfer-pct 0/10/20/30/50 on 4 shards; pipelined fixed-work runs)")
+	rep, err := server.BenchXShard(server.XShardBenchConfig{Runs: runs, Progress: os.Stderr})
+	if err != nil {
+		fatal(err)
+	}
+	print := func(name string, pt server.XShardPoint) {
+		fmt.Printf("%-12s %9.0f ops/s  transfers %8d  xshard commits %8d aborts %6d (ratio %.3f)\n",
+			name, pt.ThroughputMedian, pt.Transfers, pt.XShardCommits, pt.XShardAborts, pt.XShardAbortRatio)
+	}
+	print("baseline/0", rep.Baseline)
+	print("check/0", rep.Check)
+	for _, pt := range rep.Points {
+		print(fmt.Sprintf("transfer/%d", pt.TransferPct), pt)
+	}
+	fmt.Printf("single-shard path within 3%% (pct-0 ratio %.4f): %v; balance conserved: %v\n",
+		rep.BaselineRatio, rep.SingleShardWithin3Pct, rep.BalanceConserved)
 	if out != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

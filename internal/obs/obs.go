@@ -56,6 +56,11 @@ const (
 	// on the park event of the span timeline, not on an abort — a wakeup is
 	// the park succeeding, not the attempt failing.
 	CauseWakeup
+	// CauseXShardValidation: a cross-shard commit's prepare phase failed on
+	// one participant — a sub-transaction's read set no longer validated
+	// against its home clock, or a participant's write locks stayed busy —
+	// so every participant aborted (all-or-nothing).
+	CauseXShardValidation
 
 	NumCauses
 )
@@ -71,6 +76,7 @@ var causeNames = [NumCauses]string{
 	"canceled",
 	"spurious",
 	"wakeup",
+	"cross-shard-validation",
 }
 
 func (c Cause) String() string {
@@ -111,6 +117,14 @@ const (
 	// event's Cause is CauseWakeup when a commit woke it, CauseCanceled when
 	// the park context ended first.
 	PhasePark
+	// PhaseXPrepare: a cross-shard commit's prepare sweep — locking every
+	// participant's write set and validating every read set, in ascending
+	// shard order, before any shard publishes.
+	PhaseXPrepare
+	// PhaseXPublish: a cross-shard commit's publish sweep — the timestamp
+	// exchange (every participant clock advanced to the agreed commit
+	// point) followed by per-shard publication and lock release.
+	PhaseXPublish
 
 	NumPhases
 )
@@ -125,6 +139,8 @@ var phaseNames = [NumPhases]string{
 	"publish",
 	"walack",
 	"park",
+	"xprepare",
+	"xpublish",
 }
 
 func (p Phase) String() string {

@@ -21,21 +21,33 @@ import (
 // request IDs and per-connection ordering across workers was never
 // guaranteed (requests round-robin over the pool).
 
-// ackWait is one shard sub-transaction's durability obligation. The
-// sub-transaction's span rides along by value: the acker stamps its
-// WAL-ack phase (the time the response was withheld for durability),
-// finishes it with the terminal cause and hands it to the observatory.
+// ackWait is one shard sub-transaction's durability obligation, with its
+// post-ack accounting precomputed (nops operations, delta live-key
+// adjustment). When spanned is set the sub-transaction's span rides along
+// by value: the acker stamps its WAL-ack phase (the time the response was
+// withheld for durability), finishes it with the terminal cause and hands
+// it to the observatory. A cross-shard transaction produces one wait per
+// participant shard but carries its single span on only one of them.
 type ackWait struct {
-	sh   int
-	seq  uint64 // 0: commit carried no record; nothing to wait for
-	span obs.Span
+	sh      int
+	seq     uint64 // 0: commit carried no record; nothing to wait for
+	span    obs.Span
+	spanned bool
+	nops    int
+	delta   int64
 }
 
-// ackItem is one durable batch in flight between its worker and the
-// acker. tasks/results are copies (the worker reuses its own slices);
-// shardOf[i] is task i's home shard, for mapping a failed shard's wait
-// back onto exactly its operations; worker attributes the spans to the
-// worker's observatory ring.
+// shardAll is the wildcard in ackItem.shardOf for an operation that spans
+// every participant shard (a cross-shard OpTxn): any failed wait demotes
+// it.
+const shardAll int32 = -1
+
+// ackItem is one durable batch in flight between its worker (or the txn
+// coordinator) and the acker. tasks/results are copies (the producer
+// reuses its own slices); shardOf[i] is task i's home shard — or shardAll
+// for a cross-shard transaction — for mapping a failed shard's wait back
+// onto exactly its operations; worker attributes the spans to the
+// producer's observatory ring.
 type ackItem struct {
 	tasks   []task
 	results []opResult
@@ -78,6 +90,9 @@ func (s *Server) finishDurable(it *ackItem, resp []byte) []byte {
 	for wi := range it.waits {
 		wt := &it.waits[wi]
 		sp := &wt.span
+		if !wt.spanned {
+			sp = nil // secondary wait of a cross-shard txn: span rides elsewhere
+		}
 		if wt.seq > 0 {
 			w0 := time.Now()
 			if werr := s.wals[wt.sh].WaitAcked(wt.seq); werr != nil {
@@ -86,10 +101,12 @@ func (s *Server) finishDurable(it *ackItem, resp []byte) []byte {
 				// won't have it — exactly what StatusUnavailable promises.)
 				sp.AddSince(obs.PhaseWALAck, obs.CauseWALUnavailable, 0, w0)
 				sp.Finish(obs.CauseWALUnavailable, time.Now().UnixNano())
-				s.obs.Collect(it.worker, sp)
+				if sp != nil {
+					s.obs.Collect(it.worker, sp)
+				}
 				s.router.System(wt.sh).Telemetry().WALRefused(uint64(it.worker))
 				for i := range it.tasks {
-					if int(it.shardOf[i]) == wt.sh {
+					if it.shardOf[i] == shardAll || int(it.shardOf[i]) == wt.sh {
 						it.results[i] = opResult{status: StatusUnavailable}
 					}
 				}
@@ -98,21 +115,15 @@ func (s *Server) finishDurable(it *ackItem, resp []byte) []byte {
 			sp.AddSince(obs.PhaseWALAck, obs.CauseNone, 0, w0)
 		}
 		sp.Finish(obs.CauseNone, time.Now().UnixNano())
-		s.obs.Collect(it.worker, sp)
-		var delta int64
-		n := 0
-		for i := range it.tasks {
-			if int(it.shardOf[i]) == wt.sh {
-				delta += it.results[i].delta
-				n++
-			}
+		if sp != nil {
+			s.obs.Collect(it.worker, sp)
 		}
-		if delta != 0 {
-			s.liveKeys.Add(delta)
+		if wt.delta != 0 {
+			s.liveKeys.Add(wt.delta)
 		}
 		s.batches.Add(1)
-		s.batchedOps.Add(uint64(n))
-		s.lcs[wt.sh].noteOps(n)
+		s.batchedOps.Add(uint64(wt.nops))
+		s.lcs[wt.sh].noteOps(wt.nops)
 	}
 
 	// Same coalescing as the worker's inline path: consecutive

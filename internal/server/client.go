@@ -121,6 +121,55 @@ func (c *Client) Del(key uint64) (bool, error) {
 	}
 }
 
+// Txn executes ops as one atomic multi-key transaction — across shards
+// when the keys home to different shards. The returned value is the last
+// sub-op's result (see OpTxn for sub-op semantics). len(ops) must be in
+// [1, MaxTxnOps].
+func (c *Client) Txn(ops []TxnOp) (Status, uint64, error) {
+	if len(ops) == 0 || len(ops) > MaxTxnOps {
+		return 0, 0, fmt.Errorf("server: txn with %d ops (want 1..%d)", len(ops), MaxTxnOps)
+	}
+	c.id++
+	c.buf = AppendTxnRequest(c.buf[:0], Request{ID: c.id, Trace: c.trace}, ops)
+	if _, err := c.nc.Write(c.buf); err != nil {
+		return 0, 0, err
+	}
+	var frame [RespFrameLen]byte
+	if _, err := io.ReadFull(c.br, frame[:]); err != nil {
+		return 0, 0, err
+	}
+	n := uint32(frame[0])<<24 | uint32(frame[1])<<16 | uint32(frame[2])<<8 | uint32(frame[3])
+	if n != RespFrameLen-4 {
+		return 0, 0, fmt.Errorf("server: bad response frame length %d", n)
+	}
+	resp, err := DecodeResponse(frame[4:])
+	if err != nil {
+		return 0, 0, err
+	}
+	if resp.ID != c.id {
+		return 0, 0, fmt.Errorf("server: response id %d for request %d", resp.ID, c.id)
+	}
+	return resp.Status, resp.Value, nil
+}
+
+// Transfer atomically moves amt from one key's balance to another's: two
+// adds in one transaction, committed on both home shards or neither.
+// Zero-sum by construction, which makes it the oracle-friendly cross-shard
+// op for correctness checks (balances always conserve).
+func (c *Client) Transfer(from, to uint64, amt int64) error {
+	st, _, err := c.Txn([]TxnOp{
+		{Op: OpAdd, Key: from, Arg: uint64(-amt)},
+		{Op: OpAdd, Key: to, Arg: uint64(amt)},
+	})
+	if err != nil {
+		return err
+	}
+	if st != StatusOK {
+		return fmt.Errorf("server: transfer status %d", st)
+	}
+	return nil
+}
+
 // Watch long-polls key until its value differs from last (or the key
 // appears when last is its current absence), returning the new value. The
 // call blocks on the wire for as long as the server keeps the watch

@@ -48,8 +48,12 @@ func (s *Server) openDurability() error {
 	for sh := 0; sh < s.cfg.Shards; sh++ {
 		sys := s.router.System(sh)
 		l, rec, err := wal.Open(wal.Config{
-			Dir:           filepath.Join(s.cfg.WALDir, fmt.Sprintf("shard%d", sh)),
-			Threads:       s.cfg.Workers,
+			Dir: filepath.Join(s.cfg.WALDir, fmt.Sprintf("shard%d", sh)),
+			// One stager per worker plus one for the cross-shard txn
+			// coordinator (ThreadID Workers); the scan and watch threads
+			// (Workers+1, Workers+2) stay outside the range, so their events
+			// are ignored as before.
+			Threads:       s.cfg.Workers + 1,
 			FsyncInterval: s.cfg.FsyncInterval,
 			SnapshotEvery: s.cfg.SnapshotEvery,
 			LogAborts:     s.cfg.GuidedWarmup,
@@ -153,8 +157,8 @@ func (s *Server) replayShard(sh int, rec *wal.Recovery) error {
 
 // shardSource adapts one shard to wal.SnapshotSource. ClockNow reads the
 // shard's version clock; Scan is a read-only STM full-table scan run on
-// the dedicated scan thread — ThreadID(Workers), outside the worker pool,
-// so its commit event never touches a worker's staging slot and the log
+// the dedicated scan thread — ThreadID(Workers+1), outside the WAL stager
+// range, so its commit event never touches a staging slot and the log
 // ignores it.
 type shardSource struct {
 	srv   *Server
@@ -170,7 +174,7 @@ func (ss *shardSource) ClockNow() uint64 { return ss.srv.router.System(ss.shard)
 func (ss *shardSource) Scan() (keys, vals []uint64, err error) {
 	sys := ss.srv.router.System(ss.shard)
 	st := ss.srv.stores[ss.shard]
-	err = sys.Run(context.Background(), gstm.ThreadID(ss.srv.cfg.Workers), siteScan, func(tx *gstm.Tx) error {
+	err = sys.Run(context.Background(), gstm.ThreadID(ss.srv.cfg.Workers+1), siteScan, func(tx *gstm.Tx) error {
 		ss.keys, ss.vals = ss.keys[:0], ss.vals[:0]
 		st.RangeAll(tx, func(k int64, v uint64) bool {
 			ss.keys = append(ss.keys, uint64(k))

@@ -31,7 +31,15 @@ type LoadConfig struct {
 	// Add (the default workload is add-heavy on a skewed key space: the
 	// contended read-modify-write pattern guidance pays off on).
 	GetPct, PutPct, DelPct int
-	Seed                   uint64
+	// TransferPct diverts that percent of issued operations into two-key
+	// transfers: each is one OpTxn atomically moving 1 from one skew-drawn
+	// key to another (usually crossing shards), exercising the cross-shard
+	// commit protocol. Transfers are zero-sum, so a run whose only
+	// mutations are transfers conserves the keyspace's total balance (see
+	// VerifyBalance). The remaining (100-TransferPct)% follow the
+	// Get/Put/Del/Add mix.
+	TransferPct int
+	Seed        uint64
 	// Window > 1 switches a connection from synchronous request/response
 	// to pipelining: up to Window requests outstanding per connection.
 	// Pipelining takes the network round-trip off the critical path, so
@@ -109,6 +117,9 @@ type RunStats struct {
 	// subscriber connections (LoadConfig.Subscribers): each is one parked
 	// watch transaction woken by a commit on its key.
 	SubWakeups uint64 `json:"sub_wakeups,omitempty"`
+	// Transfers counts the OpTxn two-key transfers issued
+	// (LoadConfig.TransferPct); each is one op in Ops.
+	Transfers uint64 `json:"transfers,omitempty"`
 }
 
 // RunLoad drives one run — fixed-work when OpsPerConn > 0, otherwise
@@ -158,6 +169,7 @@ func RunLoad(cfg LoadConfig) (RunStats, error) {
 		}
 		res.Ops += outs[i].ops
 		res.Errors += outs[i].errs
+		res.Transfers += outs[i].transfers
 		all = append(all, outs[i].lats...)
 		took = append(took, outs[i].took)
 		for s, n := range outs[i].shardOps {
@@ -194,9 +206,11 @@ func RunLoad(cfg LoadConfig) (RunStats, error) {
 // connOut is one connection's contribution to a run.
 type connOut struct {
 	ops, errs uint64
-	lats      []float64 // µs, synchronous mode only
-	took      float64   // seconds, fixed-work mode
-	shardOps  []uint64  // ops by home shard, when LoadConfig.Shards > 0
+	transfers uint64
+	lats      []float64     // µs, synchronous mode only
+	took      float64       // seconds, fixed-work mode
+	shardOps  []uint64      // ops by home shard, when LoadConfig.Shards > 0
+	routing   *shard.Router // routing-only, lazily built with shardOps
 	err       error
 }
 
@@ -204,8 +218,9 @@ func (o *connOut) noteShard(cfg LoadConfig, key uint64) {
 	if cfg.Shards > 0 {
 		if o.shardOps == nil {
 			o.shardOps = make([]uint64, cfg.Shards)
+			o.routing = shard.NewRouting(cfg.Shards)
 		}
-		o.shardOps[shard.HomeOf(key, cfg.Shards)]++
+		o.shardOps[o.routing.HomeOf(key)]++
 	}
 }
 
@@ -220,6 +235,7 @@ func syncConn(cfg LoadConfig, i int, out *connOut, start <-chan struct{}) {
 	cl.SetTrace(cfg.Trace)
 	r := xrand.NewThread(cfg.Seed, i)
 	out.lats = make([]float64, 0, 1<<14)
+	txn := make([]TxnOp, 2)
 	<-start
 	begin := time.Now()
 	deadline := begin.Add(cfg.Duration)
@@ -231,10 +247,22 @@ func syncConn(cfg LoadConfig, i int, out *connOut, start <-chan struct{}) {
 		} else if !time.Now().Before(deadline) {
 			break
 		}
-		op, key, arg := nextOp(r, cfg)
-		out.noteShard(cfg, key)
+		var st Status
+		var err error
 		t0 := time.Now()
-		st, _, err := cl.Do(op, key, arg)
+		if cfg.TransferPct > 0 && r.Intn(100) < cfg.TransferPct {
+			from, to := transferKeys(r, cfg)
+			out.noteShard(cfg, from)
+			out.noteShard(cfg, to)
+			out.transfers++
+			txn[0] = TxnOp{Op: OpAdd, Key: from, Arg: ^uint64(0)} // -1
+			txn[1] = TxnOp{Op: OpAdd, Key: to, Arg: 1}
+			st, _, err = cl.Txn(txn)
+		} else {
+			op, key, arg := nextOp(r, cfg)
+			out.noteShard(cfg, key)
+			st, _, err = cl.Do(op, key, arg)
+		}
 		if err != nil {
 			out.err = err
 			return
@@ -263,6 +291,7 @@ func pipeConn(cfg LoadConfig, i int, out *connOut, start <-chan struct{}) {
 	br := bufio.NewReaderSize(nc, 2*cfg.Window*RespFrameLen)
 	r := xrand.NewThread(cfg.Seed, i)
 	var buf []byte
+	txn := make([]TxnOp, 2)
 	frame := make([]byte, RespFrameLen)
 	sent, recvd := 0, 0
 	<-start
@@ -297,9 +326,19 @@ func pipeConn(cfg LoadConfig, i int, out *connOut, start <-chan struct{}) {
 		}
 		buf = buf[:0]
 		for issuing && sent-recvd < cfg.Window {
+			sent++
+			if cfg.TransferPct > 0 && r.Intn(100) < cfg.TransferPct {
+				from, to := transferKeys(r, cfg)
+				out.noteShard(cfg, from)
+				out.noteShard(cfg, to)
+				out.transfers++
+				txn[0] = TxnOp{Op: OpAdd, Key: from, Arg: ^uint64(0)} // -1
+				txn[1] = TxnOp{Op: OpAdd, Key: to, Arg: 1}
+				buf = AppendTxnRequest(buf, Request{ID: uint32(sent), Trace: cfg.Trace}, txn)
+				continue
+			}
 			op, key, arg := nextOp(r, cfg)
 			out.noteShard(cfg, key)
-			sent++
 			buf = AppendRequest(buf, Request{Op: op, ID: uint32(sent), Key: key, Arg: arg, Trace: cfg.Trace})
 		}
 		if len(buf) > 0 {
@@ -358,9 +397,19 @@ func subConn(cfg LoadConfig, i int, out *connOut, start, done <-chan struct{}) {
 	}
 }
 
+// transferKeys draws a (from, to) pair of distinct skewed keys.
+func transferKeys(r *xrand.Rand, cfg LoadConfig) (uint64, uint64) {
+	from := skewKey(r, cfg)
+	to := skewKey(r, cfg)
+	if to == from {
+		to = (from + 1) % uint64(cfg.Keys)
+	}
+	return from, to
+}
+
 // nextOp draws one operation from the configured mix and key skew.
 func nextOp(r *xrand.Rand, cfg LoadConfig) (Op, uint64, uint64) {
-	key := uint64(float64(cfg.Keys-1) * math.Pow(r.Float64(), cfg.Skew))
+	key := skewKey(r, cfg)
 	p := r.Intn(100)
 	switch {
 	case p < cfg.GetPct:
@@ -372,6 +421,29 @@ func nextOp(r *xrand.Rand, cfg LoadConfig) (Op, uint64, uint64) {
 	default:
 		return OpAdd, key, 1
 	}
+}
+
+// VerifyBalance sums the signed values of keys [0, keys) on the server at
+// addr. A keyspace whose only mutations were zero-sum transfers
+// (TransferPct load with a Get-only residual mix) must total zero — the
+// client-visible conservation check for cross-shard atomicity.
+func VerifyBalance(addr string, keys int) (int64, error) {
+	cl, err := Dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	defer cl.Close()
+	var sum int64
+	for k := 0; k < keys; k++ {
+		v, ok, err := cl.Get(uint64(k))
+		if err != nil {
+			return sum, err
+		}
+		if ok {
+			sum += int64(v)
+		}
+	}
+	return sum, nil
 }
 
 // ModeReport aggregates R repeated runs in one serving mode. Variance is

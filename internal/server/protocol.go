@@ -48,6 +48,19 @@ const (
 	// (immediately when already present). Arg is ignored. Same long-poll
 	// and drain semantics as OpWatch.
 	OpWaitKey Op = 8
+	// OpTxn executes a multi-key transaction: up to MaxTxnOps sub-operations
+	// applied atomically — all of them commit or none do, even when their
+	// keys home to different shards (the cross-shard commit protocol; see
+	// DESIGN.md "Cross-shard commit"). The 21-byte request header carries
+	// the sub-op count in Key (Arg is reserved, must be 0), followed by
+	// count 17-byte sub-operations: op u8 | key u64 | arg u64. Sub-ops are
+	// OpGet/OpPut/OpAdd/OpDel with unconditional semantics: a sub-Get of an
+	// absent key reads 0 and a sub-Del of an absent key is a no-op, so a
+	// transaction never fails on absence. The single response carries the
+	// last sub-op's value. OpTxn frames are the protocol's only
+	// variable-length requests, dispatched before the fixed-size decode
+	// (DecodeTxnRequest).
+	OpTxn Op = 9
 )
 
 // CtlCommand values travel in the Key field of an OpCtl request.
@@ -141,6 +154,13 @@ const (
 	// protocol error, so a corrupt prefix cannot make the reader allocate
 	// or block on gigabytes.
 	MaxFrame = 1 << 10
+
+	// txnOpLen is one OpTxn sub-operation: op u8 | key u64 | arg u64.
+	txnOpLen = 1 + 8 + 8
+
+	// MaxTxnOps bounds sub-operations per OpTxn request so the largest
+	// transaction frame still fits MaxFrame (21 + 59*17 = 1024).
+	MaxTxnOps = (MaxFrame - reqPayloadLen) / txnOpLen
 )
 
 // TraceBit is the high bit of the wire op byte: a client sets it to demand
@@ -202,6 +222,81 @@ func AppendRequest(dst []byte, r Request) []byte {
 	binary.BigEndian.PutUint64(b[9:17], r.Key)
 	binary.BigEndian.PutUint64(b[17:25], r.Arg)
 	return append(dst, b[:]...)
+}
+
+// TxnOp is one sub-operation of an OpTxn multi-key transaction: Op is one
+// of OpGet/OpPut/OpAdd/OpDel, Key its target, Arg its argument (ignored
+// for Get/Del).
+type TxnOp struct {
+	Op  Op
+	Key uint64
+	Arg uint64
+}
+
+// DecodeTxnRequest decodes one OpTxn request payload. The header decodes
+// like a fixed request (op|id|key|arg) with the sub-op count in Key; the
+// sub-ops are appended to dst (pass a reused slice to avoid allocating).
+// It never retains buf.
+func DecodeTxnRequest(buf []byte, dst []TxnOp) (Request, []TxnOp, error) {
+	if len(buf) < reqPayloadLen {
+		return Request{}, dst, fmt.Errorf("%w: %d bytes", ErrShortFrame, len(buf))
+	}
+	r := Request{
+		Op:    Op(buf[0] &^ TraceBit),
+		ID:    binary.BigEndian.Uint32(buf[1:5]),
+		Key:   binary.BigEndian.Uint64(buf[5:13]),
+		Arg:   binary.BigEndian.Uint64(buf[13:21]),
+		Trace: buf[0]&TraceBit != 0,
+	}
+	if r.Op != OpTxn {
+		return Request{}, dst, fmt.Errorf("%w: %d", ErrBadOp, r.Op)
+	}
+	n := int(r.Key)
+	if r.Key == 0 || r.Key > MaxTxnOps || len(buf) != reqPayloadLen+n*txnOpLen {
+		return Request{}, dst, fmt.Errorf("%w: txn with %d ops in %d bytes", ErrShortFrame, r.Key, len(buf))
+	}
+	for i := 0; i < n; i++ {
+		b := buf[reqPayloadLen+i*txnOpLen:]
+		op := TxnOp{
+			Op:  Op(b[0]),
+			Key: binary.BigEndian.Uint64(b[1:9]),
+			Arg: binary.BigEndian.Uint64(b[9:17]),
+		}
+		if op.Op < OpGet || op.Op > OpDel {
+			return Request{}, dst, fmt.Errorf("%w: txn sub-op %d", ErrBadOp, op.Op)
+		}
+		dst = append(dst, op)
+	}
+	return r, dst, nil
+}
+
+// AppendTxnRequest appends an OpTxn request's full frame (length prefix +
+// header + sub-ops) to dst. The header's Key field is overwritten with
+// len(ops); Arg is zeroed.
+func AppendTxnRequest(dst []byte, r Request, ops []TxnOp) []byte {
+	payload := reqPayloadLen + len(ops)*txnOpLen
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(payload))
+	dst = append(dst, b[:4]...)
+	hdr := byte(OpTxn)
+	if r.Trace {
+		hdr |= TraceBit
+	}
+	dst = append(dst, hdr)
+	binary.BigEndian.PutUint32(b[0:4], r.ID)
+	dst = append(dst, b[:4]...)
+	binary.BigEndian.PutUint64(b[:], uint64(len(ops)))
+	dst = append(dst, b[:]...)
+	binary.BigEndian.PutUint64(b[:], 0)
+	dst = append(dst, b[:]...)
+	for _, op := range ops {
+		dst = append(dst, byte(op.Op))
+		binary.BigEndian.PutUint64(b[:], op.Key)
+		dst = append(dst, b[:]...)
+		binary.BigEndian.PutUint64(b[:], op.Arg)
+		dst = append(dst, b[:]...)
+	}
+	return dst
 }
 
 // DecodeResponse decodes one response payload.

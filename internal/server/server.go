@@ -169,6 +169,10 @@ type Server struct {
 	workers []*worker
 	rr      atomic.Uint32 // round-robin dispatch cursor
 
+	// coord executes OpTxn multi-key transactions on its own thread and
+	// queue (see coordinator.go).
+	coord *coordinator
+
 	// wals[s] is shard s's write-ahead log (nil slice when durability is
 	// off); warmed[s] records that recovery already installed a guided
 	// model on shard s, so Start leaves its lifecycle alone.
@@ -236,10 +240,11 @@ func New(cfg Config) *Server {
 		conns: make(map[net.Conn]struct{}),
 		obs: obs.New(obs.Config{
 			Shards: cfg.Shards,
-			// Two rings beyond the worker pool: the WAL scan thread
-			// (Workers) and the watch thread (Workers+1), so long-poll spans
-			// land in their own ring instead of clamping into worker 0's.
-			Workers:     cfg.Workers + 2,
+			// Three rings beyond the worker pool: the txn coordinator
+			// (Workers), the WAL scan thread (Workers+1) and the watch
+			// thread (Workers+2), so their spans land in their own rings
+			// instead of clamping into worker 0's.
+			Workers:     cfg.Workers + 3,
 			SampleEvery: cfg.TraceSampleEvery,
 		}),
 	}
@@ -266,6 +271,7 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers = append(s.workers, newWorker(s, i))
 	}
+	s.coord = newCoordinator(s)
 	return s
 }
 
@@ -324,6 +330,12 @@ func (s *Server) Start() error {
 				func(context.Context) { w.loop() })
 		}(w)
 	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		pprof.Do(context.Background(), pprof.Labels("gstm", "server-coordinator"),
+			func(context.Context) { s.coord.loop() })
+	}()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -430,6 +442,31 @@ func (s *Server) serveConn(nc net.Conn) {
 		}
 		if _, err := io.ReadFull(br, payload[:n]); err != nil {
 			return
+		}
+		if Op(payload[0]&^TraceBit) == OpTxn {
+			// The protocol's only variable-length request: decode the
+			// header + sub-ops and queue it for the txn coordinator. The
+			// sub-op slice is freshly allocated per transaction — it must
+			// outlive this reusable payload buffer.
+			req, ops, err := DecodeTxnRequest(payload[:n], nil)
+			if err != nil {
+				return // undecodable: cannot trust framing anymore
+			}
+			s.inflight.Add(1)
+			if s.draining.Load() {
+				s.inflight.Done()
+				respBuf = AppendResponse(respBuf[:0], Response{ID: req.ID, Status: StatusShutdown})
+				c.writeFrames(respBuf)
+				continue
+			}
+			enq := time.Now()
+			select {
+			case s.coord.queue <- txnTask{req: req, ops: ops, c: c, enq: enq.UnixNano(), decNs: enq.Sub(dec0).Nanoseconds()}:
+			case <-s.stop:
+				s.inflight.Done()
+				return
+			}
+			continue
 		}
 		req, err := DecodeRequest(payload[:n])
 		if err != nil {

@@ -16,8 +16,9 @@ import (
 // no server-side polling loop, no periodic revalidation.
 //
 // Watches run outside the worker pool, one goroutine per outstanding
-// watch, all on the dedicated watch thread (ThreadID Workers+1; the WAL
-// scan already owns Workers). Concurrent transactions on one ThreadID are
+// watch, all on the dedicated watch thread (ThreadID Workers+2; the txn
+// coordinator owns Workers and the WAL scan Workers+1). Concurrent
+// transactions on one ThreadID are
 // safe — telemetry stripes are atomic and the guidance gate is lock-free —
 // they only share a telemetry stripe and a TSA site, which is the point:
 // the watch site is a single stable label instead of Workers noisy ones.
@@ -29,14 +30,14 @@ import (
 
 // watchThread is the STM thread every watch transaction runs as.
 func (s *Server) watchThread() gstm.ThreadID {
-	return gstm.ThreadID(s.cfg.Workers + 1)
+	return gstm.ThreadID(s.cfg.Workers + 2)
 }
 
 // serveWatch runs one OpWatch/OpWaitKey long-poll to completion and writes
 // its response. Called on a dedicated goroutine holding one inflight slot.
 func (s *Server) serveWatch(req Request, c *conn) {
 	defer s.inflight.Done()
-	sh := s.router.Home(req.Key)
+	sh := s.router.HomeOf(req.Key)
 	st := s.stores[sh]
 
 	var sp obs.Span

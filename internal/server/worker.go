@@ -23,13 +23,18 @@ const (
 	siteAdd
 	siteDel
 	// siteScan is the WAL's consistent snapshot scan and recovery replay —
-	// run on the dedicated scan thread (ThreadID Workers), outside the
-	// worker pool, so its commits never touch a worker's staging slot.
+	// run on the dedicated scan thread (ThreadID Workers+1), outside the
+	// WAL stager range, so its commits never touch a staging slot.
 	siteScan
 	// siteWatch is the blocking long-poll site (OpWatch/OpWaitKey), run on
-	// the dedicated watch thread (ThreadID Workers+1) — any number of
+	// the dedicated watch thread (ThreadID Workers+2) — any number of
 	// watches may be parked on it concurrently (see watch.go).
 	siteWatch
+	// siteTxn is the multi-key transaction site (OpTxn), run on the
+	// dedicated coordinator thread (ThreadID Workers) — inside the WAL
+	// stager range, since a cross-shard transaction stages redo on every
+	// participant shard's log (see coordinator.go).
+	siteTxn
 )
 
 func site(op Op) gstm.TxnID {
@@ -209,7 +214,7 @@ func (w *worker) execBatch() {
 	}
 
 	durable := s.wals != nil && kind != OpGet
-	w.plan.RunEachOpts(nil, w.id, site(kind), func(tx *gstm.Tx, sh int, idxs []int) error {
+	w.plan.Run(nil, w.id, site(kind), func(tx *gstm.Tx, sh int, idxs []int) error {
 		w.logging = false
 		if durable {
 			// Fail fast on a dead log: committing state whose durability
@@ -227,7 +232,7 @@ func (w *worker) execBatch() {
 			w.results[i] = w.applyOp(tx, st, w.batch[i].req)
 		}
 		return nil
-	}, func(sh int) []gstm.TxOption { return w.spanOpts[sh] })
+	}, shard.WithShardOptions(func(sh int) []gstm.TxOption { return w.spanOpts[sh] }))
 
 	var it *ackItem
 	if durable {
@@ -265,7 +270,11 @@ func (w *worker) execBatch() {
 					w.finishSpan(sh, obs.CauseWALUnavailable)
 					continue
 				}
-				it.waits = append(it.waits, ackWait{sh: sh, seq: seq, span: w.spans[sh]})
+				var delta int64
+				for _, i := range idxs {
+					delta += w.results[i].delta
+				}
+				it.waits = append(it.waits, ackWait{sh: sh, seq: seq, span: w.spans[sh], spanned: true, nops: len(idxs), delta: delta})
 				continue
 			}
 			var delta int64

@@ -10,10 +10,17 @@
 // lives on one shard run untouched on that shard's System; multi-key
 // batches are scatter-gathered — split into per-shard sub-transactions
 // executed in ascending shard order, each atomic on its own shard.
-// A cross-shard batch is therefore NOT atomic as a whole: shard i's
+// A Plan batch is therefore NOT atomic as a whole: shard i's
 // sub-transaction can commit while shard j's fails. Callers that need
 // per-operation results (the serving layer does) read per-shard errors
 // back from the Plan.
+//
+// When whole-batch atomicity is required, RunMulti runs one transaction
+// spanning several shards and commits it on all of them or none: every
+// participant's write locks are taken and every read set validated
+// before any shard publishes, and all participants publish at one
+// exchanged write version (see DESIGN.md, "Cross-shard commit").
+// Single-shard traffic through Run/Plan never pays for it.
 package shard
 
 import (
@@ -64,6 +71,10 @@ func (cfg Config) normalize() Config {
 type Router struct {
 	cfg     Config
 	systems []*gstm.System
+
+	// group is the cross-shard coordination state shared by every RunMulti
+	// over this router's shards. Single-shard transactions never touch it.
+	group *gstm.MultiGroup
 }
 
 // New builds a Router with cfg.Shards independent Systems. Each shard
@@ -71,7 +82,7 @@ type Router struct {
 // a single-shard router behaves exactly like a bare System.
 func New(cfg Config) *Router {
 	cfg = cfg.normalize()
-	r := &Router{cfg: cfg}
+	r := &Router{cfg: cfg, group: gstm.NewMultiGroup()}
 	for i := 0; i < cfg.Shards; i++ {
 		label := cfg.LabelPrefix
 		if cfg.Shards > 1 {
@@ -88,8 +99,16 @@ func New(cfg Config) *Router {
 	return r
 }
 
+// NewRouting returns a routing-only Router: it answers HomeOf and Shards
+// for an n-shard split without building any shard Systems, so clients
+// (the load generator) can attribute traffic by home shard. Calling Run,
+// RunMulti, System or NewPlan on a routing-only Router panics.
+func NewRouting(n int) *Router {
+	return &Router{cfg: Config{Shards: n}.normalize()}
+}
+
 // Shards returns the shard count.
-func (r *Router) Shards() int { return len(r.systems) }
+func (r *Router) Shards() int { return r.cfg.Shards }
 
 // System returns shard i's System (per-shard guidance, profiling,
 // telemetry and health go through it).
@@ -106,20 +125,15 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-// HomeOf returns key's home shard under an n-shard split — the routing
-// rule itself, exported so clients (the load generator) can attribute
-// traffic to shards without a Router.
-func HomeOf(key uint64, n int) int {
-	if n <= 1 {
-		return 0
+// HomeOf returns key's home shard — the routing rule, deterministic for
+// the Router's lifetime: same key, same shard. It replaces the pre-v1
+// package-level HomeOf(key, n); callers without a real Router get one
+// from NewRouting.
+func (r *Router) HomeOf(key uint64) int {
+	if n := r.cfg.Shards; n > 1 {
+		return int(mix(key) % uint64(n))
 	}
-	return int(mix(key) % uint64(n))
-}
-
-// Home returns the key's home shard. Deterministic for the Router's
-// lifetime: same key, same shard.
-func (r *Router) Home(key uint64) int {
-	return HomeOf(key, len(r.systems))
+	return 0
 }
 
 // Run executes one transaction on shard s — the single-shard fast path,
@@ -174,7 +188,7 @@ func (p *Plan) Build(n int, key func(i int) uint64) {
 	}
 	p.active = p.active[:0]
 	for i := 0; i < n; i++ {
-		s := p.r.Home(key(i))
+		s := p.r.HomeOf(key(i))
 		if len(p.groups[s]) == 0 {
 			p.active = append(p.active, s)
 		}
@@ -197,36 +211,158 @@ func (p *Plan) Active() []int { return p.active }
 // Group returns the batch indices homed on shard s, in batch order.
 func (p *Plan) Group(s int) []int { return p.groups[s] }
 
-// Err returns shard s's sub-transaction error from the last RunEach
-// (nil when it committed or the batch didn't touch s).
+// Err returns shard s's sub-transaction error from the last Run (nil
+// when it committed or the batch didn't touch s).
 func (p *Plan) Err(s int) error { return p.errs[s] }
 
-// RunEach executes the planned batch: one transaction per active shard,
+// PlanOption configures one Plan.Run call, mirroring the TxOption style
+// of gstm.System.Run.
+type PlanOption func(*planSettings)
+
+type planSettings struct {
+	opts    []gstm.TxOption
+	optsFor func(s int) []gstm.TxOption
+}
+
+// WithTxOptions applies the same transaction options to every shard's
+// sub-transaction.
+func WithTxOptions(opts ...gstm.TxOption) PlanOption {
+	return func(ps *planSettings) { ps.opts = opts }
+}
+
+// WithShardOptions supplies per-shard transaction options: optsFor(s) is
+// called once per active shard and its slice is not retained, letting a
+// caller attach shard-specific state — the serving layer threads one
+// variance-observatory span per shard sub-transaction this way. When
+// combined with WithTxOptions, the shared options apply first and
+// optsFor(s)'s after, so per-shard options win on conflict.
+func WithShardOptions(optsFor func(s int) []gstm.TxOption) PlanOption {
+	return func(ps *planSettings) { ps.optsFor = optsFor }
+}
+
+// Run executes the planned batch: one transaction per active shard,
 // sequentially in ascending shard order. body runs inside shard s's
 // transaction and sees the indices homed there; it is re-run wholesale
 // when that shard's transaction retries. Per-shard failures are recorded
-// (see Err) and do not stop later shards — cross-shard batches are not
-// atomic. Returns true when every active shard committed.
-func (p *Plan) RunEach(ctx context.Context, thread gstm.ThreadID, txn gstm.TxnID, body func(tx *gstm.Tx, s int, idxs []int) error, opts ...gstm.TxOption) bool {
-	return p.RunEachOpts(ctx, thread, txn, body, func(int) []gstm.TxOption { return opts })
-}
-
-// RunEachOpts is RunEach with per-shard options: optsFor(s) supplies shard
-// s's option slice, letting a caller attach shard-specific state — the
-// serving layer threads one variance-observatory span per shard
-// sub-transaction this way. optsFor is called once per active shard; the
-// returned slice is not retained.
-func (p *Plan) RunEachOpts(ctx context.Context, thread gstm.ThreadID, txn gstm.TxnID, body func(tx *gstm.Tx, s int, idxs []int) error, optsFor func(s int) []gstm.TxOption) bool {
+// (see Err) and do not stop later shards — a Plan batch is per-shard
+// atomic only; callers needing whole-batch atomicity use
+// Router.RunMulti. Returns true when every active shard committed.
+func (p *Plan) Run(ctx context.Context, thread gstm.ThreadID, txn gstm.TxnID, body func(tx *gstm.Tx, s int, idxs []int) error, opts ...PlanOption) bool {
+	var set planSettings
+	for _, o := range opts {
+		o(&set)
+	}
 	ok := true
 	for _, s := range p.active {
-		idxs := p.groups[s]
+		s, idxs := s, p.groups[s]
+		shardOpts := set.opts
+		if set.optsFor != nil {
+			if extra := set.optsFor(s); len(shardOpts) == 0 {
+				shardOpts = extra
+			} else if len(extra) > 0 {
+				shardOpts = append(append([]gstm.TxOption(nil), shardOpts...), extra...)
+			}
+		}
 		err := p.r.systems[s].Run(ctx, thread, txn, func(tx *gstm.Tx) error {
 			return body(tx, s, idxs)
-		}, optsFor(s)...)
+		}, shardOpts...)
 		p.errs[s] = err
 		if err != nil {
 			ok = false
 		}
 	}
 	return ok
+}
+
+// RunEach executes the planned batch with one option slice for every
+// shard.
+//
+// Deprecated: use Run, whose variadic PlanOptions subsume both RunEach
+// (WithTxOptions) and RunEachOpts (WithShardOptions).
+func (p *Plan) RunEach(ctx context.Context, thread gstm.ThreadID, txn gstm.TxnID, body func(tx *gstm.Tx, s int, idxs []int) error, opts ...gstm.TxOption) bool {
+	return p.Run(ctx, thread, txn, body, WithTxOptions(opts...))
+}
+
+// RunEachOpts executes the planned batch with per-shard option slices.
+//
+// Deprecated: use Run with WithShardOptions.
+func (p *Plan) RunEachOpts(ctx context.Context, thread gstm.ThreadID, txn gstm.TxnID, body func(tx *gstm.Tx, s int, idxs []int) error, optsFor func(s int) []gstm.TxOption) bool {
+	return p.Run(ctx, thread, txn, body, WithShardOptions(optsFor))
+}
+
+// MultiTx is the cross-shard transaction handle RunMulti passes to its
+// body: one sub-transaction per participant shard, all committing
+// atomically. Valid only inside the body invocation it was passed to.
+type MultiTx struct {
+	shards []int      // participant shard indices, ascending
+	txs    []*gstm.Tx // aligned with shards
+}
+
+// Shards returns the participant shard indices, ascending. The slice is
+// shared; do not mutate it.
+func (m *MultiTx) Shards() []int { return m.shards }
+
+// On returns the sub-transaction bound to shard s. All transactional
+// reads and writes of locations homed on s must go through it — touching
+// a shard's Vars through another participant's Tx violates the per-shard
+// clock ownership contract. Panics if s is not a participant.
+func (m *MultiTx) On(s int) *gstm.Tx {
+	for i, sh := range m.shards {
+		if sh == s {
+			return m.txs[i]
+		}
+	}
+	panic(fmt.Sprintf("shard: MultiTx.On(%d): shard not a participant of this RunMulti", s))
+}
+
+// RunMulti executes body as ONE atomic transaction spanning the given
+// shards: either every participant publishes its writes at a single
+// exchanged write version, or none does (all-or-nothing, abort cause
+// cross-shard-validation). shards may repeat and arrive in any order;
+// they are deduplicated and sorted ascending, which is the global
+// acquisition order that keeps concurrent cross-shard commits
+// deadlock-free. body must route each location's access through
+// m.On(home shard); it may be re-executed like any transaction body.
+//
+// A single-shard call degenerates to exactly Run's fast path — no
+// cross-shard coordination state is touched. Options follow Run;
+// blocking is unsupported cross-shard (a tx.Retry returns
+// gstm.ErrWouldBlock).
+func (r *Router) RunMulti(ctx context.Context, shards []int, thread gstm.ThreadID, txn gstm.TxnID, body func(m *MultiTx) error, opts ...gstm.TxOption) error {
+	norm := normalizeShards(shards, len(r.systems))
+	systems := make([]*gstm.System, len(norm))
+	for i, s := range norm {
+		systems[i] = r.systems[s]
+	}
+	m := &MultiTx{shards: norm}
+	return gstm.RunMulti(ctx, r.group, systems, thread, txn, func(txs []*gstm.Tx) error {
+		m.txs = txs
+		return body(m)
+	}, opts...)
+}
+
+// normalizeShards returns the participant list deduplicated and sorted
+// ascending, panicking on an out-of-range index (a programming error,
+// like indexing System out of range).
+func normalizeShards(shards []int, n int) []int {
+	norm := make([]int, 0, len(shards))
+	for _, s := range shards {
+		if s < 0 || s >= n {
+			panic(fmt.Sprintf("shard: RunMulti shard %d out of range [0,%d)", s, n))
+		}
+		norm = append(norm, s)
+	}
+	// Insertion sort + dedup: participant lists are a handful of shards.
+	for i := 1; i < len(norm); i++ {
+		for j := i; j > 0 && norm[j] < norm[j-1]; j-- {
+			norm[j], norm[j-1] = norm[j-1], norm[j]
+		}
+	}
+	uniq := norm[:0]
+	for i, s := range norm {
+		if i == 0 || s != norm[i-1] {
+			uniq = append(uniq, s)
+		}
+	}
+	return uniq
 }

@@ -3,6 +3,7 @@ package shard
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -14,8 +15,8 @@ func TestHomeDeterministicAndSpread(t *testing.T) {
 	r := New(Config{Shards: 4, Threads: 2})
 	counts := make([]int, r.Shards())
 	for k := uint64(0); k < 8192; k++ {
-		s := r.Home(k)
-		if again := r.Home(k); again != s {
+		s := r.HomeOf(k)
+		if again := r.HomeOf(k); again != s {
 			t.Fatalf("Home(%d) unstable: %d then %d", k, s, again)
 		}
 		counts[s]++
@@ -27,7 +28,7 @@ func TestHomeDeterministicAndSpread(t *testing.T) {
 			t.Fatalf("shard %d got %d of 8192 keys (counts %v)", s, n, counts)
 		}
 	}
-	if one := New(Config{Shards: 1, Threads: 1}); one.Home(12345) != 0 {
+	if one := New(Config{Shards: 1, Threads: 1}); one.HomeOf(12345) != 0 {
 		t.Fatal("single-shard router routed off shard 0")
 	}
 }
@@ -176,7 +177,7 @@ func TestRouterPropertyVsOracle(t *testing.T) {
 		batch := randBatch(rng, keyspace)
 		plan.Build(len(batch), func(i int) uint64 { return batch[i].key })
 		thread := gstm.ThreadID(b % threads)
-		okAll := plan.RunEach(nil, thread, gstm.TxnID(batch[0].kind), func(tx *gstm.Tx, s int, idxs []int) error {
+		okAll := plan.Run(nil, thread, gstm.TxnID(batch[0].kind), func(tx *gstm.Tx, s int, idxs []int) error {
 			for _, i := range idxs {
 				results[i] = applyOp(tx, stores[s], batch[i])
 			}
@@ -216,7 +217,7 @@ func TestRouterPropertyVsOracle(t *testing.T) {
 	// through its home shard.
 	for k := uint64(0); k < keyspace; k++ {
 		var got opResult
-		s := r.Home(k)
+		s := r.HomeOf(k)
 		err := r.Run(nil, s, 0, 0, func(tx *gstm.Tx) error {
 			got = applyOp(tx, stores[s], op{kind: opGet, key: k})
 			return nil
@@ -233,6 +234,176 @@ func TestRouterPropertyVsOracle(t *testing.T) {
 	commits, _ := r.Stats()
 	if commits == 0 {
 		t.Fatal("router counted no commits")
+	}
+}
+
+// addDelta adds delta (two's complement) to key in st, upserting.
+func addDelta(tx *gstm.Tx, st *stmds.HashTable[uint64], key, delta uint64) {
+	k := int64(key)
+	if v, ok := st.Get(tx, k); ok {
+		st.Set(tx, k, v+delta)
+	} else {
+		st.InsertNoCount(tx, k, delta)
+	}
+}
+
+// TestRouterCrossShardTransfers drives concurrent zero-sum transfers
+// through Router.RunMulti while reader goroutines take cross-shard
+// snapshots of the whole keyspace: every snapshot must sum to the seeded
+// total (all-or-nothing publication — a torn commit would surface as a
+// wrong sum), and the final per-key sweep must conserve balance exactly.
+// Mid-run every shard's guidance hot-swaps from live profiling with
+// shard 2's model force-rejected, so transfers keep committing across a
+// guided/unguided mix.
+func TestRouterCrossShardTransfers(t *testing.T) {
+	const (
+		workers  = 4
+		readers  = 2
+		perW     = 400
+		keyspace = 64
+		seedVal  = uint64(1) << 20
+		rejected = 2
+	)
+	r := New(Config{Shards: 4, Threads: workers + readers, Interleave: 4})
+	stores := make([]*stmds.HashTable[uint64], r.Shards())
+	for s := range stores {
+		stores[s] = stmds.NewHashTable[uint64](64)
+	}
+	for k := uint64(0); k < keyspace; k++ {
+		s := r.HomeOf(k)
+		if err := r.Run(nil, s, 0, 0, func(tx *gstm.Tx) error {
+			addDelta(tx, stores[s], k, seedVal)
+			return nil
+		}); err != nil {
+			t.Fatalf("seed key %d: %v", k, err)
+		}
+	}
+	total := uint64(keyspace) * seedVal
+
+	for s := 0; s < r.Shards(); s++ {
+		r.System(s).StartProfiling()
+	}
+
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	all := make([]int, r.Shards())
+	for s := range all {
+		all[s] = s
+	}
+	for i := 0; i < readers; i++ {
+		rwg.Add(1)
+		go func(i int) {
+			defer rwg.Done()
+			thread := gstm.ThreadID(workers + i)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sum uint64
+				err := r.RunMulti(nil, all, thread, 0, func(m *MultiTx) error {
+					sum = 0
+					for k := uint64(0); k < keyspace; k++ {
+						s := r.HomeOf(k)
+						v, _ := stores[s].Get(m.On(s), int64(k))
+						sum += v
+					}
+					return nil
+				}, gstm.WithReadOnly())
+				if err != nil {
+					t.Errorf("snapshot read: %v", err)
+					return
+				}
+				if sum != total {
+					t.Errorf("torn read: snapshot sum %d, want %d", sum, total)
+					return
+				}
+			}
+		}(i)
+	}
+
+	var done, transfers atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*104729 + 3))
+			shards := make([]int, 0, 2)
+			for i := 0; i < perW; i++ {
+				from := rng.Uint64() % keyspace
+				to := rng.Uint64() % keyspace
+				if to == from {
+					to = (from + 1) % keyspace
+				}
+				amt := rng.Uint64()%16 + 1
+				shards = append(shards[:0], r.HomeOf(from), r.HomeOf(to))
+				err := r.RunMulti(nil, shards, gstm.ThreadID(w), 1, func(m *MultiTx) error {
+					addDelta(m.On(r.HomeOf(from)), stores[r.HomeOf(from)], from, -amt)
+					addDelta(m.On(r.HomeOf(to)), stores[r.HomeOf(to)], to, amt)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("transfer %d/%d: %v", w, i, err)
+					return
+				}
+				if shards[0] != shards[1] {
+					transfers.Add(1)
+				}
+				done.Add(1)
+			}
+		}(w)
+	}
+
+	// Half-way through the transfer stream, train guidance from the live
+	// profile and hot-swap it in — with shard `rejected` kept unguided via
+	// an analyzer-rejected empty model.
+	for done.Load() < workers*perW/2 {
+		time.Sleep(time.Millisecond)
+	}
+	for s := 0; s < r.Shards(); s++ {
+		tr := r.System(s).StopProfiling()
+		if tr == nil {
+			t.Fatalf("shard %d: profiling produced no trace", s)
+		}
+		if s == rejected {
+			if err := r.System(s).EnableGuidance(gstm.BuildModel(workers+readers, nil)); err == nil {
+				t.Fatal("empty model unexpectedly accepted")
+			}
+			continue
+		}
+		r.System(s).ForceGuidance(gstm.BuildModel(workers+readers, []*gstm.Trace{tr}), gstm.WithTfactor(2))
+	}
+
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if transfers.Load() == 0 {
+		t.Fatal("no transfer crossed shards")
+	}
+	if mode := r.System(rejected).Mode(); mode != gstm.ModeUnguided {
+		t.Fatalf("rejected shard mode = %v, want unguided", mode)
+	}
+
+	// Exact conservation on the final state, read per home shard.
+	var final uint64
+	for k := uint64(0); k < keyspace; k++ {
+		s := r.HomeOf(k)
+		var got uint64
+		if err := r.Run(nil, s, 0, 0, func(tx *gstm.Tx) error {
+			got, _ = stores[s].Get(tx, int64(k))
+			return nil
+		}, gstm.WithReadOnly()); err != nil {
+			t.Fatalf("final read key %d: %v", k, err)
+		}
+		final += got
+	}
+	if final != total {
+		t.Fatalf("balance not conserved: final sum %d, want %d", final, total)
 	}
 }
 
@@ -267,7 +438,7 @@ func TestRouterConcurrentAdds(t *testing.T) {
 					batch[i].kind = opAdd
 				}
 				plan.Build(len(batch), func(i int) uint64 { return batch[i].key })
-				ok := plan.RunEach(nil, gstm.ThreadID(w), 0, func(tx *gstm.Tx, s int, idxs []int) error {
+				ok := plan.Run(nil, gstm.ThreadID(w), 0, func(tx *gstm.Tx, s int, idxs []int) error {
 					for _, i := range idxs {
 						applyOp(tx, stores[s], batch[i])
 					}
@@ -320,7 +491,7 @@ func TestRouterConcurrentAdds(t *testing.T) {
 		}
 	}
 	for k, wv := range want {
-		s := r.Home(k)
+		s := r.HomeOf(k)
 		var got opResult
 		if err := r.Run(nil, s, 0, 0, func(tx *gstm.Tx) error {
 			got = applyOp(tx, stores[s], op{kind: opGet, key: k})

@@ -1,27 +1,25 @@
-//lint:file-ignore SA1019 the boxed protocol is deprecated API-wise but is
-// exactly what this sweep exists to measure against.
-
 // Package speedbench measures the per-access cost of the TL2 engine's
-// hot path: the retired any-boxed read/write protocol (kept alive as
-// tl2.BoxedVar for exactly this comparison) against the unboxed slot
-// protocol, and the unboxed protocol again over the striped lock table.
-// The sweep crosses engine variants with workload mixes and GOMAXPROCS
-// values and runs fixed work per point so throughput is comparable.
+// hot path: the unboxed slot protocol over per-location lock words
+// against the same protocol over the striped lock table (the two engine
+// modes the serving stack actually deploys, now that the any-boxed
+// protocol is gone). The sweep crosses engine variants with workload
+// mixes and GOMAXPROCS values and runs fixed work per point so
+// throughput is comparable.
 //
-// The boxed-vs-unboxed speedup — the number the acceptance gate reads —
-// is measured by fine-grained interleaving: both engines stay live for a
-// whole round and execute their fixed work as many small alternating
-// slices (ABBA order), so any external slowdown longer than one slice
-// (co-tenant CPU steal, frequency shifts, page-cache storms) hits both
-// engines nearly equally and divides out of the per-round elapsed-time
-// ratio. Sub-slice noise averages over the slice count. On a shared
-// two-core box, back-to-back whole runs measure the neighbors as much as
-// the engines — wall-clock throughput swings severalfold with bursts
-// both longer and shorter than a run — and the kernel's per-process CPU
-// clock is too coarse (scheduler-tick resolution) to resolve the deltas
-// under test, so slice interleaving is what actually isolates protocol
-// cost. It backs cmd/gstm-loadgen's -speed-bench flag, which writes the
-// report as BENCH_speed.json.
+// The per-location-vs-striped ratio — the number the acceptance gate
+// reads — is measured by fine-grained interleaving: both engines stay
+// live for a whole round and execute their fixed work as many small
+// alternating slices (ABBA order), so any external slowdown longer than
+// one slice (co-tenant CPU steal, frequency shifts, page-cache storms)
+// hits both engines nearly equally and divides out of the per-round
+// elapsed-time ratio. Sub-slice noise averages over the slice count. On
+// a shared two-core box, back-to-back whole runs measure the neighbors
+// as much as the engines — wall-clock throughput swings severalfold with
+// bursts both longer and shorter than a run — and the kernel's
+// per-process CPU clock is too coarse (scheduler-tick resolution) to
+// resolve the deltas under test, so slice interleaving is what actually
+// isolates protocol cost. It backs cmd/gstm-loadgen's -speed-bench flag,
+// which writes the report as BENCH_speed.json.
 package speedbench
 
 import (
@@ -39,7 +37,6 @@ import (
 
 // Engine variants under measurement.
 const (
-	EngineBoxed   = "boxed"           // retired protocol: closure loads, any round-trips
 	EngineUnboxed = "unboxed"         // slot protocol, per-location lock words
 	EngineStriped = "unboxed+stripes" // slot protocol over the striped lock table
 )
@@ -68,6 +65,13 @@ const accessesPerTxn = 32
 // (which both engines pay identically, so it cancels from the ratio
 // either way).
 const slicesPerRun = 32
+
+// stripedFloor is the acceptance bound: the striped table trades
+// per-location lock words for cache-compact shared stripes and may pay
+// for the aliasing, but on the protocol-dominated workloads it must stay
+// within 25% of the per-location engine (ratio >= 0.75) or the trade is
+// mis-tuned.
+const stripedFloor = 0.75
 
 // Config parameterizes the sweep. The zero value is usable; normalize
 // fills defaults tuned so each timed section runs long enough to average
@@ -134,28 +138,30 @@ type Report struct {
 	Config      Config  `json:"config"`
 	Points      []Point `json:"points"`
 
-	// Speedups holds, per (workload, cores) cell, the unboxed-over-boxed
-	// speedup: the median over rounds of (boxed elapsed / unboxed
-	// elapsed) for identical fixed work executed as interleaved slices
-	// within the same noise window.
+	// Speedups holds, per (workload, cores) cell, the striped-over-
+	// per-location ratio: the median over rounds of (per-location elapsed
+	// / striped elapsed) for identical fixed work executed as interleaved
+	// slices within the same noise window. >1 means the striped table was
+	// faster that cell.
 	Speedups []Speedup `json:"speedups"`
 
-	// UnboxedBeatsBoxed is the acceptance flag: the unboxed-over-boxed
-	// speedup exceeds 1.0 on the read-only and mixed workloads at every
-	// swept core count.
-	UnboxedBeatsBoxed bool `json:"unboxed_beats_boxed"`
+	// StripedWithinBound is the acceptance flag: on the read-only and
+	// mixed workloads at every swept core count, the striped engine stays
+	// within stripedFloor of the per-location engine.
+	StripedWithinBound bool `json:"striped_within_bound"`
 }
 
-// Speedup is one cell's unboxed-over-boxed ratio.
+// Speedup is one cell's striped-over-per-location ratio.
 type Speedup struct {
 	Workload string `json:"workload"`
 	Cores    int    `json:"cores"`
 
-	// Ratio is the median of RunRatios; >1 means unboxed is faster.
-	Ratio float64 `json:"unboxed_over_boxed"`
+	// Ratio is the median of RunRatios; >1 means striped is faster.
+	Ratio float64 `json:"striped_over_unboxed"`
 
 	// RunRatios are the per-round interleaved time ratios
-	// (boxed/unboxed); their spread is the sweep's residual noise floor.
+	// (per-location/striped); their spread is the sweep's residual noise
+	// floor.
 	RunRatios []float64 `json:"run_ratios"`
 }
 
@@ -163,10 +169,10 @@ type Speedup struct {
 func Run(cfg Config) Report {
 	cfg = cfg.normalize()
 	rep := Report{
-		Description: "Engine hot-path sweep: boxed (retired any/closure protocol) vs unboxed (slot protocol) vs unboxed over the striped lock table, across GOMAXPROCS and workload mixes. Fixed transactional work per point; every transaction performs 32 accesses so per-access protocol cost, not the engine-identical commit sequence, dominates; mixed is a Synchrobench-style 10% update ratio (90% read-only transactions, 10% of 31 reads + 1 write). Speedups are medians over rounds of per-round elapsed-time ratios with boxed and unboxed executing as fine-grained interleaved slices (ABBA order) inside the same noise window, so machine noise longer than a slice divides out. Counters are summed over rounds.",
+		Description: "Engine hot-path sweep: unboxed slot protocol over per-location lock words vs the same protocol over the striped lock table, across GOMAXPROCS and workload mixes. Fixed transactional work per point; every transaction performs 32 accesses so per-access protocol cost, not the engine-identical commit sequence, dominates; mixed is a Synchrobench-style 10% update ratio (90% read-only transactions, 10% of 31 reads + 1 write). Speedups are medians over rounds of per-round elapsed-time ratios with both engines executing as fine-grained interleaved slices (ABBA order) inside the same noise window, so machine noise longer than a slice divides out. Counters are summed over rounds.",
 		Config:      cfg,
 	}
-	engines := []string{EngineBoxed, EngineUnboxed, EngineStriped}
+	engines := []string{EngineUnboxed, EngineStriped}
 	workloads := []string{WorkloadReadOnly, WorkloadMixed, WorkloadWriteHeavy}
 
 	prev := runtime.GOMAXPROCS(0)
@@ -191,12 +197,11 @@ func Run(cfg Config) Report {
 		runtime.GOMAXPROCS(cores)
 		for round := 0; round < cfg.Runs; round++ {
 			for _, wl := range workloads {
-				boxedRes, unboxedRes, ratio := measurePaired(wl, cores, cfg, uint64(round+1))
-				addRound(EngineBoxed, wl, cores, boxedRes)
-				addRound(EngineUnboxed, wl, cores, unboxedRes)
+				plainRes, stripedRes, ratio := measurePaired(wl, cores, cfg, uint64(round+1))
+				addRound(EngineUnboxed, wl, cores, plainRes)
+				addRound(EngineStriped, wl, cores, stripedRes)
 				rk := [2]string{wl, fmt.Sprint(cores)}
 				ratios[rk] = append(ratios[rk], ratio)
-				addRound(EngineStriped, wl, cores, measureSolo(EngineStriped, wl, cores, cfg, uint64(round+1)))
 			}
 		}
 	}
@@ -215,17 +220,17 @@ func Run(cfg Config) Report {
 		}
 	}
 
-	rep.UnboxedBeatsBoxed = true
+	rep.StripedWithinBound = true
 	for _, cores := range cfg.Cores {
 		for _, wl := range workloads {
 			rr := ratios[[2]string{wl, fmt.Sprint(cores)}]
 			sp := Speedup{Workload: wl, Cores: cores, Ratio: median(rr), RunRatios: rr}
 			rep.Speedups = append(rep.Speedups, sp)
-			if (wl == WorkloadReadOnly || wl == WorkloadMixed) && sp.Ratio <= 1 {
-				rep.UnboxedBeatsBoxed = false
+			if (wl == WorkloadReadOnly || wl == WorkloadMixed) && sp.Ratio < stripedFloor {
+				rep.StripedWithinBound = false
 			}
 			if cfg.Progress != nil {
-				fmt.Fprintf(cfg.Progress, "speedup %-11s cores=%d  unboxed/boxed %.3fx\n", wl, cores, sp.Ratio)
+				fmt.Fprintf(cfg.Progress, "speedup %-11s cores=%d  striped/per-location %.3fx\n", wl, cores, sp.Ratio)
 			}
 		}
 	}
@@ -252,7 +257,6 @@ type bench struct {
 	cfg      Config
 	rt       *tl2.Runtime
 	arr      *tl2.Array[int64]
-	boxed    *tl2.BoxedArray[int64]
 	rngs     []uint64
 	part     int // worker-private write partition length
 }
@@ -268,12 +272,8 @@ func newBench(engine, workload string, cores int, cfg Config, round uint64) *ben
 		cores:    cores,
 		cfg:      cfg,
 		rt:       tl2.New(rcfg),
+		arr:      tl2.NewArray[int64](cfg.Cells),
 		rngs:     make([]uint64, cores),
-	}
-	if engine == EngineBoxed {
-		b.boxed = tl2.NewBoxedArray[int64](cfg.Cells)
-	} else {
-		b.arr = tl2.NewArray[int64](cfg.Cells)
 	}
 	// Writes land in a worker-private partition of the array: the sweep
 	// measures per-access protocol cost, which both engines pay identically
@@ -306,11 +306,7 @@ func (b *bench) runSlice(txnsPerWorker int) float64 {
 			defer wg.Done()
 			rng := b.rngs[w] // worker-local copy: no cross-worker cache-line sharing
 			partLo := (w * b.part) % b.cfg.Cells
-			if b.engine == EngineBoxed {
-				boxedWorker(b.rt, b.boxed, b.workload, w, wcfg, &rng, partLo, b.part)
-			} else {
-				unboxedWorker(b.rt, b.arr, b.workload, w, wcfg, &rng, partLo, b.part)
-			}
+			worker(b.rt, b.arr, b.workload, w, wcfg, &rng, partLo, b.part)
 			b.rngs[w] = rng
 		}(w)
 	}
@@ -319,9 +315,8 @@ func (b *bench) runSlice(txnsPerWorker int) float64 {
 }
 
 // warmup runs a tenth of a round's work (Tx pool, caches, branch state),
-// then forces a collection so construction garbage — the boxed array
-// allocates a closure per cell — is never collected on a timed slice's
-// clock, and resets the engine counters.
+// then forces a collection so construction garbage is never collected on
+// a timed slice's clock, and resets the engine counters.
 func (b *bench) warmup(perWorker int) {
 	b.runSlice(perWorker/10 + 1)
 	b.rt.ResetStats()
@@ -342,12 +337,13 @@ func (b *bench) collect(opsRun float64, elapsed float64) result {
 	return res
 }
 
-// measurePaired runs one round of boxed and unboxed side by side as
-// alternating slices and returns both engines' results plus the round's
-// boxed/unboxed elapsed-time ratio (>1 = unboxed faster).
-func measurePaired(workload string, cores int, cfg Config, round uint64) (boxedRes, unboxedRes result, ratio float64) {
-	bb := newBench(EngineBoxed, workload, cores, cfg, round)
-	ub := newBench(EngineUnboxed, workload, cores, cfg, round)
+// measurePaired runs one round of the per-location and striped engines
+// side by side as alternating slices and returns both engines' results
+// plus the round's per-location/striped elapsed-time ratio (>1 = striped
+// faster).
+func measurePaired(workload string, cores int, cfg Config, round uint64) (plainRes, stripedRes result, ratio float64) {
+	pb := newBench(EngineUnboxed, workload, cores, cfg, round)
+	sb := newBench(EngineStriped, workload, cores, cfg, round)
 
 	perWorker := cfg.TxnsPerRun / cores
 	if perWorker <= 0 {
@@ -359,42 +355,29 @@ func measurePaired(workload string, cores int, cfg Config, round uint64) (boxedR
 		chunk, slices = 1, perWorker
 	}
 
-	bb.warmup(perWorker)
-	ub.warmup(perWorker)
+	pb.warmup(perWorker)
+	sb.warmup(perWorker)
 
-	var tBoxed, tUnboxed float64
+	var tPlain, tStriped float64
 	for s := 0; s < slices; s++ {
 		// ABBA ordering: alternating which engine goes first in each pair
 		// cancels any linear drift across the round.
 		if s%2 == 0 {
-			tBoxed += bb.runSlice(chunk)
-			tUnboxed += ub.runSlice(chunk)
+			tPlain += pb.runSlice(chunk)
+			tStriped += sb.runSlice(chunk)
 		} else {
-			tUnboxed += ub.runSlice(chunk)
-			tBoxed += bb.runSlice(chunk)
+			tStriped += sb.runSlice(chunk)
+			tPlain += pb.runSlice(chunk)
 		}
 	}
 
 	ops := float64(cores) * float64(chunk*slices) * accessesPerTxn
-	boxedRes = bb.collect(ops, tBoxed)
-	unboxedRes = ub.collect(ops, tUnboxed)
-	if tUnboxed > 0 {
-		ratio = tBoxed / tUnboxed
+	plainRes = pb.collect(ops, tPlain)
+	stripedRes = sb.collect(ops, tStriped)
+	if tStriped > 0 {
+		ratio = tPlain / tStriped
 	}
-	return boxedRes, unboxedRes, ratio
-}
-
-// measureSolo runs one round of a single engine (used for the striped
-// variant, which is reported but not part of the acceptance ratio).
-func measureSolo(engine, workload string, cores int, cfg Config, round uint64) result {
-	b := newBench(engine, workload, cores, cfg, round)
-	perWorker := cfg.TxnsPerRun / cores
-	if perWorker <= 0 {
-		perWorker = 1
-	}
-	b.warmup(perWorker)
-	elapsed := b.runSlice(perWorker)
-	return b.collect(float64(cores)*float64(perWorker)*accessesPerTxn, elapsed)
+	return plainRes, stripedRes, ratio
 }
 
 // nextIdx advances the worker's xorshift stream and maps it to a cell
@@ -408,7 +391,7 @@ func nextIdx(rng *uint64, cells int) int {
 	return int(x % uint64(cells))
 }
 
-func unboxedWorker(rt *tl2.Runtime, arr *tl2.Array[int64], workload string, w int, cfg Config, rng *uint64, partLo, part int) {
+func worker(rt *tl2.Runtime, arr *tl2.Array[int64], workload string, w int, cfg Config, rng *uint64, partLo, part int) {
 	thread, txn := txid.ThreadID(w), txid.TxnID(1)
 	var total int64 // worker-local; one contended sink store per slice, not per txn
 	switch workload {
@@ -454,62 +437,6 @@ func unboxedWorker(rt *tl2.Runtime, arr *tl2.Array[int64], workload string, w in
 			for k := 0; k < accessesPerTxn/2; k++ {
 				i := partLo + nextIdx(rng, part)
 				tl2.WriteAt(tx, arr, i, tl2.ReadAt(tx, arr, i)+1)
-			}
-			return nil
-		}
-		for t := 0; t < cfg.TxnsPerRun; t++ {
-			_ = rt.Atomic(thread, txn, body)
-		}
-	}
-	sink.Store(total)
-}
-
-func boxedWorker(rt *tl2.Runtime, arr *tl2.BoxedArray[int64], workload string, w int, cfg Config, rng *uint64, partLo, part int) {
-	thread, txn := txid.ThreadID(w), txid.TxnID(1)
-	var total int64
-	switch workload {
-	case WorkloadReadOnly:
-		body := func(tx *tl2.Tx) error {
-			var s int64
-			for k := 0; k < accessesPerTxn; k++ {
-				s += tl2.BoxedRead(tx, arr.At(nextIdx(rng, cfg.Cells)))
-			}
-			total += s
-			return nil
-		}
-		for t := 0; t < cfg.TxnsPerRun; t++ {
-			_ = rt.AtomicRO(thread, txn, body)
-		}
-	case WorkloadMixed:
-		roBody := func(tx *tl2.Tx) error {
-			var s int64
-			for k := 0; k < accessesPerTxn; k++ {
-				s += tl2.BoxedRead(tx, arr.At(nextIdx(rng, cfg.Cells)))
-			}
-			total += s
-			return nil
-		}
-		upBody := func(tx *tl2.Tx) error {
-			var s int64
-			for k := 0; k < accessesPerTxn-1; k++ {
-				s += tl2.BoxedRead(tx, arr.At(nextIdx(rng, cfg.Cells)))
-			}
-			tl2.BoxedWrite(tx, arr.At(partLo+int(*rng%uint64(part))), s)
-			total += s
-			return nil
-		}
-		for t := 0; t < cfg.TxnsPerRun; t++ {
-			if t%10 == 0 {
-				_ = rt.Atomic(thread, txn, upBody)
-			} else {
-				_ = rt.AtomicRO(thread, txn, roBody)
-			}
-		}
-	default: // WorkloadWriteHeavy
-		body := func(tx *tl2.Tx) error {
-			for k := 0; k < accessesPerTxn/2; k++ {
-				bv := arr.At(partLo + nextIdx(rng, part))
-				tl2.BoxedWrite(tx, bv, tl2.BoxedRead(tx, bv)+1)
 			}
 			return nil
 		}

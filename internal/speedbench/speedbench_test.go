@@ -16,7 +16,7 @@ func TestRunShape(t *testing.T) {
 	}
 	rep := Run(cfg)
 
-	if want := 3 * 3 * len(cfg.Cores); len(rep.Points) != want {
+	if want := 2 * 3 * len(cfg.Cores); len(rep.Points) != want {
 		t.Fatalf("points = %d, want %d", len(rep.Points), want)
 	}
 	for _, pt := range rep.Points {

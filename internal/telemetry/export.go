@@ -39,6 +39,8 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	counter("gstm_tx_context_canceled_total", "Transactions abandoned on context cancellation.", s.ContextCanceled)
 	counter("gstm_wal_unavailable_total", "Operations refused because the shard's write-ahead log failed.", s.WALUnavailable)
 	counter("gstm_tx_parked_total", "Blocking transactions parked on their read set (tx.Retry).", s.Parked)
+	counter("gstm_xshard_commits_total", "Cross-shard sub-transactions published atomically (one per participant shard).", s.XShardCommits)
+	counter("gstm_xshard_aborts_total", "Cross-shard prepare rounds aborted all-or-nothing (one per participant shard).", s.XShardAborts)
 	counter("gstm_clock_cas_fallbacks_total", "GV4 pass-on-failure adoptions of a winner's clock value.", s.ClockCASFallbacks)
 	counter("gstm_write_set_spills_total", "Write sets that outgrew the inline fast path.", s.WriteSetSpills)
 	counter("gstm_write_filter_false_positives_total", "Write-set filter hits that found no entry.", s.FilterFalsePositives)

@@ -95,6 +95,11 @@ type Snapshot struct {
 	WALUnavailable      uint64 `json:"wal_unavailable"`
 	Parked              uint64 `json:"tx_parked"`
 
+	// XShardCommits/XShardAborts count cross-shard commit-protocol
+	// outcomes per participant shard (a k-shard transaction counts k).
+	XShardCommits uint64 `json:"xshard_commits"`
+	XShardAborts  uint64 `json:"xshard_aborts"`
+
 	// AbortsByCause indexes by obs.Cause (length obs.NumCauses when set);
 	// obs.CauseName maps indexes to labels.
 	AbortsByCause []uint64 `json:"tx_aborts_by_cause,omitempty"`
@@ -157,6 +162,8 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.ContextCanceled += o.ContextCanceled
 	s.WALUnavailable += o.WALUnavailable
 	s.Parked += o.Parked
+	s.XShardCommits += o.XShardCommits
+	s.XShardAborts += o.XShardAborts
 	if len(o.AbortsByCause) > 0 {
 		if len(s.AbortsByCause) < len(o.AbortsByCause) {
 			grown := make([]uint64, len(o.AbortsByCause))

@@ -90,6 +90,13 @@ type Metrics struct {
 	WALUnavailable      Counter // operations refused because the shard's WAL is failed
 	Parked              Counter // blocking transactions parked on their read set (tx.Retry)
 
+	// Cross-shard commit-protocol counters. A k-shard transaction counts
+	// once on every participant shard's Metrics, so the Gather aggregate
+	// counts participant-commits, not transactions — divide by the mean
+	// participant count for a transaction rate.
+	XShardCommits Counter // cross-shard sub-transactions published atomically
+	XShardAborts  Counter // cross-shard prepare rounds aborted all-or-nothing
+
 	// AbortsByCause breaks Aborts down by the obs taxonomy (index =
 	// obs.Cause): the same labels the span tracer stamps on captured
 	// spans, so /metrics and /debug/trace agree on why attempts died.
@@ -386,6 +393,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		ContextCanceled:      m.ContextCanceled.Load(),
 		WALUnavailable:       m.WALUnavailable.Load(),
 		Parked:               m.Parked.Load(),
+		XShardCommits:        m.XShardCommits.Load(),
+		XShardAborts:         m.XShardAborts.Load(),
 		ClockCASFallbacks:    m.ClockCASFallbacks.Load(),
 		WriteSetSpills:       m.WriteSetSpills.Load(),
 		FilterFalsePositives: m.FilterFalsePositives.Load(),
@@ -443,7 +452,8 @@ func (m *Metrics) Reset() {
 	}
 	for _, c := range []*Counter{
 		&m.Commits, &m.Aborts, &m.RetryBudgetExceeded,
-		&m.ContextCanceled, &m.WALUnavailable, &m.Parked, &m.ClockCASFallbacks,
+		&m.ContextCanceled, &m.WALUnavailable, &m.Parked,
+		&m.XShardCommits, &m.XShardAborts, &m.ClockCASFallbacks,
 		&m.WriteSetSpills,
 		&m.FilterFalsePositives, &m.StripeCollisions,
 		&m.GatePassed, &m.GateHeld, &m.GateEscaped,

@@ -1,0 +1,310 @@
+package tl2
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gstm/internal/obs"
+	"gstm/internal/retry"
+	"gstm/internal/txid"
+)
+
+// Cross-shard atomic commit.
+//
+// MultiRun executes one transaction spanning several Runtimes (shards),
+// each with its own private version clock, and commits it atomically on
+// all of them or none. The protocol is the TL2 commit with the lock set
+// widened across shards:
+//
+//  1. prepare — acquire every participant's write-set locks, walking the
+//     participants in the caller-given order (the router passes ascending
+//     shard index, the same deterministic-ordering rule the single-shard
+//     commit applies within a write set, so two cross-shard commits
+//     acquire the shards they share in one global order and cannot
+//     deadlock); then validate every participant's read set against its
+//     home clock. Validation never elides on clock evidence: a sibling
+//     shard's clock says nothing about this shard's history.
+//  2. exchange — tick every participant's clock once and agree on
+//     commitWV, the maximum. Ticking every home clock keeps the
+//     per-shard discipline that any later transaction locking an
+//     overlapping location on that shard draws a strictly larger wv.
+//  3. publish — for each participant: raise its clock to commitWV
+//     (versions must never exceed the clock a reader samples rv from),
+//     then publish its write set at commitWV and release its locks.
+//
+// Any prepare failure aborts all participants with no writes published
+// (cause: cross-shard-validation). Single-shard transactions never touch
+// any of this — no shared word, no extra branch — which keeps the
+// cross-shard tax entirely off the fast path.
+//
+// Two cross-shard commits may publish the same commitWV on a shard they
+// share only when their write sets on that shard are disjoint (an
+// overlapping location serializes them through its lock, and the earlier
+// commit's advanceTo forces the later one's tick past its commitWV), so
+// equal write versions in a shard's WAL never order-depend.
+
+// ErrNoShards reports a MultiRun call with an empty runtime list.
+var ErrNoShards = errors.New("tl2: MultiRun with no runtimes")
+
+// MultiGroup is the publish fence shared by every cross-shard transaction
+// of one shard group (the router owns one). Per-shard locks make
+// conflicting cross-shard writers mutually exclusive, but a transaction
+// whose footprint is disjoint from a publish sweep could still observe it
+// half-applied — shard i already at commitWV, shard j not yet — because
+// the sweep publishes its shards one at a time. The fence closes that
+// window seqlock-style: sweeps bump seq before their first store and done
+// after their last, and every MultiRun attempt (a) waits for in-flight
+// sweeps to drain before sampling its read versions and (b) aborts after
+// validation if any sweep started since. Single-shard commits never load
+// or store either word.
+type MultiGroup struct {
+	_    [7]uint64 // keep the two hot words off shared cache lines
+	seq  atomic.Uint64
+	_    [7]uint64
+	done atomic.Uint64
+	_    [7]uint64
+}
+
+// enterQuiescent waits until no publish sweep is in flight and returns
+// the sweep count to compare against after validation. Sweeps are a few
+// pointer stores per shard, so the wait is short and yield-bounded.
+func (g *MultiGroup) enterQuiescent() uint64 {
+	for {
+		s := g.seq.Load()
+		if g.done.Load() >= s {
+			return s
+		}
+		spinYield()
+	}
+}
+
+// multiState is the pooled per-call scratch of MultiRun.
+type multiState struct{ txs []*Tx }
+
+var multiPool = sync.Pool{New: func() any { return &multiState{} }}
+
+// MultiRun executes fn as one atomic transaction across rts — one
+// sub-transaction per runtime, handed to fn as txs aligned with rts. The
+// runtimes must be distinct and ordered by the caller's deterministic
+// rule (the shard router passes ascending shard index); every concurrent
+// MultiRun over overlapping runtime sets must use the same order and the
+// same MultiGroup.
+//
+// fn may be re-executed like any transaction body. The read-write
+// discipline always applies (reads are tracked and re-validated at
+// commit on every participant, even under RunOpts.ReadOnly, which only
+// keeps rejecting writes); blocking is not supported — a tx.Retry
+// returns retry.ErrWouldBlock regardless of RunOpts.Block.
+func MultiRun(ctx context.Context, g *MultiGroup, rts []*Runtime, thread txid.ThreadID, txn txid.TxnID, fn func(txs []*Tx) error, o RunOpts) error {
+	switch len(rts) {
+	case 0:
+		return ErrNoShards
+	case 1:
+		// One participant: the plain single-shard commit is the same
+		// protocol, without the fence or the exchange.
+		rt := rts[0]
+		one := [1]*Tx{}
+		return rt.RunOpt(ctx, thread, txn, func(tx *Tx) error {
+			one[0] = tx
+			return fn(one[:])
+		}, RunOpts{ReadOnly: o.ReadOnly, MaxAttempts: o.MaxAttempts, Span: o.Span})
+	}
+
+	self := txid.Pair{Txn: txn, Thread: thread}
+	ms := multiPool.Get().(*multiState)
+	for len(ms.txs) < len(rts) {
+		ms.txs = append(ms.txs, nil)
+	}
+	ms.txs = ms.txs[:len(rts)]
+	for i, rt := range rts {
+		ms.txs[i] = rt.pool.Get().(*Tx)
+	}
+	release := func() {
+		for _, tx := range ms.txs {
+			tx.releaseLocks(0)
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			// A panic escaped the transaction body: release every lock any
+			// participant still holds and pool clean Txs, then re-panic.
+			for i, tx := range ms.txs {
+				tx.releaseLocks(0)
+				tx.scrub()
+				rts[i].pool.Put(tx)
+			}
+			ms.txs = ms.txs[:0]
+			multiPool.Put(ms)
+			panic(r)
+		}
+		for i, tx := range ms.txs {
+			rts[i].pool.Put(tx)
+		}
+		ms.txs = ms.txs[:0]
+		multiPool.Put(ms)
+	}()
+
+	budget := o.MaxAttempts
+	if budget <= 0 {
+		budget = retry.Budget(ctx)
+	}
+	span := o.Span
+	spanned := span != nil
+	shard := uint64(thread)
+	for attempt := 0; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				rts[0].tel.TxCanceled(shard)
+				return &multiErr{retry.ErrCanceled, err}
+			}
+		}
+		// Wait out in-flight publish sweeps before sampling read versions,
+		// so no shard is observed mid-sweep.
+		f0 := g.enterQuiescent()
+		for _, rt := range rts {
+			if gb := rt.gate.Load(); gb != nil {
+				gb.g.Arrive(self)
+			}
+		}
+		for i, rt := range rts {
+			rt.tel.TxStart(shard)
+			ms.txs[i].reset(rt, self, attempt, o.ReadOnly, true)
+		}
+		span.NoteAttempt()
+		attStart := span.LastEndNs()
+
+		err, conflict, retried := runMultiBody(ms.txs, fn)
+		if retried {
+			release()
+			return retry.ErrWouldBlock
+		}
+		if conflict != nil {
+			release()
+			span.AddSinceNs(obs.PhaseRetry, conflict.cause, attempt+1, attStart)
+			for _, rt := range rts {
+				rt.noteAbort(self, conflict.byWV, conflict.cause)
+			}
+			if rts[0].budgetSpent(shard, budget, attempt) {
+				return retry.ErrBudgetExceeded
+			}
+			backoff(attempt)
+			continue
+		}
+		if err != nil {
+			release()
+			return err
+		}
+
+		// Prepare: every participant's write-set locks in list order, then
+		// every participant's read-set validation, then the fence check —
+		// an overlapping publish sweep may have left this attempt's reads
+		// straddling another cross-shard commit even though no single
+		// shard's validation can tell.
+		var t0 time.Time
+		if spanned {
+			t0 = time.Now()
+		}
+		prepared, byWV := true, uint64(0)
+		for _, tx := range ms.txs {
+			if !tx.lockWriteSet() {
+				prepared = false
+				break
+			}
+		}
+		if prepared {
+			for _, tx := range ms.txs {
+				if v, _, ok := tx.validateReads(); !ok {
+					prepared, byWV = false, v
+					break
+				}
+			}
+		}
+		if prepared && g.seq.Load() != f0 {
+			prepared = false
+		}
+		if !prepared {
+			release()
+			span.AddSince(obs.PhaseXPrepare, obs.CauseXShardValidation, attempt+1, t0)
+			for _, rt := range rts {
+				rt.tel.XShardAborts.Inc(shard)
+				rt.noteAbort(self, byWV, obs.CauseXShardValidation)
+			}
+			if rts[0].budgetSpent(shard, budget, attempt) {
+				return retry.ErrBudgetExceeded
+			}
+			backoff(attempt)
+			continue
+		}
+		var mark time.Time
+		if spanned {
+			mark = time.Now()
+			span.Add(obs.PhaseXPrepare, obs.CauseNone, attempt+1, t0.UnixNano(), mark.Sub(t0).Nanoseconds())
+		}
+
+		// Exchange: tick every home clock, agree on the maximum.
+		commitWV := uint64(0)
+		for _, rt := range rts {
+			if wv := rt.clk().tick(); wv > commitWV {
+				commitWV = wv
+			}
+		}
+		// Publish sweep, fenced: every participant's clock advances to the
+		// agreed commit point before its locations carry it.
+		g.seq.Add(1)
+		for i, rt := range rts {
+			rt.clk().advanceTo(commitWV)
+			ms.txs[i].publishAt(commitWV)
+		}
+		g.done.Add(1)
+		if spanned {
+			span.AddSinceNs(obs.PhaseXPublish, obs.CauseNone, attempt+1, mark.UnixNano())
+		}
+		for _, rt := range rts {
+			rt.tel.TxCommit(shard)
+			rt.tel.XShardCommits.Inc(shard)
+			// Sinks (per-shard WAL taps, trace collectors) see the exchanged
+			// timestamp, so every shard's log records this commit at
+			// commitWV and recovery replays the shards consistently.
+			if sb := rt.sink.Load(); sb != nil {
+				sb.s.TxCommit(self, commitWV, attempt)
+			}
+		}
+		return nil
+	}
+}
+
+// runMultiBody executes fn over the participant transactions, converting
+// the engine's control-flow panics exactly like runBody.
+func runMultiBody(txs []*Tx, fn func([]*Tx) error) (err error, conflict *conflictSignal, retried bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if c, ok := r.(*conflictSignal); ok {
+				conflict = c
+				return
+			}
+			if _, ok := r.(retrySignal); ok {
+				retried = true
+				return
+			}
+			if e, ok := r.(errWriteInReadOnly); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn(txs), nil, false
+}
+
+// multiErr wraps a sentinel and its underlying cause without the
+// fmt.Errorf allocation cost varying by message.
+type multiErr struct{ sentinel, cause error }
+
+func (e *multiErr) Error() string { return e.sentinel.Error() + ": " + e.cause.Error() }
+func (e *multiErr) Is(target error) bool {
+	return errors.Is(e.sentinel, target) || errors.Is(e.cause, target)
+}
+func (e *multiErr) Unwrap() error { return e.cause }

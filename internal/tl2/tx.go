@@ -490,6 +490,51 @@ func (tx *Tx) ownedPre(lk *lockSlot, b *base) (uint64, bool) {
 	return e.Pre, true
 }
 
+// validateReads re-validates the attempt's full read set against rv: a
+// location locked by someone else or carrying a version newer than rv
+// fails. Unlike the inline validation in commit it never elides on clock
+// evidence — the cross-shard prepare path calls it after every
+// participant's locks are down, and a sibling participant's clock tells
+// this shard nothing. The caller owns lock release on failure.
+func (tx *Tx) validateReads() (byWV uint64, cause obs.Cause, ok bool) {
+	for _, b := range tx.reads {
+		lk := tx.rt.lockFor(b)
+		w := lk.word.Load()
+		if wordLocked(w) {
+			pre, mine := tx.ownedPre(lk, b)
+			if !mine {
+				return 0, obs.CauseLockBusy, false
+			}
+			w = pre
+		}
+		if v := wordVersion(w); v > tx.rv {
+			return v, obs.CauseReadValidation, false
+		}
+	}
+	return 0, obs.CauseNone, true
+}
+
+// publishAt is the back half of the prepared-commit split: it publishes
+// the write set at the caller-chosen write version wv, records the
+// attribution, releases every lock at wv and wakes parked readers. The
+// caller must hold the write-set locks (lockWriteSet succeeded), have
+// validated the read set, and have advanced this runtime's clock to at
+// least wv — locations must never carry versions the clock has not
+// reached, or readers under this clock would spin on the future.
+func (tx *Tx) publishAt(wv uint64) {
+	ents := tx.ws.Entries()
+	for i := range ents {
+		ents[i].Key.storePtr(ents[i].Val)
+	}
+	tx.rt.reg.Record(wv, tx.self)
+	tx.releaseLocks(wv)
+	for i := range ents {
+		if b := ents[i].Key; b.wtrs.Load() != nil {
+			b.wakeWaiters()
+		}
+	}
+}
+
 // commit runs the TL2 commit protocol. On success it returns the commit's
 // write version. On conflict it returns the invalidating write version (0
 // when unknown), the taxonomy cause, and ok=false; all locks are released

@@ -89,8 +89,13 @@ func recoverDir(dir string) (*Recovery, int, int, error) {
 	}
 	// File order within a segment is append order, not commit order:
 	// commits from different threads interleave arbitrarily. Sort by wv to
-	// recover the serialization the STM chose. Stable is irrelevant — wvs
-	// are unique while a sink is installed, and the log IS a sink.
+	// recover the serialization the STM chose. Stable is irrelevant —
+	// single-shard wvs are unique while a sink is installed (and the log
+	// IS a sink), and the only duplicates cross-shard commits can leave on
+	// one shard come from transactions with disjoint write sets there
+	// (overlapping ones serialize: the later commit ticks after the
+	// earlier advanceTo, so its exchanged wv is strictly greater), making
+	// replay order between equal-wv records irrelevant.
 	sort.Slice(rec.Commits, func(i, j int) bool { return rec.Commits[i].WV < rec.Commits[j].WV })
 	return rec, minSeg, maxSeg, nil
 }

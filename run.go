@@ -12,8 +12,9 @@ import (
 // when passed as a pre-built slice.
 //
 // All constructors follow the With* naming convention (WithReadOnly,
-// WithMaxAttempts, WithSpan, WithBlocking, WithNoBlock); the pre-v1 names
-// ReadOnly and MaxAttempts remain as deprecated aliases.
+// WithMaxAttempts, WithSpan, WithBlocking, WithNoBlock). The pre-v1
+// spellings ReadOnly and MaxAttempts are gone; see the README migration
+// table.
 type TxOption func(*txSettings)
 
 type txSettings struct {
@@ -33,11 +34,6 @@ func WithReadOnly() TxOption {
 	return func(s *txSettings) { s.readOnly = true }
 }
 
-// ReadOnly selects the read-only fast path.
-//
-// Deprecated: use WithReadOnly, the With*-aligned name.
-func ReadOnly() TxOption { return WithReadOnly() }
-
 // WithMaxAttempts bounds the attempts one Run call may make: n allows the
 // initial attempt plus n-1 retries; when the last allowed attempt aborts
 // on a conflict Run returns ErrRetryBudgetExhausted. n <= 0 means
@@ -47,11 +43,6 @@ func ReadOnly() TxOption { return WithReadOnly() }
 func WithMaxAttempts(n int) TxOption {
 	return func(s *txSettings) { s.maxAttempts = n }
 }
-
-// MaxAttempts bounds the attempts one Run call may make.
-//
-// Deprecated: use WithMaxAttempts, the With*-aligned name.
-func MaxAttempts(n int) TxOption { return WithMaxAttempts(n) }
 
 // WithSpan attaches a variance-observatory span to the Run call: gate
 // waits, every aborted attempt (with its taxonomy cause) and the commit

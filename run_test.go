@@ -8,7 +8,7 @@ import (
 	"gstm/internal/faultinject"
 )
 
-// TestRunReadOnlyOption checks that ReadOnly selects the write-rejecting
+// TestRunReadOnlyOption checks that WithReadOnly selects the write-rejecting
 // fast path and that plain reads commit and count.
 func TestRunReadOnlyOption(t *testing.T) {
 	sys := NewSystem(Config{Threads: 1})
@@ -19,16 +19,16 @@ func TestRunReadOnlyOption(t *testing.T) {
 			t.Errorf("Read = %d, want 41", got)
 		}
 		return nil
-	}, ReadOnly()); err != nil {
+	}, WithReadOnly()); err != nil {
 		t.Fatalf("read-only Run: %v", err)
 	}
 
 	err := sys.Run(nil, 0, 0, func(tx *Tx) error {
 		Write(tx, v, 42)
 		return nil
-	}, ReadOnly())
+	}, WithReadOnly())
 	if err == nil {
-		t.Fatal("Write inside ReadOnly Run succeeded")
+		t.Fatal("Write inside WithReadOnly Run succeeded")
 	}
 	if v.Peek() != 41 {
 		t.Fatalf("rejected write was published: %d", v.Peek())
@@ -47,7 +47,7 @@ func TestRunMaxAttempts(t *testing.T) {
 		attempts++
 		Write(tx, v, Read(tx, v)+1)
 		return nil
-	}, MaxAttempts(3))
+	}, WithMaxAttempts(3))
 	if !errors.Is(err, ErrRetryBudgetExhausted) {
 		t.Fatalf("err = %v, want ErrRetryBudgetExhausted", err)
 	}
@@ -73,12 +73,12 @@ func TestRunMaxAttemptsOverridesContextBudget(t *testing.T) {
 	err := sys.Run(WithRetryBudget(context.Background(), 10), 0, 0, func(tx *Tx) error {
 		attempts++
 		return nil
-	}, MaxAttempts(2))
+	}, WithMaxAttempts(2))
 	if !errors.Is(err, ErrRetryBudgetExhausted) {
 		t.Fatalf("err = %v, want ErrRetryBudgetExhausted", err)
 	}
 	if attempts != 2 {
-		t.Fatalf("body ran %d times, want 2 (MaxAttempts should override ctx budget)", attempts)
+		t.Fatalf("body ran %d times, want 2 (WithMaxAttempts should override ctx budget)", attempts)
 	}
 }
 
